@@ -1,0 +1,95 @@
+// Supplementary — wall-clock throughput of the full stack.
+//
+// Not a paper claim (the paper reports no absolute numbers); this bench
+// documents the cost of this implementation itself: complete simulated
+// write/read operations per wall-clock second, including serialization,
+// HMAC-backend signatures, certificate validation at every hop, and the
+// event-driven network. Useful for spotting performance regressions in
+// the repo and for sizing larger simulation studies.
+#include <benchmark/benchmark.h>
+
+#include "harness/cluster.h"
+
+using namespace bftbc;
+
+namespace {
+
+void BM_Write(benchmark::State& state) {
+  harness::ClusterOptions o;
+  o.f = static_cast<std::uint32_t>(state.range(0));
+  o.optimized = state.range(1) != 0;
+  harness::Cluster cluster(o);
+  auto& c = cluster.add_client(1);
+  (void)cluster.write(c, 1, to_bytes("warmup"));
+  int i = 0;
+  for (auto _ : state) {
+    auto w = cluster.write(c, 1, to_bytes("v" + std::to_string(i++)));
+    if (!w.is_ok()) state.SkipWithError("write failed");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Write)
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({3, 0})
+    ->Args({3, 1})
+    ->ArgNames({"f", "opt"})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Read(benchmark::State& state) {
+  harness::ClusterOptions o;
+  o.f = static_cast<std::uint32_t>(state.range(0));
+  harness::Cluster cluster(o);
+  auto& c = cluster.add_client(1);
+  (void)cluster.write(c, 1, to_bytes("value"));
+  for (auto _ : state) {
+    auto r = cluster.read(c, 1);
+    if (!r.is_ok()) state.SkipWithError("read failed");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Read)->Arg(1)->Arg(3)->ArgNames({"f"})->Unit(
+    benchmark::kMicrosecond);
+
+void BM_CertificateValidation(benchmark::State& state) {
+  const auto f = static_cast<std::uint32_t>(state.range(0));
+  const quorum::QuorumConfig config = quorum::QuorumConfig::bft_bc(f);
+  crypto::Keystore ks(crypto::SignatureScheme::kHmacSim, 5);
+  const crypto::Digest h = crypto::sha256(as_bytes_view("v"));
+  const quorum::Timestamp ts{3, 1};
+  quorum::SignatureSet sigs;
+  const Bytes stmt = quorum::prepare_reply_statement(1, ts, h);
+  for (quorum::ReplicaId r = 0; r < config.q; ++r) {
+    auto signer = ks.register_principal(quorum::replica_principal(r));
+    sigs[r] = signer.sign(stmt).value();
+  }
+  const quorum::PrepareCertificate cert(1, ts, h, sigs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cert.validate(config, ks));
+  }
+}
+BENCHMARK(BM_CertificateValidation)
+    ->Arg(1)
+    ->Arg(3)
+    ->Arg(5)
+    ->ArgNames({"f"})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_EnvelopeRoundtrip(benchmark::State& state) {
+  rpc::Envelope env;
+  env.type = rpc::MsgType::kWrite;
+  env.rpc_id = 42;
+  env.sender = 7;
+  env.body = Bytes(static_cast<std::size_t>(state.range(0)), 0xab);
+  for (auto _ : state) {
+    Bytes wire = env.encode();
+    benchmark::DoNotOptimize(rpc::Envelope::decode(wire));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(env.body.size()));
+}
+BENCHMARK(BM_EnvelopeRoundtrip)->Arg(128)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

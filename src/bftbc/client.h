@@ -1,0 +1,161 @@
+// BFT-BC client (paper Figure 1, §3.2.2 reads, §6.2 optimized writes,
+// §7.2 strong writes).
+//
+// Operations are asynchronous: write() / read() return immediately and
+// the callback fires when the operation completes (or its deadline
+// expires). The client keeps, per object, the write certificate of its
+// last completed write — the proof replicas demand before admitting its
+// next prepare.
+//
+// Phase accounting: every quorum RPC round counts as one phase, so
+//   base write  = 3,      optimized write = 2 (contended: 3)
+//   read        = 1 or 2 (write-back)
+//   strong write = base/optimized + 2 when phase-1 timestamps disagree
+// The per-op result reports the count; benches E1–E3 aggregate them.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "bftbc/messages.h"
+#include "rpc/quorum_call.h"
+#include "rpc/transport.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace bftbc::core {
+
+struct OpBase;
+
+struct ClientOptions {
+  bool optimized = false;  // §6: merge phases 1+2 via READ-TS-PREP
+  bool strong = false;     // §7: prepares carry predecessor write certs
+  // §3.3.1 speed-up: piggyback this client's last write certificate on
+  // READ requests so replicas garbage-collect prepare lists sooner.
+  bool gc_in_reads = false;
+  rpc::QuorumCallOptions rpc;
+  sim::Time op_deadline = 0;  // 0 = rely on protocol liveness (no timeout)
+};
+
+class Client {
+ public:
+  Client(const quorum::QuorumConfig& config, quorum::ClientId id,
+         crypto::Keystore& keystore, rpc::Transport& transport,
+         sim::Simulator& simulator, std::vector<sim::NodeId> replica_nodes,
+         Rng rng, ClientOptions options = ClientOptions());
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  quorum::ClientId id() const { return id_; }
+  const ClientOptions& options() const { return options_; }
+
+  struct WriteResult {
+    Timestamp ts;   // the timestamp this write committed at
+    int phases = 0; // quorum RPC rounds the operation took
+  };
+  using WriteCallback = std::function<void(Result<WriteResult>)>;
+
+  struct ReadResult {
+    Bytes value;
+    Timestamp ts;
+    crypto::Digest hash{};
+    int phases = 0;
+  };
+  using ReadCallback = std::function<void(Result<ReadResult>)>;
+
+  // Start a write. At most one operation per object may be outstanding
+  // for this client (the protocol chains writes through certificates).
+  void write(ObjectId object, Bytes value, WriteCallback cb);
+
+  // Start a read (§3.2.2): one phase, plus a write-back phase when the
+  // quorum's answers disagree.
+  void read(ObjectId object, ReadCallback cb);
+
+  bool has_pending_op(ObjectId object) const;
+
+  // The write certificate retained from the last completed write on this
+  // object (exposed for tests and for the colluder in src/faults).
+  const std::optional<WriteCertificate>& last_write_cert(ObjectId object) const;
+
+  // Cumulative counters: "writes", "reads", "write_phases", "read_phases",
+  // "internal_reads" (strong-mode fallbacks), "opt_fast_writes".
+  const Counters& metrics() const { return metrics_; }
+
+ private:
+  struct WriteOp;
+  struct ReadOp;
+
+  // --- write path -----------------------------------------------------
+  void start_write_phase1(WriteOp& op);
+  void start_write_phase1_opt(WriteOp& op);
+  void finish_write_phase1(WriteOp& op);
+  void finish_write_phase1_opt(WriteOp& op);
+  // Ensures op.pmax / (strong) op.wcert_for_pmax are coherent, running an
+  // internal read + write-back when the phase-1 answers disagreed.
+  void ensure_strong_wcert_then_phase2(WriteOp& op);
+  void start_write_phase2(WriteOp& op);
+  void start_write_phase3(WriteOp& op);
+  void finish_write(WriteOp& op);
+
+  // --- read path ------------------------------------------------------
+  struct InternalReadDone {
+    Bytes value;
+    PrepareCertificate pcert;
+    WriteCertificate wcert;  // from the forced write-back
+    int phases = 0;
+  };
+  void start_read(ReadOp& op);
+  void start_read_writeback(ReadOp& op);
+  void finish_read(ReadOp& op);
+
+  // --- plumbing ---------------------------------------------------------
+  void on_envelope(sim::NodeId from, const rpc::Envelope& env);
+  void begin_call(OpBase& op, rpc::Envelope request,
+                  rpc::QuorumCall::Validator validator,
+                  std::function<void()> on_complete);
+  void fail_op(std::uint64_t op_id, Status status);
+  rpc::Envelope make_request(rpc::MsgType type, Bytes body);
+  OpBase* find_op(std::uint64_t id);
+
+  quorum::QuorumConfig config_;
+  quorum::ClientId id_;
+  crypto::Keystore& keystore_;
+  crypto::Signer signer_;
+  rpc::Transport& transport_;
+  sim::Simulator& sim_;
+  std::vector<sim::NodeId> replica_nodes_;
+  crypto::NonceGenerator nonces_;
+  ClientOptions options_;
+
+  std::map<std::uint64_t, std::unique_ptr<OpBase>> ops_;
+  // QuorumCalls being replaced mid-delivery park here until it is safe
+  // to destroy them (start of the next envelope / next op start).
+  std::vector<std::unique_ptr<rpc::QuorumCall>> retired_calls_;
+
+  std::map<ObjectId, std::optional<WriteCertificate>> last_write_cert_;
+  std::uint64_t next_op_id_ = 1;
+  std::uint64_t next_rpc_id_ = 1;
+  Counters metrics_;
+};
+
+// Shared base for in-flight operations (header-visible so unique_ptr in
+// the map works with the nested types defined in the .cpp).
+struct OpBase {
+  virtual ~OpBase() = default;
+  // Deliver a failure to whoever is waiting on this operation.
+  virtual void fail(const Status& status) = 0;
+
+  std::uint64_t op_id = 0;
+  ObjectId object = 0;
+  int phases = 0;
+  std::unique_ptr<rpc::QuorumCall> call;
+  sim::TimerId deadline_timer = 0;
+};
+
+}  // namespace bftbc::core

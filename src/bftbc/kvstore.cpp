@@ -1,0 +1,46 @@
+#include "bftbc/kvstore.h"
+
+#include "crypto/sha256.h"
+
+namespace bftbc::core {
+
+ObjectId KvStore::object_for_key(std::string_view key) {
+  const crypto::Digest d = crypto::sha256(as_bytes_view(key));
+  ObjectId id = 0;
+  for (int i = 0; i < 8; ++i) id = id << 8 | d[static_cast<std::size_t>(i)];
+  return id;
+}
+
+void KvStore::put(std::string_view key, Bytes value, PutCallback cb) {
+  client_.write(object_for_key(key), std::move(value),
+                [cb = std::move(cb)](Result<Client::WriteResult> r) {
+                  if (!r.is_ok()) {
+                    cb(Result<PutResult>(r.status()));
+                    return;
+                  }
+                  cb(PutResult{r.value().ts, r.value().phases});
+                });
+}
+
+void KvStore::get(std::string_view key, GetCallback cb) {
+  client_.read(object_for_key(key),
+               [cb = std::move(cb)](Result<Client::ReadResult> r) {
+                 if (!r.is_ok()) {
+                   cb(Result<GetResult>(r.status()));
+                   return;
+                 }
+                 GetResult out;
+                 out.version = r.value().ts;
+                 out.phases = r.value().phases;
+                 if (!r.value().value.empty()) {
+                   out.value = std::move(r.value().value);
+                 }
+                 cb(std::move(out));
+               });
+}
+
+void KvStore::erase(std::string_view key, PutCallback cb) {
+  put(key, Bytes{}, std::move(cb));
+}
+
+}  // namespace bftbc::core

@@ -1,0 +1,50 @@
+// KvStore: a string-keyed convenience facade over BFT-BC objects.
+//
+// Each key maps to an object id by hashing (the register space is 2^64;
+// collisions are negligible and would only merge two keys' histories,
+// never break safety). Deletion is modeled as writing the empty value —
+// reads translate an empty register back to "absent". All the protocol
+// guarantees carry over per key: atomicity, Byzantine-client confinement,
+// bounded lurking writes.
+#pragma once
+
+#include <string>
+
+#include "bftbc/client.h"
+
+namespace bftbc::core {
+
+class KvStore {
+ public:
+  explicit KvStore(Client& client) : client_(client) {}
+
+  // Deterministic key → object mapping (first 8 bytes of SHA-256).
+  static ObjectId object_for_key(std::string_view key);
+
+  struct PutResult {
+    Timestamp version;
+    int phases = 0;
+  };
+  using PutCallback = std::function<void(Result<PutResult>)>;
+  void put(std::string_view key, Bytes value, PutCallback cb);
+
+  struct GetResult {
+    // Absent keys (never written, or erased) yield no value.
+    std::optional<Bytes> value;
+    Timestamp version;
+    int phases = 0;
+  };
+  using GetCallback = std::function<void(Result<GetResult>)>;
+  void get(std::string_view key, GetCallback cb);
+
+  // Erase = write the empty value (tombstone); the version still
+  // advances, so erases linearize like any other write.
+  void erase(std::string_view key, PutCallback cb);
+
+  Client& client() { return client_; }
+
+ private:
+  Client& client_;
+};
+
+}  // namespace bftbc::core

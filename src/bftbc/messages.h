@@ -1,0 +1,206 @@
+// BFT-BC wire message bodies (paper §3.2, Figures 1–2, and §6.2).
+//
+// Each struct mirrors one message of the protocol. Structs carry their
+// own encode/decode plus, where the paper requires authentication, a
+// `signing_payload()` that returns the exact bytes the sender signs.
+// Signing payloads are domain-separated by an AuthTag so a signature can
+// never be replayed across message kinds.
+//
+// Authentication inventory (§3.3.2):
+//  - PREPARE-REPLY and WRITE-REPLY carry *public-key* signatures over
+//    statement bytes (quorum/statements.h) — they are certificate
+//    components shown to third parties.
+//  - READ-TS-REPLY / READ-REPLY / READ-TS-PREP-REPLY authentication is
+//    point-to-point (only the requesting client checks it), so a MAC
+//    would do; we still route it through the Keystore but replicas count
+//    it separately ("auth_p2p") for the cost experiments.
+//  - PREPARE / WRITE / READ-TS-PREP are signed by the client.
+#pragma once
+
+#include <optional>
+
+#include "crypto/nonce.h"
+#include "crypto/sha256.h"
+#include "quorum/certificate.h"
+#include "rpc/message.h"
+
+namespace bftbc::core {
+
+using quorum::ObjectId;
+using quorum::PrepareCertificate;
+using quorum::ReplicaId;
+using quorum::Timestamp;
+using quorum::WriteCertificate;
+
+// Domain tags for signing payloads that are not certificate statements.
+enum class AuthTag : std::uint8_t {
+  kReadTsReply = 0x10,
+  kPrepare = 0x11,
+  kWrite = 0x12,
+  kReadReply = 0x13,
+  kReadTsPrep = 0x14,
+  kReadTsPrepReply = 0x15,
+};
+
+// ---------------------------------------------------------------------
+// Write phase 1: 〈READ-TS, nonce〉  (unauthenticated request)
+
+struct ReadTsRequest {
+  ObjectId object = 0;
+  crypto::Nonce nonce;
+
+  Bytes encode() const;
+  static std::optional<ReadTsRequest> decode(BytesView b);
+};
+
+// 〈READ-TS-REPLY, Pcert, nonce〉σr. In strong mode (§7) the reply also
+// carries the replica's signature over the WRITE-REPLY statement for
+// Pcert.ts, letting a client whose phase-1 replies all agree assemble a
+// write certificate without extra communication.
+struct ReadTsReply {
+  ObjectId object = 0;
+  crypto::Nonce nonce;
+  PrepareCertificate pcert;
+  Bytes strong_write_sig;  // empty unless strong mode
+  ReplicaId replica = 0;
+  Bytes auth;  // point-to-point authenticator by the replica
+
+  Bytes signing_payload() const;
+  Bytes encode() const;
+  static std::optional<ReadTsReply> decode(BytesView b);
+};
+
+// ---------------------------------------------------------------------
+// Write phase 2: 〈PREPARE, Pmax, t, h(val), Wcert〉σc
+
+struct PrepareRequest {
+  ObjectId object = 0;
+  Timestamp t;
+  crypto::Digest hash{};
+  PrepareCertificate prep_cert;              // Pmax justifying t
+  std::optional<WriteCertificate> write_cert;  // client's last write (or null)
+  quorum::ClientId client = 0;
+  Bytes sig;
+
+  Bytes signing_payload() const;
+  Bytes encode() const;
+  static std::optional<PrepareRequest> decode(BytesView b);
+};
+
+// 〈PREPARE-REPLY, t, h〉σr — a certificate component; sig covers the
+// statement bytes from quorum/statements.h.
+struct PrepareReply {
+  ObjectId object = 0;
+  Timestamp t;
+  crypto::Digest hash{};
+  ReplicaId replica = 0;
+  Bytes sig;
+
+  Bytes encode() const;
+  static std::optional<PrepareReply> decode(BytesView b);
+};
+
+// ---------------------------------------------------------------------
+// Write phase 3: 〈WRITE, val, Pnew〉σc
+
+struct WriteRequest {
+  ObjectId object = 0;
+  Bytes value;
+  PrepareCertificate prep_cert;  // Pnew
+  quorum::ClientId client = 0;   // the signer (reader during write-back)
+  Bytes sig;
+
+  Bytes signing_payload() const;
+  Bytes encode() const;
+  static std::optional<WriteRequest> decode(BytesView b);
+};
+
+// 〈WRITE-REPLY, t〉σr — certificate component.
+struct WriteReply {
+  ObjectId object = 0;
+  Timestamp ts;
+  ReplicaId replica = 0;
+  Bytes sig;
+
+  Bytes encode() const;
+  static std::optional<WriteReply> decode(BytesView b);
+};
+
+// ---------------------------------------------------------------------
+// Read: 〈READ, nonce〉
+//
+// Optionally carries the reader's last write certificate — the §3.3.1
+// speed-up ("we could speed up removing entries from the list if we
+// propagated write certificates in more messages, e.g., in read
+// requests"); replicas absorb it for prepare-list GC exactly as in
+// phase 2. Enabled by ClientOptions::gc_in_reads (ablated in bench E5).
+
+struct ReadRequest {
+  ObjectId object = 0;
+  crypto::Nonce nonce;
+  std::optional<WriteCertificate> write_cert;
+
+  Bytes encode() const;
+  static std::optional<ReadRequest> decode(BytesView b);
+};
+
+// Reply with value, prepare certificate, and nonce, authenticated by the
+// replica (point-to-point).
+struct ReadReply {
+  ObjectId object = 0;
+  Bytes value;
+  PrepareCertificate pcert;
+  crypto::Nonce nonce;
+  ReplicaId replica = 0;
+  Bytes auth;
+
+  Bytes signing_payload() const;
+  Bytes encode() const;
+  static std::optional<ReadReply> decode(BytesView b);
+};
+
+// ---------------------------------------------------------------------
+// Optimized write phase 1 (§6.2): 〈READ-TS-PREP, h, Wcert〉σc
+
+struct ReadTsPrepRequest {
+  ObjectId object = 0;
+  crypto::Digest hash{};
+  std::optional<WriteCertificate> write_cert;
+  crypto::Nonce nonce;
+  quorum::ClientId client = 0;
+  Bytes sig;
+
+  Bytes signing_payload() const;
+  Bytes encode() const;
+  static std::optional<ReadTsPrepRequest> decode(BytesView b);
+};
+
+// Reply: always the replica's current Pcert (the normal phase-1 answer);
+// when the optimistic prepare succeeded, additionally the predicted
+// timestamp and the PREPARE-REPLY statement signature for (t', h) —
+// exactly the component a prepare certificate needs. Strong mode also
+// piggybacks the write-statement signature as in ReadTsReply.
+struct ReadTsPrepReply {
+  ObjectId object = 0;
+  crypto::Nonce nonce;
+  PrepareCertificate pcert;
+  bool prepared = false;
+  Timestamp predicted_t;
+  crypto::Digest hash{};
+  Bytes prepare_sig;       // statement sig when prepared
+  Bytes strong_write_sig;  // strong mode only
+  ReplicaId replica = 0;
+  Bytes auth;
+
+  Bytes signing_payload() const;
+  Bytes encode() const;
+  static std::optional<ReadTsPrepReply> decode(BytesView b);
+};
+
+// ---------------------------------------------------------------------
+// Helpers shared by encode/decode implementations.
+
+void encode_optional_wcert(Writer& w, const std::optional<WriteCertificate>& c);
+std::optional<WriteCertificate> decode_optional_wcert(Reader& r);
+
+}  // namespace bftbc::core

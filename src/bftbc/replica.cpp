@@ -1,0 +1,400 @@
+#include "bftbc/replica.h"
+
+#include "quorum/statements.h"
+#include "util/log.h"
+
+namespace bftbc::core {
+
+Replica::Replica(const quorum::QuorumConfig& config, ReplicaId id,
+                 crypto::Keystore& keystore, rpc::Transport& transport,
+                 sim::Simulator& simulator, ReplicaOptions options)
+    : config_(config),
+      id_(id),
+      keystore_(keystore),
+      signer_(keystore.register_principal(quorum::replica_principal(id))),
+      transport_(transport),
+      sim_(simulator),
+      options_(options) {
+  transport_.set_receiver([this](sim::NodeId from, const rpc::Envelope& env) {
+    on_envelope(from, env);
+  });
+}
+
+ObjectState& Replica::object(ObjectId id) {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    it = objects_.emplace(id, ObjectState(id)).first;
+  }
+  return it->second;
+}
+
+const ObjectState* Replica::find_object(ObjectId id) const {
+  auto it = objects_.find(id);
+  return it == objects_.end() ? nullptr : &it->second;
+}
+
+void Replica::on_envelope(sim::NodeId from, const rpc::Envelope& env) {
+  switch (env.type) {
+    case rpc::MsgType::kReadTs:
+      handle_read_ts(from, env);
+      break;
+    case rpc::MsgType::kPrepare:
+      handle_prepare(from, env);
+      break;
+    case rpc::MsgType::kWrite:
+      handle_write(from, env);
+      break;
+    case rpc::MsgType::kRead:
+      handle_read(from, env);
+      break;
+    case rpc::MsgType::kReadTsPrep:
+      if (options_.optimized) handle_read_ts_prep(from, env);
+      break;
+    default:
+      metrics_.inc("drop_unknown_type");
+      break;
+  }
+}
+
+void Replica::reply(sim::NodeId to, rpc::MsgType type, std::uint64_t rpc_id,
+                    Bytes body, sim::Time processing_cost) {
+  rpc::Envelope env;
+  env.type = type;
+  env.rpc_id = rpc_id;
+  env.sender = quorum::replica_principal(id_);
+  env.body = std::move(body);
+  if (processing_cost == 0) {
+    transport_.send(to, env);
+  } else {
+    sim_.schedule(processing_cost,
+                  [this, to, env = std::move(env)] { transport_.send(to, env); });
+  }
+}
+
+Bytes Replica::sign_statement_foreground(BytesView stmt, sim::Time& cost) {
+  metrics_.inc("sig_foreground");
+  cost += options_.sign_cost;
+  auto sig = signer_.sign(stmt);
+  return sig.is_ok() ? std::move(sig).take() : Bytes{};
+}
+
+Bytes Replica::p2p_auth(BytesView payload, sim::Time& cost) {
+  // Point-to-point authenticator: a MAC in a deployment (§3.3.2); charged
+  // as negligible virtual time.
+  metrics_.inc("auth_p2p");
+  (void)cost;
+  auto sig = signer_.sign(payload);
+  return sig.is_ok() ? std::move(sig).take() : Bytes{};
+}
+
+Bytes Replica::write_sig_for(ObjectId object, const Timestamp& ts,
+                             sim::Time& cost) {
+  const auto key = std::make_pair(object, std::make_pair(ts.val, ts.id));
+  auto it = write_sig_cache_.find(key);
+  if (it != write_sig_cache_.end()) {
+    metrics_.inc("sig_background_hit");
+    return it->second;
+  }
+  return sign_statement_foreground(
+      quorum::write_reply_statement(object, ts), cost);
+}
+
+bool Replica::verify_client_sig(quorum::ClientId client, BytesView payload,
+                                BytesView sig, sim::Time& cost) {
+  cost += options_.verify_cost;
+  metrics_.inc("verify_client");
+  if (quorum::is_replica_principal(client)) return false;
+  return keystore_.verify(quorum::client_principal(client), payload, sig);
+}
+
+bool Replica::valid_prepare_cert(const PrepareCertificate& cert,
+                                 ObjectId object, sim::Time& cost) {
+  if (cert.object() != object) return false;
+  // Verifying a certificate = up to q signature verifications.
+  cost += options_.verify_cost * cert.signatures().size();
+  metrics_.inc("verify_cert");
+  return cert.validate(config_, keystore_).is_ok();
+}
+
+bool Replica::valid_write_cert(const WriteCertificate& cert, ObjectId object,
+                               sim::Time& cost) {
+  if (cert.object() != object) return false;
+  cost += options_.verify_cost * cert.signatures().size();
+  metrics_.inc("verify_cert");
+  return cert.validate(config_, keystore_).is_ok();
+}
+
+// ------------------------------------------------------------ phase 1
+
+void Replica::handle_read_ts(sim::NodeId from, const rpc::Envelope& env) {
+  auto req = ReadTsRequest::decode(env.body);
+  if (!req.has_value()) {
+    metrics_.inc("drop_malformed");
+    return;
+  }
+  ObjectState& state = object(req->object);
+  sim::Time cost = 0;
+
+  ReadTsReply rep;
+  rep.object = req->object;
+  rep.nonce = req->nonce;
+  rep.pcert = state.pcert();
+  if (options_.strong) {
+    // §7: phase-1 reply doubles as a write-certificate component for the
+    // replica's current timestamp.
+    rep.strong_write_sig = sign_statement_foreground(
+        quorum::write_reply_statement(req->object, state.pcert().ts()), cost);
+  }
+  rep.replica = id_;
+  rep.auth = p2p_auth(rep.signing_payload(), cost);
+
+  metrics_.inc("reply_read_ts");
+  reply(from, rpc::MsgType::kReadTsReply, env.rpc_id, rep.encode(), cost);
+}
+
+// ------------------------------------------------------------ phase 2
+
+void Replica::handle_prepare(sim::NodeId from, const rpc::Envelope& env) {
+  auto req = PrepareRequest::decode(env.body);
+  if (!req.has_value()) {
+    metrics_.inc("drop_malformed");
+    return;
+  }
+  ObjectState& state = object(req->object);
+  sim::Time cost = 0;
+
+  // Figure 2 phase 2 step 1: authentication and certificate checks; the
+  // request is discarded (no reply) on any failure. New writes are
+  // gated by the ACL; WRITE itself is not (a valid prepare certificate
+  // proves a then-authorized client prepared it — and a write-back /
+  // colluder replay carries exactly such a certificate).
+  if (!is_authorized(req->client)) {
+    metrics_.inc("drop_unauthorized");
+    return;
+  }
+  if (!verify_client_sig(req->client, req->signing_payload(), req->sig,
+                         cost)) {
+    metrics_.inc("drop_bad_auth");
+    return;
+  }
+  if (!valid_prepare_cert(req->prep_cert, req->object, cost)) {
+    metrics_.inc("drop_bad_cert");
+    return;
+  }
+  if (req->write_cert.has_value() &&
+      !valid_write_cert(*req->write_cert, req->object, cost)) {
+    metrics_.inc("drop_bad_cert");
+    return;
+  }
+  // t must be the successor of the justifying certificate's timestamp —
+  // this is what makes timestamp-space exhaustion impossible (§3.2).
+  if (req->t != req->prep_cert.ts().succ(req->client)) {
+    metrics_.inc("drop_bad_ts");
+    return;
+  }
+  if (options_.strong) {
+    // §7.2: the proposed timestamp must succeed a *completed* write,
+    // proven by a write certificate for the predecessor timestamp.
+    if (!req->write_cert.has_value() ||
+        req->write_cert->ts() != req->prep_cert.ts()) {
+      metrics_.inc("drop_strong_no_wcert");
+      return;
+    }
+  }
+
+  // Step 2: absorb the client's write certificate (GC of prepare lists).
+  if (req->write_cert.has_value()) {
+    state.absorb_write_certificate(req->write_cert->ts());
+  }
+
+  // Steps 3–4: Plist admission.
+  if (!state.try_prepare(req->client, req->t, req->hash)) {
+    metrics_.inc("drop_plist_conflict");
+    return;
+  }
+
+  // Step 5: reply with the signed PREPARE-REPLY statement.
+  PrepareReply rep;
+  rep.object = req->object;
+  rep.t = req->t;
+  rep.hash = req->hash;
+  rep.replica = id_;
+  rep.sig = sign_statement_foreground(
+      quorum::prepare_reply_statement(req->object, req->t, req->hash), cost);
+
+  if (options_.background_write_sigs) {
+    // §3.3.2: precompute the phase-3 response signature now, off the
+    // critical path, so the WRITE reply is immediate.
+    const auto key = std::make_pair(
+        req->object, std::make_pair(req->t.val, req->t.id));
+    if (write_sig_cache_.find(key) == write_sig_cache_.end()) {
+      auto sig = signer_.sign(
+          quorum::write_reply_statement(req->object, req->t));
+      if (sig.is_ok()) {
+        write_sig_cache_[key] = std::move(sig).take();
+        metrics_.inc("sig_background");
+      }
+    }
+  }
+
+  metrics_.inc("reply_prepare");
+  reply(from, rpc::MsgType::kPrepareReply, env.rpc_id, rep.encode(), cost);
+}
+
+// ------------------------------------------------------------ phase 3
+
+void Replica::handle_write(sim::NodeId from, const rpc::Envelope& env) {
+  auto req = WriteRequest::decode(env.body);
+  if (!req.has_value()) {
+    metrics_.inc("drop_malformed");
+    return;
+  }
+  ObjectState& state = object(req->object);
+  sim::Time cost = 0;
+
+  // Figure 2 phase 3 step 1.
+  if (!verify_client_sig(req->client, req->signing_payload(), req->sig,
+                         cost)) {
+    metrics_.inc("drop_bad_auth");
+    return;
+  }
+  if (!valid_prepare_cert(req->prep_cert, req->object, cost)) {
+    metrics_.inc("drop_bad_cert");
+    return;
+  }
+  if (req->prep_cert.hash() != crypto::sha256(req->value)) {
+    metrics_.inc("drop_hash_mismatch");
+    return;
+  }
+
+  // Step 2 (+ §6.2 tiebreak in optimized mode).
+  const bool overwrote =
+      state.apply_write(req->value, req->prep_cert, options_.optimized);
+  if (overwrote) metrics_.inc("state_overwritten");
+
+  // Step 3.
+  WriteReply rep;
+  rep.object = req->object;
+  rep.ts = req->prep_cert.ts();
+  rep.replica = id_;
+  rep.sig = options_.background_write_sigs
+                ? write_sig_for(req->object, rep.ts, cost)
+                : sign_statement_foreground(
+                      quorum::write_reply_statement(req->object, rep.ts),
+                      cost);
+
+  metrics_.inc("reply_write");
+  reply(from, rpc::MsgType::kWriteReply, env.rpc_id, rep.encode(), cost);
+}
+
+// ------------------------------------------------------------ read
+
+void Replica::handle_read(sim::NodeId from, const rpc::Envelope& env) {
+  auto req = ReadRequest::decode(env.body);
+  if (!req.has_value()) {
+    metrics_.inc("drop_malformed");
+    return;
+  }
+  ObjectState& state = object(req->object);
+  sim::Time cost = 0;
+
+  // §3.3.1 speed-up: a write certificate piggybacked on a read GCs the
+  // prepare lists just like one arriving in phase 2. Invalid certs are
+  // ignored (the read itself is still served — reads are answered
+  // unconditionally).
+  if (req->write_cert.has_value() &&
+      valid_write_cert(*req->write_cert, req->object, cost)) {
+    state.absorb_write_certificate(req->write_cert->ts());
+    metrics_.inc("gc_via_read");
+  }
+
+  ReadReply rep;
+  rep.object = req->object;
+  rep.value = state.data();
+  rep.pcert = state.pcert();
+  rep.nonce = req->nonce;
+  rep.replica = id_;
+  rep.auth = p2p_auth(rep.signing_payload(), cost);
+
+  metrics_.inc("reply_read");
+  reply(from, rpc::MsgType::kReadReply, env.rpc_id, rep.encode(), cost);
+}
+
+// ------------------------------------------------ optimized phase 1 (§6.2)
+
+void Replica::handle_read_ts_prep(sim::NodeId from, const rpc::Envelope& env) {
+  auto req = ReadTsPrepRequest::decode(env.body);
+  if (!req.has_value()) {
+    metrics_.inc("drop_malformed");
+    return;
+  }
+  ObjectState& state = object(req->object);
+  sim::Time cost = 0;
+
+  if (!is_authorized(req->client)) {
+    metrics_.inc("drop_unauthorized");
+    return;
+  }
+  if (!verify_client_sig(req->client, req->signing_payload(), req->sig,
+                         cost)) {
+    metrics_.inc("drop_bad_auth");
+    return;
+  }
+  if (req->write_cert.has_value()) {
+    if (!valid_write_cert(*req->write_cert, req->object, cost)) {
+      metrics_.inc("drop_bad_cert");
+      return;
+    }
+    state.absorb_write_certificate(req->write_cert->ts());
+  }
+
+  ReadTsPrepReply rep;
+  rep.object = req->object;
+  rep.nonce = req->nonce;
+  rep.pcert = state.pcert();
+  rep.replica = id_;
+
+  // In strong mode the optimistic prediction is only sound when anchored
+  // to a committed write: the client's certificate must cover this
+  // replica's current timestamp (otherwise fall back to phase 2, where
+  // the §7.2 checks apply).
+  const bool strong_ok =
+      !options_.strong || (req->write_cert.has_value() &&
+                           req->write_cert->ts() == state.pcert().ts());
+
+  std::optional<Timestamp> predicted;
+  if (strong_ok) predicted = state.try_opt_prepare(req->client, req->hash);
+
+  if (predicted.has_value()) {
+    rep.prepared = true;
+    rep.predicted_t = *predicted;
+    rep.hash = req->hash;
+    rep.prepare_sig = sign_statement_foreground(
+        quorum::prepare_reply_statement(req->object, *predicted, req->hash),
+        cost);
+    if (options_.background_write_sigs) {
+      const auto key = std::make_pair(
+          req->object, std::make_pair(predicted->val, predicted->id));
+      if (write_sig_cache_.find(key) == write_sig_cache_.end()) {
+        auto sig = signer_.sign(
+            quorum::write_reply_statement(req->object, *predicted));
+        if (sig.is_ok()) {
+          write_sig_cache_[key] = std::move(sig).take();
+          metrics_.inc("sig_background");
+        }
+      }
+    }
+    metrics_.inc("reply_read_ts_prep_prepared");
+  } else {
+    metrics_.inc("reply_read_ts_prep_fallback");
+  }
+
+  if (options_.strong) {
+    rep.strong_write_sig = sign_statement_foreground(
+        quorum::write_reply_statement(req->object, state.pcert().ts()), cost);
+  }
+  rep.auth = p2p_auth(rep.signing_payload(), cost);
+  reply(from, rpc::MsgType::kReadTsPrepReply, env.rpc_id, rep.encode(), cost);
+}
+
+}  // namespace bftbc::core

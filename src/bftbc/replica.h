@@ -1,0 +1,133 @@
+// BFT-BC replica (paper Figure 2 + §6.2 replica side + §7.2 checks).
+//
+// One Replica instance serves all protocol variants; ReplicaOptions picks
+// the mode:
+//   - base       : three-phase writes, Plist only
+//   - optimized  : also answers READ-TS-PREP, maintains optlist, applies
+//                  the larger-hash tiebreak on equal timestamps
+//   - strong     : phase-1 replies carry a signed WRITE-REPLY statement
+//                  for the current timestamp, and PREPARE is accepted
+//                  only with a write certificate proving the proposed
+//                  timestamp succeeds a *completed* write
+//
+// Faithful to Figure 2, invalid requests are discarded *without* a reply
+// (a reply would let a bad client distinguish probe outcomes); drops are
+// visible to tests through the metrics counters.
+//
+// Crypto cost model: `sign_cost`/`verify_cost` charge virtual time per
+// public-key operation, delaying the reply. With `background_write_sigs`
+// (§3.3.2) the WRITE-REPLY signature for a just-prepared timestamp is
+// precomputed when the PREPARE is answered, so the phase-3 reply pays no
+// foreground signing cost — the ablation bench E8 flips this flag.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "bftbc/messages.h"
+#include "bftbc/replica_state.h"
+#include "rpc/transport.h"
+#include "sim/simulator.h"
+#include "util/stats.h"
+
+namespace bftbc::core {
+
+struct ReplicaOptions {
+  bool optimized = false;
+  bool strong = false;
+  bool background_write_sigs = true;
+  sim::Time sign_cost = 0;    // virtual time per public-key signature
+  sim::Time verify_cost = 0;  // virtual time per signature verification
+  // When true, write-path requests (PREPARE / WRITE / READ-TS-PREP) are
+  // accepted only from clients on the explicit access control list
+  // ("replicas allow write requests only from authorized clients",
+  // §3.1); when false, any client with a valid signature may write.
+  // Reads are answered unconditionally either way.
+  bool enforce_acl = false;
+};
+
+class Replica {
+ public:
+  Replica(const quorum::QuorumConfig& config, ReplicaId id,
+          crypto::Keystore& keystore, rpc::Transport& transport,
+          sim::Simulator& simulator, ReplicaOptions options = ReplicaOptions());
+
+  virtual ~Replica() = default;
+  Replica(const Replica&) = delete;
+  Replica& operator=(const Replica&) = delete;
+
+  ReplicaId id() const { return id_; }
+  const quorum::QuorumConfig& config() const { return config_; }
+  const ReplicaOptions& options() const { return options_; }
+
+  // Per-object state, created on first touch (tests & checkers read it).
+  ObjectState& object(ObjectId id);
+  const ObjectState* find_object(ObjectId id) const;
+
+  // Counters: replies/drops per message kind, signature accounting
+  // ("sig_foreground", "sig_background", "auth_p2p", "verify_*"), drop
+  // reasons ("drop_bad_auth", "drop_bad_cert", "drop_bad_ts",
+  // "drop_plist_conflict", ...).
+  const Counters& metrics() const { return metrics_; }
+  void reset_metrics() { metrics_.reset(); }
+
+  // Access control list (only consulted when options.enforce_acl). The
+  // administrator action of the paper's stop event: `deauthorize`
+  // removes the client's write privilege; already-signed messages keep
+  // verifying, so a colluder can still replay completed prepares — the
+  // lurking-write bound is what limits the damage.
+  void authorize(quorum::ClientId client) { acl_.insert(client); }
+  void deauthorize(quorum::ClientId client) { acl_.erase(client); }
+  bool is_authorized(quorum::ClientId client) const {
+    return !options_.enforce_acl || acl_.count(client) != 0;
+  }
+
+ protected:
+  // Virtual so Byzantine replica behaviors (src/faults) can intercept.
+  virtual void on_envelope(sim::NodeId from, const rpc::Envelope& env);
+
+  void handle_read_ts(sim::NodeId from, const rpc::Envelope& env);
+  void handle_prepare(sim::NodeId from, const rpc::Envelope& env);
+  void handle_write(sim::NodeId from, const rpc::Envelope& env);
+  void handle_read(sim::NodeId from, const rpc::Envelope& env);
+  void handle_read_ts_prep(sim::NodeId from, const rpc::Envelope& env);
+
+  // Sends a reply after the virtual-time cost accumulated while handling
+  // the request (signature/verification charges). Virtual so Byzantine
+  // replicas can tamper with outgoing bytes.
+  virtual void reply(sim::NodeId to, rpc::MsgType type, std::uint64_t rpc_id,
+                     Bytes body, sim::Time processing_cost);
+
+  // Sign helpers; all tally metrics and return the accumulated cost.
+  Bytes sign_statement_foreground(BytesView stmt, sim::Time& cost);
+  Bytes p2p_auth(BytesView payload, sim::Time& cost);
+
+  // Background-signature cache for WRITE-REPLY statements.
+  Bytes write_sig_for(ObjectId object, const Timestamp& ts, sim::Time& cost);
+
+  // Shared request-validity checks.
+  bool verify_client_sig(quorum::ClientId client, BytesView payload,
+                         BytesView sig, sim::Time& cost);
+  bool valid_prepare_cert(const PrepareCertificate& cert, ObjectId object,
+                          sim::Time& cost);
+  bool valid_write_cert(const WriteCertificate& cert, ObjectId object,
+                        sim::Time& cost);
+
+  quorum::QuorumConfig config_;
+  ReplicaId id_;
+  crypto::Keystore& keystore_;
+  crypto::Signer signer_;
+  rpc::Transport& transport_;
+  sim::Simulator& sim_;
+  ReplicaOptions options_;
+
+  std::map<ObjectId, ObjectState> objects_;
+  // (object, ts) → precomputed WRITE-REPLY signature.
+  std::map<std::pair<ObjectId, std::pair<std::uint64_t, ClientId>>, Bytes>
+      write_sig_cache_;
+  std::set<quorum::ClientId> acl_;
+  Counters metrics_;
+};
+
+}  // namespace bftbc::core

@@ -1,0 +1,95 @@
+// Per-object replica state and the Plist rules (paper §3.2, Figure 2).
+//
+// Factored out of the message-handling Replica so the state-machine rules
+// — the part all of Lemma 1 rests on — are directly unit-testable:
+//   - a replica never admits two different prepares for one client
+//   - entries are garbage-collected only by write certificates
+//   - write_ts only advances
+//
+// The same struct serves base, optimized and strong modes; optimized adds
+// the second prepare list (optlist, §6.1).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "crypto/sha256.h"
+#include "quorum/certificate.h"
+
+namespace bftbc::core {
+
+using quorum::ClientId;
+using quorum::ObjectId;
+using quorum::PrepareCertificate;
+using quorum::Timestamp;
+using quorum::WriteCertificate;
+
+struct PlistEntry {
+  Timestamp t;
+  crypto::Digest h{};
+
+  friend bool operator==(const PlistEntry& a, const PlistEntry& b) {
+    return a.t == b.t && a.h == b.h;
+  }
+};
+
+class ObjectState {
+ public:
+  explicit ObjectState(ObjectId object)
+      : object_(object), pcert_(PrepareCertificate::genesis(object)) {}
+
+  ObjectId object() const { return object_; }
+
+  const Bytes& data() const { return data_; }
+  const PrepareCertificate& pcert() const { return pcert_; }
+  const Timestamp& write_ts() const { return write_ts_; }
+  const std::map<ClientId, PlistEntry>& plist() const { return plist_; }
+  const std::map<ClientId, PlistEntry>& optlist() const { return optlist_; }
+
+  // Figure 2, phase 2, step 2: absorb a write certificate — bump
+  // write_ts and garbage-collect both prepare lists.
+  void absorb_write_certificate(const Timestamp& wcert_ts);
+
+  // Figure 2, phase 2, steps 3–4 for the NORMAL prepare list.
+  // Returns false if the request must be discarded (conflicting entry for
+  // this client); on true the entry was added if admissible (t > write_ts
+  // and not already present) and the replica should send PREPARE-REPLY.
+  bool try_prepare(ClientId c, const Timestamp& t, const crypto::Digest& h);
+
+  // Optimized protocol (§6.2 phase 1): attempt the prepare on the
+  // client's behalf for the predicted timestamp succ(pcert.ts, c).
+  // Fails (returns nullopt → caller sends a plain phase-1 reply) when the
+  // client already has an entry in either list with a different (t, h).
+  std::optional<Timestamp> try_opt_prepare(ClientId c, const crypto::Digest& h);
+
+  // Figure 2, phase 3, step 2 — plus the optimized tiebreak (§6.2
+  // phase 3): equal timestamps resolve toward the larger hash.
+  // Returns true if the state was overwritten.
+  bool apply_write(const Bytes& value, const PrepareCertificate& cert,
+                   bool optimized_tiebreak);
+
+  // True if c currently occupies a slot in either prepare list.
+  bool has_entry(ClientId c) const {
+    return plist_.count(c) != 0 || optlist_.count(c) != 0;
+  }
+
+  // Approximate in-memory footprint, for the state-size experiment (E5).
+  std::size_t state_bytes() const;
+
+ private:
+  // Shared step-3/4 logic for one list.
+  enum class ListOutcome { kConflict, kAdmitted, kAlreadyPresent, kStale };
+  ListOutcome admit(std::map<ClientId, PlistEntry>& list, ClientId c,
+                    const Timestamp& t, const crypto::Digest& h);
+
+  ObjectId object_;
+  Bytes data_;
+  PrepareCertificate pcert_;
+  std::map<ClientId, PlistEntry> plist_;
+  std::map<ClientId, PlistEntry> optlist_;
+  Timestamp write_ts_;
+};
+
+}  // namespace bftbc::core

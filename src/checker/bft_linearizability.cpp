@@ -1,0 +1,172 @@
+#include "checker/bft_linearizability.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace bftbc::checker {
+
+namespace {
+
+bool version_lt(const Version& a, const Version& b) { return a < b; }
+
+std::string op_desc(const Operation& op) {
+  std::ostringstream ss;
+  ss << (op.kind == OpKind::kRead ? "read" : "write") << " by client "
+     << op.client << " on object " << op.object << " ["
+     << op.invoked << "," << op.responded << "] version "
+     << op.version.to_string();
+  return ss.str();
+}
+
+}  // namespace
+
+std::string CheckResult::summary() const {
+  std::ostringstream ss;
+  ss << (linearizable ? "linearizable" : "NOT-LINEARIZABLE")
+     << (reads_authentic ? "" : " FORGED-READS");
+  for (const auto& [c, info] : lurking) {
+    ss << " lurking[" << c << "]=" << info.count;
+  }
+  if (!violations.empty()) ss << " violations=" << violations.size();
+  return ss.str();
+}
+
+CheckResult check_bft_linearizability(const History& history,
+                                      const std::set<ClientId>& bad_clients) {
+  CheckResult result;
+  const auto& ops = history.operations();
+
+  // ---- integrity: classify every version reads returned ---------------
+  // good writes per object: version -> value bytes
+  std::map<ObjectId, std::map<Version, Bytes>> good_writes;
+  for (const auto& op : ops) {
+    if (op.kind != OpKind::kWrite) continue;
+    auto [it, inserted] =
+        good_writes[op.object].try_emplace(op.version, op.value);
+    if (!inserted && it->second != op.value) {
+      result.linearizable = false;
+      result.violations.push_back("two correct writes share version " +
+                                  op.version.to_string());
+    }
+  }
+
+  for (const auto& op : ops) {
+    if (op.kind != OpKind::kRead) continue;
+    // The value must hash to the version the certificate vouched for.
+    if (crypto::sha256(op.value) != op.version.hash) {
+      result.reads_authentic = false;
+      result.violations.push_back("read value does not match its hash: " +
+                                  op_desc(op));
+      continue;
+    }
+    if (op.version.ts.is_zero()) continue;  // genesis
+    const ClientId writer = op.version.ts.id;
+    auto obj_it = good_writes.find(op.object);
+    const bool matches_good_write =
+        obj_it != good_writes.end() &&
+        obj_it->second.count(op.version) != 0;
+    if (matches_good_write) continue;
+    if (bad_clients.count(writer) != 0) continue;  // attributable to a bad
+    result.reads_authentic = false;
+    result.violations.push_back(
+        "read returned a version from no known writer: " + op_desc(op));
+  }
+
+  // ---- atomicity: real-time version monotonicity ----------------------
+  // O(n^2) pairwise check per object; histories in tests/benches are
+  // small enough, and the simplicity doubles as the spec.
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    for (std::size_t j = 0; j < ops.size(); ++j) {
+      if (i == j) continue;
+      const Operation& a = ops[i];
+      const Operation& b = ops[j];
+      if (a.object != b.object) continue;
+      if (!(a.responded < b.invoked)) continue;  // not real-time ordered
+      if (b.kind == OpKind::kWrite) {
+        // A write's version is fresh: strictly above everything that
+        // completed before it began.
+        if (!version_lt(a.version, b.version)) {
+          result.linearizable = false;
+          result.violations.push_back("stale write version: {" + op_desc(a) +
+                                      "} then {" + op_desc(b) + "}");
+        }
+      } else {
+        if (version_lt(b.version, a.version)) {
+          result.linearizable = false;
+          result.violations.push_back("read went backwards: {" + op_desc(a) +
+                                      "} then {" + op_desc(b) + "}");
+        }
+      }
+    }
+  }
+
+  // ---- lurking-write bound (Theorem 1 construction) -------------------
+  for (const StopEvent& stop : history.stops()) {
+    LurkingInfo info;
+
+    // Per object: the highest version any correct-client op had completed
+    // before the stop — everything at or below it existed before the bad
+    // client left.
+    std::map<ObjectId, Version> v_pre;
+    for (const auto& op : ops) {
+      if (op.responded < stop.at) {
+        auto [it, inserted] = v_pre.try_emplace(op.object, op.version);
+        if (!inserted && version_lt(it->second, op.version))
+          it->second = op.version;
+      }
+    }
+
+    // Versions written by the stopped client and first surfaced by reads
+    // invoked after the stop.
+    std::map<ObjectId, std::set<Version>> surfaced_before, candidates;
+    std::map<ObjectId, std::map<Version, sim::Time>> first_after;  // by read inv
+    for (const auto& op : ops) {
+      if (op.kind != OpKind::kRead) continue;
+      if (op.version.ts.is_zero() || op.version.ts.id != stop.client) continue;
+      if (op.invoked < stop.at) {
+        surfaced_before[op.object].insert(op.version);
+      } else {
+        candidates[op.object].insert(op.version);
+        auto& t = first_after[op.object][op.version];
+        if (t == 0 || op.invoked < t) t = op.invoked;
+      }
+    }
+
+    sim::Time last_surface_inv = 0;
+    for (const auto& [object, versions] : candidates) {
+      for (const Version& v : versions) {
+        if (surfaced_before[object].count(v) != 0) continue;  // pre-stop
+        auto pre = v_pre.find(object);
+        if (pre != v_pre.end() && !version_lt(pre->second, v)) {
+          // At or below the pre-stop frontier: Theorem 1 places this
+          // write before the stop event.
+          continue;
+        }
+        ++info.count;
+        info.versions.push_back(v);
+        last_surface_inv =
+            std::max(last_surface_inv, first_after[object][v]);
+      }
+    }
+
+    // §7 metric: correct-client writes completed in (stop, last surface).
+    if (info.count > 0) {
+      for (const auto& op : ops) {
+        if (op.kind == OpKind::kWrite && op.responded >= stop.at &&
+            op.responded < last_surface_inv) {
+          ++info.overwrites_before_last_surface;
+        }
+      }
+    }
+
+    // Merge if the same client somehow stopped twice.
+    auto [it, inserted] = result.lurking.try_emplace(stop.client, info);
+    if (!inserted) {
+      it->second.count = std::max(it->second.count, info.count);
+    }
+  }
+
+  return result;
+}
+
+}  // namespace bftbc::checker

@@ -1,0 +1,92 @@
+// BFT-linearizability checker (paper §4.2, Definition 1).
+//
+// Given a verifiable history (correct clients' ops + bad clients' stop
+// events) and the set of Byzantine client ids, the checker verifies:
+//
+//  (1)+(2) Atomicity for correct clients: there is a legal sequential
+//      history agreeing with every correct client's subhistory and
+//      preserving real-time order. For a register whose versions are
+//      totally ordered by (timestamp, hash) — which certificates enforce —
+//      this reduces to per-pair monotonicity checks:
+//        a completes before b begins  ⇒  version(a) ≤ version(b),
+//        and strictly < when b is a write (its version is fresh).
+//
+//  (integrity) Every version a read returns is accounted for: the genesis
+//      version, a correct client's write (with matching bytes), or a
+//      write attributable to a declared-Byzantine client. Anything else
+//      is a forgery and the run is unsafe.
+//
+//  (3) The lurking-write bound: for each stopped bad client c, count the
+//      distinct versions written by c that surface only after its stop
+//      event — computed with Theorem 1's conservative construction (the
+//      stop placed as late as possible; a c-write placed immediately
+//      before its first reader). The protocol guarantees ≤ 1 for base
+//      BFT-BC and ≤ 2 for the optimized variant.
+//
+// The checker also measures the §7 "overwrites to mask" metric: how many
+// consecutive correct-client overwrites after the stop were needed before
+// the last lurking write surfaced (∞-capped at the history end).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "checker/history.h"
+
+namespace bftbc::checker {
+
+struct LurkingInfo {
+  int count = 0;  // distinct lurking versions (Definition 1's |{o ∈ h2}|)
+  // Number of correct-client writes that had completed after the stop at
+  // the moment the LAST lurking version surfaced. The §7 variant bounds
+  // this by a constant; the plain protocols do not.
+  int overwrites_before_last_surface = 0;
+  std::vector<Version> versions;
+};
+
+struct CheckResult {
+  bool linearizable = true;
+  bool reads_authentic = true;  // integrity clause
+  std::vector<std::string> violations;
+  std::map<ClientId, LurkingInfo> lurking;  // keyed by stopped bad client
+
+  bool ok(int max_b) const {
+    if (!linearizable || !reads_authentic) return false;
+    for (const auto& [c, info] : lurking) {
+      if (info.count > max_b) return false;
+    }
+    return true;
+  }
+
+  // BFT-linearizability+ (§7.1): additionally, no operation of a stopped
+  // faulty client may surface after the k-th consecutive state-
+  // overwriting operation following its stop event. Operationally: every
+  // lurking write must have surfaced while fewer than k correct-client
+  // overwrites had completed.
+  bool ok_plus(int max_b, int k) const {
+    if (!ok(max_b)) return false;
+    for (const auto& [c, info] : lurking) {
+      if (info.count > 0 && info.overwrites_before_last_surface >= k)
+        return false;
+    }
+    return true;
+  }
+
+  int max_lurking() const {
+    int m = 0;
+    for (const auto& [c, info] : lurking) m = std::max(m, info.count);
+    return m;
+  }
+
+  std::string summary() const;
+};
+
+// `bad_clients`: ids the test declared Byzantine. Reads returning
+// versions written by ids outside (good writers ∪ bad_clients ∪ genesis)
+// are forgeries.
+CheckResult check_bft_linearizability(const History& history,
+                                      const std::set<ClientId>& bad_clients);
+
+}  // namespace bftbc::checker

@@ -1,0 +1,71 @@
+#include "checker/history.h"
+
+#include "util/hex.h"
+
+namespace bftbc::checker {
+
+std::string Version::to_string() const {
+  return ts.to_string() + "#" + hex_prefix(crypto::digest_view(hash), 8);
+}
+
+std::size_t History::begin_read(ClientId client, ObjectId object,
+                                sim::Time now) {
+  Pending p;
+  p.op.kind = OpKind::kRead;
+  p.op.client = client;
+  p.op.object = object;
+  p.op.invoked = now;
+  p.open = true;
+  pending_.push_back(std::move(p));
+  return pending_.size() - 1;
+}
+
+std::size_t History::begin_write(ClientId client, ObjectId object,
+                                 sim::Time now, const Bytes& value) {
+  Pending p;
+  p.op.kind = OpKind::kWrite;
+  p.op.client = client;
+  p.op.object = object;
+  p.op.invoked = now;
+  p.op.value = value;
+  p.op.version.hash = crypto::sha256(value);
+  p.open = true;
+  pending_.push_back(std::move(p));
+  return pending_.size() - 1;
+}
+
+void History::end_read(std::size_t token, sim::Time now, const Timestamp& ts,
+                       const crypto::Digest& hash, const Bytes& value) {
+  Pending& p = pending_.at(token);
+  if (!p.open) return;
+  p.open = false;
+  p.op.responded = now;
+  p.op.version.ts = ts;
+  p.op.version.hash = hash;
+  p.op.value = value;
+  ops_.push_back(p.op);
+}
+
+void History::end_write(std::size_t token, sim::Time now,
+                        const Timestamp& ts) {
+  Pending& p = pending_.at(token);
+  if (!p.open) return;
+  p.open = false;
+  p.op.responded = now;
+  p.op.version.ts = ts;
+  ops_.push_back(p.op);
+}
+
+void History::abort(std::size_t token) { pending_.at(token).open = false; }
+
+void History::record_stop(ClientId client, sim::Time now) {
+  stops_.push_back(StopEvent{client, now});
+}
+
+std::set<ClientId> History::stopped_clients() const {
+  std::set<ClientId> out;
+  for (const auto& s : stops_) out.insert(s.client);
+  return out;
+}
+
+}  // namespace bftbc::checker

@@ -1,0 +1,101 @@
+// Verifiable histories (paper §4.1).
+//
+// A History records, in real time, the invocations and responses of
+// CORRECT clients plus the stop events of faulty clients — exactly the
+// events the paper's correctness condition ranges over. Bad clients' own
+// operations are never recorded (we cannot observe their internals);
+// their writes enter the analysis only through the values correct
+// readers return, mirroring Theorem 1's construction.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "crypto/sha256.h"
+#include "quorum/timestamp.h"
+#include "sim/simulator.h"
+
+namespace bftbc::checker {
+
+using quorum::ClientId;
+using quorum::Timestamp;
+using ObjectId = std::uint64_t;
+
+// A version is the unit of register state: (timestamp, value hash).
+// In the base protocol timestamps identify versions uniquely; the
+// optimized protocol can produce two versions sharing a timestamp, which
+// the hash disambiguates (ordered numerically, §6.3).
+struct Version {
+  Timestamp ts;
+  crypto::Digest hash{};
+
+  friend bool operator==(const Version& a, const Version& b) {
+    return a.ts == b.ts && a.hash == b.hash;
+  }
+  friend bool operator<(const Version& a, const Version& b) {
+    if (!(a.ts == b.ts)) return a.ts < b.ts;
+    return crypto::compare_digests(a.hash, b.hash) < 0;
+  }
+  friend bool operator<=(const Version& a, const Version& b) {
+    return a < b || a == b;
+  }
+
+  std::string to_string() const;
+};
+
+enum class OpKind { kRead, kWrite };
+
+struct Operation {
+  OpKind kind;
+  ClientId client = 0;
+  ObjectId object = 0;
+  sim::Time invoked = 0;
+  sim::Time responded = 0;
+  Version version;      // written version, or version returned by a read
+  Bytes value;          // payload written / returned
+};
+
+struct StopEvent {
+  ClientId client = 0;
+  sim::Time at = 0;
+};
+
+class History {
+ public:
+  // Begin an operation; returns a token to close it with.
+  std::size_t begin_read(ClientId client, ObjectId object, sim::Time now);
+  std::size_t begin_write(ClientId client, ObjectId object, sim::Time now,
+                          const Bytes& value);
+  void end_read(std::size_t token, sim::Time now, const Timestamp& ts,
+                const crypto::Digest& hash, const Bytes& value);
+  void end_write(std::size_t token, sim::Time now, const Timestamp& ts);
+  // Abandon an operation that failed (it never responded; excluded from
+  // the analysis, like an incomplete op in linearizability checking).
+  void abort(std::size_t token);
+
+  // Record that `client` (a faulty one) stopped at `now`.
+  void record_stop(ClientId client, sim::Time now);
+
+  // Completed operations in completion order.
+  const std::vector<Operation>& operations() const { return ops_; }
+  const std::vector<StopEvent>& stops() const { return stops_; }
+
+  // Clients that appear in a stop event.
+  std::set<ClientId> stopped_clients() const;
+
+  std::size_t completed_count() const { return ops_.size(); }
+
+ private:
+  struct Pending {
+    Operation op;
+    bool open = false;
+  };
+  std::vector<Pending> pending_;
+  std::vector<Operation> ops_;
+  std::vector<StopEvent> stops_;
+};
+
+}  // namespace bftbc::checker

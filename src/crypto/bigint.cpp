@@ -1,0 +1,363 @@
+#include "crypto/bigint.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/hex.h"
+
+namespace bftbc::crypto {
+
+namespace {
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+}  // namespace
+
+BigInt::BigInt(u64 v) {
+  if (v != 0) limbs_.push_back(static_cast<u32>(v));
+  if (v >> 32) limbs_.push_back(static_cast<u32>(v >> 32));
+}
+
+void BigInt::normalize() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigInt BigInt::from_limbs(std::vector<u32> limbs) {
+  BigInt r;
+  r.limbs_ = std::move(limbs);
+  r.normalize();
+  return r;
+}
+
+BigInt BigInt::from_bytes(BytesView be) {
+  BigInt r;
+  r.limbs_.assign((be.size() + 3) / 4, 0);
+  for (std::size_t i = 0; i < be.size(); ++i) {
+    // byte i counted from the end is byte (be.size()-1-i) of the buffer
+    const std::size_t pos = be.size() - 1 - i;
+    r.limbs_[i / 4] |= static_cast<u32>(be[pos]) << (8 * (i % 4));
+  }
+  r.normalize();
+  return r;
+}
+
+Bytes BigInt::to_bytes() const {
+  if (is_zero()) return {};
+  const std::size_t bytes = (bit_length() + 7) / 8;
+  return to_bytes_padded(bytes);
+}
+
+Bytes BigInt::to_bytes_padded(std::size_t n) const {
+  Bytes out(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t limb = i / 4;
+    if (limb >= limbs_.size()) break;
+    out[n - 1 - i] = static_cast<std::uint8_t>(limbs_[limb] >> (8 * (i % 4)));
+  }
+  return out;
+}
+
+BigInt BigInt::from_hex(std::string_view hex) {
+  std::string padded(hex);
+  if (padded.size() % 2 != 0) padded.insert(padded.begin(), '0');
+  auto bytes = bftbc::from_hex(padded);
+  assert(bytes.has_value() && "invalid hex in BigInt::from_hex");
+  return from_bytes(*bytes);
+}
+
+std::string BigInt::to_hex() const {
+  if (is_zero()) return "0";
+  std::string h = bftbc::to_hex(to_bytes());
+  // strip leading zero nibble
+  std::size_t i = 0;
+  while (i + 1 < h.size() && h[i] == '0') ++i;
+  return h.substr(i);
+}
+
+BigInt BigInt::random_with_bits(Rng& rng, std::size_t bits) {
+  assert(bits > 0);
+  const std::size_t nlimbs = (bits + 31) / 32;
+  std::vector<u32> limbs(nlimbs);
+  for (auto& l : limbs) l = rng.next_u32();
+  const std::size_t top_bit = (bits - 1) % 32;
+  // Force exact bit length and clear anything above it.
+  limbs.back() &= (top_bit == 31) ? ~u32{0} : ((u32{1} << (top_bit + 1)) - 1);
+  limbs.back() |= u32{1} << top_bit;
+  return from_limbs(std::move(limbs));
+}
+
+BigInt BigInt::random_below(Rng& rng, const BigInt& bound) {
+  assert(!bound.is_zero());
+  const std::size_t bits = bound.bit_length();
+  // Rejection sampling; each attempt succeeds with probability > 1/2.
+  for (;;) {
+    BigInt candidate;
+    const std::size_t nlimbs = (bits + 31) / 32;
+    std::vector<u32> limbs(nlimbs);
+    for (auto& l : limbs) l = rng.next_u32();
+    const std::size_t top_bit = (bits - 1) % 32;
+    limbs.back() &= (top_bit == 31) ? ~u32{0} : ((u32{1} << (top_bit + 1)) - 1);
+    candidate = from_limbs(std::move(limbs));
+    if (candidate < bound) return candidate;
+  }
+}
+
+std::size_t BigInt::bit_length() const {
+  if (limbs_.empty()) return 0;
+  u32 top = limbs_.back();
+  std::size_t bits = (limbs_.size() - 1) * 32;
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool BigInt::bit(std::size_t i) const {
+  const std::size_t limb = i / 32;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 32)) & 1;
+}
+
+u64 BigInt::to_u64() const {
+  u64 v = 0;
+  if (!limbs_.empty()) v = limbs_[0];
+  if (limbs_.size() > 1) v |= static_cast<u64>(limbs_[1]) << 32;
+  return v;
+}
+
+int BigInt::compare(const BigInt& a, const BigInt& b) {
+  if (a.limbs_.size() != b.limbs_.size())
+    return a.limbs_.size() < b.limbs_.size() ? -1 : 1;
+  for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] < b.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+BigInt operator+(const BigInt& a, const BigInt& b) {
+  const auto& x = a.limbs_;
+  const auto& y = b.limbs_;
+  std::vector<u32> out(std::max(x.size(), y.size()) + 1, 0);
+  u64 carry = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    u64 sum = carry;
+    if (i < x.size()) sum += x[i];
+    if (i < y.size()) sum += y[i];
+    out[i] = static_cast<u32>(sum);
+    carry = sum >> 32;
+  }
+  return BigInt::from_limbs(std::move(out));
+}
+
+BigInt operator-(const BigInt& a, const BigInt& b) {
+  assert(a >= b && "BigInt subtraction underflow");
+  std::vector<u32> out(a.limbs_.size(), 0);
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(a.limbs_[i]) - borrow -
+                        (i < b.limbs_.size() ? b.limbs_[i] : 0);
+    if (diff < 0) {
+      diff += (std::int64_t{1} << 32);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out[i] = static_cast<u32>(diff);
+  }
+  return BigInt::from_limbs(std::move(out));
+}
+
+BigInt operator*(const BigInt& a, const BigInt& b) {
+  if (a.is_zero() || b.is_zero()) return BigInt();
+  std::vector<u32> out(a.limbs_.size() + b.limbs_.size(), 0);
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    u64 carry = 0;
+    const u64 ai = a.limbs_[i];
+    for (std::size_t j = 0; j < b.limbs_.size(); ++j) {
+      u64 cur = out[i + j] + ai * b.limbs_[j] + carry;
+      out[i + j] = static_cast<u32>(cur);
+      carry = cur >> 32;
+    }
+    out[i + b.limbs_.size()] += static_cast<u32>(carry);
+  }
+  return BigInt::from_limbs(std::move(out));
+}
+
+BigInt BigInt::shifted_left(std::size_t bits) const {
+  if (is_zero() || bits == 0) {
+    BigInt copy = *this;
+    return copy;
+  }
+  const std::size_t limb_shift = bits / 32;
+  const std::size_t bit_shift = bits % 32;
+  std::vector<u32> out(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const u64 v = static_cast<u64>(limbs_[i]) << bit_shift;
+    out[i + limb_shift] |= static_cast<u32>(v);
+    out[i + limb_shift + 1] |= static_cast<u32>(v >> 32);
+  }
+  return from_limbs(std::move(out));
+}
+
+BigInt BigInt::shifted_right(std::size_t bits) const {
+  const std::size_t limb_shift = bits / 32;
+  const std::size_t bit_shift = bits % 32;
+  if (limb_shift >= limbs_.size()) return BigInt();
+  std::vector<u32> out(limbs_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    u64 v = limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size())
+      v |= static_cast<u64>(limbs_[i + limb_shift + 1]) << (32 - bit_shift);
+    out[i] = static_cast<u32>(v);
+  }
+  return from_limbs(std::move(out));
+}
+
+BigInt::DivResult BigInt::divmod(const BigInt& a, const BigInt& b) {
+  assert(!b.is_zero() && "BigInt division by zero");
+  if (compare(a, b) < 0) return {BigInt(), a};
+  if (b.limbs_.size() == 1) {
+    // Fast path: single-limb divisor.
+    const u64 d = b.limbs_[0];
+    std::vector<u32> q(a.limbs_.size(), 0);
+    u64 rem = 0;
+    for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+      const u64 cur = (rem << 32) | a.limbs_[i];
+      q[i] = static_cast<u32>(cur / d);
+      rem = cur % d;
+    }
+    return {from_limbs(std::move(q)), BigInt(rem)};
+  }
+
+  // Knuth TAOCP vol. 2, Algorithm D.
+  // D1: normalize so the divisor's top limb has its high bit set.
+  const std::size_t shift = 32 - (b.bit_length() % 32 == 0
+                                      ? 32
+                                      : b.bit_length() % 32);
+  const BigInt un = a.shifted_left(shift);
+  const BigInt vn = b.shifted_left(shift);
+  const std::size_t n = vn.limbs_.size();
+  const std::size_t m = un.limbs_.size() >= n ? un.limbs_.size() - n : 0;
+
+  std::vector<u32> u(un.limbs_);
+  u.resize(un.limbs_.size() + 1, 0);  // extra high limb for D4 borrows
+  const std::vector<u32>& v = vn.limbs_;
+
+  std::vector<u32> q(m + 1, 0);
+
+  for (std::size_t j = m + 1; j-- > 0;) {
+    // D3: estimate q̂ from the top two limbs.
+    const u64 top = (static_cast<u64>(u[j + n]) << 32) | u[j + n - 1];
+    u64 qhat = top / v[n - 1];
+    u64 rhat = top % v[n - 1];
+    while (qhat >= (u64{1} << 32) ||
+           qhat * v[n - 2] > ((rhat << 32) | u[j + n - 2])) {
+      --qhat;
+      rhat += v[n - 1];
+      if (rhat >= (u64{1} << 32)) break;
+    }
+
+    // D4: multiply and subtract u[j..j+n] -= qhat * v.
+    std::int64_t borrow = 0;
+    u64 carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const u64 p = qhat * v[i] + carry;
+      carry = p >> 32;
+      std::int64_t diff = static_cast<std::int64_t>(u[i + j]) -
+                          static_cast<std::int64_t>(p & 0xffffffffULL) - borrow;
+      if (diff < 0) {
+        diff += (std::int64_t{1} << 32);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      u[i + j] = static_cast<u32>(diff);
+    }
+    std::int64_t diff = static_cast<std::int64_t>(u[j + n]) -
+                        static_cast<std::int64_t>(carry) - borrow;
+    bool negative = diff < 0;
+    u[j + n] = static_cast<u32>(diff);
+
+    // D5/D6: q̂ was one too large — add back.
+    if (negative) {
+      --qhat;
+      u64 c = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const u64 sum = static_cast<u64>(u[i + j]) + v[i] + c;
+        u[i + j] = static_cast<u32>(sum);
+        c = sum >> 32;
+      }
+      u[j + n] = static_cast<u32>(u[j + n] + c);
+    }
+    q[j] = static_cast<u32>(qhat);
+  }
+
+  // D8: denormalize the remainder.
+  u.resize(n);
+  BigInt rem = from_limbs(std::move(u)).shifted_right(shift);
+  return {from_limbs(std::move(q)), std::move(rem)};
+}
+
+BigInt BigInt::mod_exp(const BigInt& base, const BigInt& exp, const BigInt& m) {
+  assert(compare(m, BigInt(1)) > 0);
+  BigInt result(1);
+  BigInt b = base % m;
+  const std::size_t bits = exp.bit_length();
+  for (std::size_t i = bits; i-- > 0;) {
+    result = (result * result) % m;
+    if (exp.bit(i)) result = (result * b) % m;
+  }
+  return result;
+}
+
+BigInt BigInt::gcd(BigInt a, BigInt b) {
+  while (!b.is_zero()) {
+    BigInt r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+BigInt BigInt::mod_inverse(const BigInt& a, const BigInt& m) {
+  // Extended Euclid tracking coefficients for `a` only, with signs
+  // handled by keeping values reduced mod m.
+  if (m.is_zero() || a.is_zero()) return BigInt();
+  BigInt r0 = m, r1 = a % m;
+  // t coefficients with explicit sign flags (unsigned BigInt).
+  BigInt t0(0), t1(1);
+  bool t0_neg = false, t1_neg = false;
+  while (!r1.is_zero()) {
+    const DivResult d = divmod(r0, r1);
+    // (r0, r1) = (r1, r0 - q*r1)
+    BigInt r2 = d.remainder;
+    // t2 = t0 - q*t1 with sign tracking
+    BigInt qt1 = d.quotient * t1;
+    BigInt t2;
+    bool t2_neg;
+    if (t0_neg == t1_neg) {
+      if (t0 >= qt1) {
+        t2 = t0 - qt1;
+        t2_neg = t0_neg;
+      } else {
+        t2 = qt1 - t0;
+        t2_neg = !t0_neg;
+      }
+    } else {
+      t2 = t0 + qt1;
+      t2_neg = t0_neg;
+    }
+    r0 = std::move(r1);
+    r1 = std::move(r2);
+    t0 = std::move(t1);
+    t0_neg = t1_neg;
+    t1 = std::move(t2);
+    t1_neg = t2_neg;
+  }
+  if (!r0.is_one()) return BigInt();  // not coprime
+  BigInt inv = t0 % m;
+  if (t0_neg && !inv.is_zero()) inv = m - inv;
+  return inv;
+}
+
+}  // namespace bftbc::crypto

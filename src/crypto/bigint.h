@@ -1,0 +1,106 @@
+// Arbitrary-precision unsigned integers for RSA.
+//
+// Little-endian vector of 32-bit limbs, always normalized (no high zero
+// limbs; zero is an empty vector). Division is Knuth's Algorithm D;
+// modular exponentiation is left-to-right square-and-multiply. The sizes
+// involved (512–2048 bits) keep schoolbook multiplication competitive.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace bftbc::crypto {
+
+class BigInt {
+ public:
+  BigInt() = default;
+  explicit BigInt(std::uint64_t v);
+
+  // Big-endian byte import/export (the natural wire format).
+  static BigInt from_bytes(BytesView be);
+  Bytes to_bytes() const;
+  // Export padded/truncated to exactly n bytes big-endian.
+  Bytes to_bytes_padded(std::size_t n) const;
+
+  static BigInt from_hex(std::string_view hex);
+  std::string to_hex() const;
+
+  // Uniform random integer with exactly `bits` bits (top bit set).
+  static BigInt random_with_bits(Rng& rng, std::size_t bits);
+  // Uniform random integer in [0, bound).
+  static BigInt random_below(Rng& rng, const BigInt& bound);
+
+  bool is_zero() const { return limbs_.empty(); }
+  bool is_odd() const { return !limbs_.empty() && (limbs_[0] & 1); }
+  bool is_one() const { return limbs_.size() == 1 && limbs_[0] == 1; }
+  std::size_t bit_length() const;
+  bool bit(std::size_t i) const;
+  std::uint64_t to_u64() const;  // low 64 bits
+
+  // Comparison: -1, 0, +1.
+  static int compare(const BigInt& a, const BigInt& b);
+  friend bool operator==(const BigInt& a, const BigInt& b) {
+    return compare(a, b) == 0;
+  }
+  friend bool operator!=(const BigInt& a, const BigInt& b) {
+    return compare(a, b) != 0;
+  }
+  friend bool operator<(const BigInt& a, const BigInt& b) {
+    return compare(a, b) < 0;
+  }
+  friend bool operator<=(const BigInt& a, const BigInt& b) {
+    return compare(a, b) <= 0;
+  }
+  friend bool operator>(const BigInt& a, const BigInt& b) {
+    return compare(a, b) > 0;
+  }
+  friend bool operator>=(const BigInt& a, const BigInt& b) {
+    return compare(a, b) >= 0;
+  }
+
+  friend BigInt operator+(const BigInt& a, const BigInt& b);
+  // Requires a >= b (unsigned arithmetic).
+  friend BigInt operator-(const BigInt& a, const BigInt& b);
+  friend BigInt operator*(const BigInt& a, const BigInt& b);
+
+  BigInt shifted_left(std::size_t bits) const;
+  BigInt shifted_right(std::size_t bits) const;
+
+  // quotient/remainder; divisor must be non-zero.
+  struct DivResult;
+  static DivResult divmod(const BigInt& a, const BigInt& b);
+  friend BigInt operator/(const BigInt& a, const BigInt& b);
+  friend BigInt operator%(const BigInt& a, const BigInt& b);
+
+  // (base ^ exp) mod m ; m must be > 1.
+  static BigInt mod_exp(const BigInt& base, const BigInt& exp, const BigInt& m);
+
+  static BigInt gcd(BigInt a, BigInt b);
+  // Multiplicative inverse of a mod m, if gcd(a, m) == 1; returns zero
+  // BigInt otherwise.
+  static BigInt mod_inverse(const BigInt& a, const BigInt& m);
+
+ private:
+  void normalize();
+  static BigInt from_limbs(std::vector<std::uint32_t> limbs);
+
+  std::vector<std::uint32_t> limbs_;
+};
+
+struct BigInt::DivResult {
+  BigInt quotient;
+  BigInt remainder;
+};
+
+inline BigInt operator/(const BigInt& a, const BigInt& b) {
+  return BigInt::divmod(a, b).quotient;
+}
+inline BigInt operator%(const BigInt& a, const BigInt& b) {
+  return BigInt::divmod(a, b).remainder;
+}
+
+}  // namespace bftbc::crypto

@@ -1,0 +1,20 @@
+// HMAC-SHA256 (RFC 2104).
+//
+// Implements the paper's cheap point-to-point authenticators (§3.3.2):
+// statements that only the recipient must verify can use MACs over
+// session keys instead of public-key signatures. Also the PRF behind the
+// deterministic test signer.
+#pragma once
+
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+
+namespace bftbc::crypto {
+
+// tag = HMAC-SHA256(key, message)
+Digest hmac_sha256(BytesView key, BytesView message);
+
+// Verify in constant time.
+bool hmac_verify(BytesView key, BytesView message, BytesView tag);
+
+}  // namespace bftbc::crypto

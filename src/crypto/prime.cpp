@@ -1,0 +1,61 @@
+#include "crypto/prime.h"
+
+namespace bftbc::crypto {
+
+namespace {
+
+constexpr std::uint32_t kSmallPrimes[] = {
+    2,   3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,
+    47,  53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103, 107,
+    109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181,
+    191, 193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251};
+
+}  // namespace
+
+bool is_probable_prime(const BigInt& n, Rng& rng, int rounds) {
+  if (n < BigInt(2)) return false;
+  for (std::uint32_t p : kSmallPrimes) {
+    const BigInt bp(p);
+    if (n == bp) return true;
+    if ((n % bp).is_zero()) return false;
+  }
+
+  // Write n-1 = d * 2^r with d odd.
+  const BigInt n_minus_1 = n - BigInt(1);
+  BigInt d = n_minus_1;
+  std::size_t r = 0;
+  while (!d.is_odd()) {
+    d = d.shifted_right(1);
+    ++r;
+  }
+
+  const BigInt one(1);
+  const BigInt two(2);
+  const BigInt n_minus_3 = n - BigInt(3);
+  for (int i = 0; i < rounds; ++i) {
+    // a uniform in [2, n-2]
+    const BigInt a = BigInt::random_below(rng, n_minus_3) + two;
+    BigInt x = BigInt::mod_exp(a, d, n);
+    if (x == one || x == n_minus_1) continue;
+    bool witness = true;
+    for (std::size_t j = 0; j + 1 < r; ++j) {
+      x = (x * x) % n;
+      if (x == n_minus_1) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) return false;
+  }
+  return true;
+}
+
+BigInt generate_prime(Rng& rng, std::size_t bits, int rounds) {
+  for (;;) {
+    BigInt candidate = BigInt::random_with_bits(rng, bits);
+    if (!candidate.is_odd()) candidate = candidate + BigInt(1);
+    if (is_probable_prime(candidate, rng, rounds)) return candidate;
+  }
+}
+
+}  // namespace bftbc::crypto

@@ -1,0 +1,17 @@
+// Probabilistic primality testing and prime generation for RSA keygen.
+#pragma once
+
+#include "crypto/bigint.h"
+#include "util/rng.h"
+
+namespace bftbc::crypto {
+
+// Miller–Rabin with `rounds` random bases (error probability ≤ 4^-rounds),
+// preceded by trial division by small primes.
+bool is_probable_prime(const BigInt& n, Rng& rng, int rounds = 20);
+
+// Random prime with exactly `bits` bits. Draws candidates from rng; for a
+// fixed seed the result is deterministic.
+BigInt generate_prime(Rng& rng, std::size_t bits, int rounds = 20);
+
+}  // namespace bftbc::crypto

@@ -1,0 +1,87 @@
+#include "crypto/signature.h"
+
+#include "crypto/hmac.h"
+#include "util/codec.h"
+
+namespace bftbc::crypto {
+
+Result<Bytes> Signer::sign(BytesView msg) const {
+  if (keystore_ == nullptr)
+    return unavailable("signer not bound to a keystore");
+  return keystore_->sign_internal(principal_, msg);
+}
+
+Keystore::Keystore(SignatureScheme scheme, std::uint64_t seed,
+                   std::size_t rsa_bits)
+    : scheme_(scheme), rsa_bits_(rsa_bits), rng_(seed) {}
+
+Signer Keystore::register_principal(PrincipalId p) {
+  auto [it, inserted] = principals_.try_emplace(p);
+  if (inserted) {
+    if (scheme_ == SignatureScheme::kHmacSim) {
+      it->second.hmac_secret = rng_.bytes(32);
+    } else {
+      it->second.rsa = rsa_generate(rng_, rsa_bits_);
+    }
+  }
+  return Signer(this, p);
+}
+
+bool Keystore::is_registered(PrincipalId p) const {
+  return principals_.count(p) != 0;
+}
+
+namespace {
+// Domain-separate the signed bytes by principal so a signature by p over
+// m can never validate as a signature by p' over m.
+Bytes bind_principal(PrincipalId p, BytesView msg) {
+  Bytes bound;
+  bound.reserve(msg.size() + 4);
+  for (int i = 0; i < 4; ++i)
+    bound.push_back(static_cast<std::uint8_t>(p >> (8 * i)));
+  append(bound, msg);
+  return bound;
+}
+}  // namespace
+
+Result<Bytes> Keystore::sign_internal(PrincipalId p, BytesView msg) {
+  auto it = principals_.find(p);
+  if (it == principals_.end()) return not_found("unknown principal");
+  if (it->second.revoked)
+    return unavailable("principal revoked (stopped)");
+  counters_.inc("sign");
+  const Bytes bound = bind_principal(p, msg);
+  if (scheme_ == SignatureScheme::kHmacSim) {
+    Digest tag = hmac_sha256(it->second.hmac_secret, bound);
+    return digest_bytes(tag);
+  }
+  return rsa_sign(it->second.rsa->priv, bound);
+}
+
+bool Keystore::verify(PrincipalId signer, BytesView msg, BytesView sig) const {
+  auto it = principals_.find(signer);
+  if (it == principals_.end()) return false;
+  counters_.inc("verify");
+  const Bytes bound = bind_principal(signer, msg);
+  if (scheme_ == SignatureScheme::kHmacSim) {
+    return hmac_verify(it->second.hmac_secret, bound, sig);
+  }
+  return rsa_verify(it->second.rsa->pub, bound, sig);
+}
+
+void Keystore::revoke(PrincipalId p) {
+  auto it = principals_.find(p);
+  if (it != principals_.end()) it->second.revoked = true;
+}
+
+bool Keystore::is_revoked(PrincipalId p) const {
+  auto it = principals_.find(p);
+  return it != principals_.end() && it->second.revoked;
+}
+
+std::size_t Keystore::signature_size() const {
+  if (scheme_ == SignatureScheme::kHmacSim) return kDigestSize;
+  return (rsa_bits_ + 7) / 8;
+}
+
+}  // namespace bftbc::crypto

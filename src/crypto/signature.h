@@ -1,0 +1,108 @@
+// Signing and verification abstraction.
+//
+// The paper's model: any node can sign messages with its own key; no node
+// can produce 〈m〉σn without n's private key; signatures can be checked by
+// anyone (they are proofs shown to third parties inside certificates).
+//
+// Two backends:
+//  - kHmacSim : a simulation-grade scheme. A trusted Keystore holds one
+//    secret per principal; sign = HMAC(secret_p, principal || msg). This
+//    is unforgeable *within the simulation* because code only ever
+//    receives a Signer handle for its own principal — exactly the paper's
+//    assumption — while being ~1000x faster than RSA, which keeps big
+//    adversarial sweeps cheap.
+//  - kRsa     : real RSA PKCS#1 v1.5 / SHA-256 (self-implemented), for the
+//    authentication-cost experiments (§3.3.2) and end-to-end realism.
+//
+// Keystore::revoke models the paper's "stop" event: an administrator
+// removes the bad client's key, after which no NEW signatures by that
+// principal can be created (old ones still verify — replays remain
+// possible, as §4.1.1 requires).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "crypto/rsa.h"
+#include "util/bytes.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/status.h"
+
+namespace bftbc::crypto {
+
+using PrincipalId = std::uint32_t;
+
+enum class SignatureScheme { kHmacSim, kRsa };
+
+class Keystore;
+
+// A signing capability bound to one principal. Handed to a node at
+// creation; honest and Byzantine nodes alike can only sign as themselves.
+class Signer {
+ public:
+  Signer() = default;
+
+  PrincipalId principal() const { return principal_; }
+  bool valid() const { return keystore_ != nullptr; }
+
+  // Produces 〈msg〉σ_principal. Returns UNAVAILABLE after revocation
+  // (the "stop" event) — a stopped client cannot mint new statements.
+  Result<Bytes> sign(BytesView msg) const;
+
+ private:
+  friend class Keystore;
+  Signer(Keystore* ks, PrincipalId p) : keystore_(ks), principal_(p) {}
+
+  Keystore* keystore_ = nullptr;
+  PrincipalId principal_ = 0;
+};
+
+class Keystore {
+ public:
+  explicit Keystore(SignatureScheme scheme = SignatureScheme::kHmacSim,
+                    std::uint64_t seed = 1, std::size_t rsa_bits = 1024);
+
+  SignatureScheme scheme() const { return scheme_; }
+
+  // Registers a principal (idempotent) and returns its signer handle.
+  Signer register_principal(PrincipalId p);
+
+  bool is_registered(PrincipalId p) const;
+
+  // Public verification — usable by any node, any principal.
+  bool verify(PrincipalId signer, BytesView msg, BytesView sig) const;
+
+  // The "stop"/administrator action: principal can no longer create new
+  // signatures. Existing signatures continue to verify (replay of old
+  // messages is allowed by the model).
+  void revoke(PrincipalId p);
+  bool is_revoked(PrincipalId p) const;
+
+  // Instrumentation: counts of sign/verify operations, for the message
+  // and crypto-cost experiments.
+  const Counters& counters() const { return counters_; }
+  void reset_counters() { counters_.reset(); }
+
+  std::size_t signature_size() const;
+
+ private:
+  friend class Signer;
+  Result<Bytes> sign_internal(PrincipalId p, BytesView msg);
+
+  struct PrincipalEntry {
+    Bytes hmac_secret;                       // kHmacSim
+    std::optional<RsaKeyPair> rsa;           // kRsa
+    bool revoked = false;
+  };
+
+  SignatureScheme scheme_;
+  std::size_t rsa_bits_;
+  Rng rng_;
+  std::map<PrincipalId, PrincipalEntry> principals_;
+  mutable Counters counters_;
+};
+
+}  // namespace bftbc::crypto

@@ -1,0 +1,116 @@
+#include "harness/cluster.h"
+
+namespace bftbc::harness {
+
+Cluster::Cluster(ClusterOptions options)
+    : options_(std::move(options)),
+      config_(quorum::QuorumConfig::bft_bc(options_.f)),
+      sim_(),
+      rng_(options_.seed),
+      net_(sim_, rng_.split(), options_.link),
+      keystore_(options_.scheme, options_.seed ^ 0x5eedc0de, options_.rsa_bits) {
+  core::ReplicaOptions ropts = options_.replica;
+  ropts.optimized = options_.optimized;
+  ropts.strong = options_.strong;
+
+  for (quorum::ReplicaId r = 0; r < config_.n; ++r) {
+    auto transport = std::make_unique<rpc::SimTransport>(net_, r);
+    std::unique_ptr<core::Replica> replica;
+    auto factory = options_.replica_factories.find(r);
+    if (factory != options_.replica_factories.end() && factory->second) {
+      replica =
+          factory->second(config_, r, keystore_, *transport, sim_, ropts);
+    } else {
+      replica = std::make_unique<core::Replica>(config_, r, keystore_,
+                                                *transport, sim_, ropts);
+    }
+    replica_transports_.push_back(std::move(transport));
+    replicas_.push_back(std::move(replica));
+  }
+}
+
+Cluster::~Cluster() = default;
+
+std::vector<sim::NodeId> Cluster::replica_nodes() const {
+  std::vector<sim::NodeId> nodes(config_.n);
+  for (quorum::ReplicaId r = 0; r < config_.n; ++r) nodes[r] = r;
+  return nodes;
+}
+
+core::Client& Cluster::add_client(quorum::ClientId id) {
+  core::ClientOptions copts = options_.client_defaults;
+  copts.optimized = options_.optimized;
+  copts.strong = options_.strong;
+  return add_client(id, copts);
+}
+
+core::Client& Cluster::add_client(quorum::ClientId id,
+                                  core::ClientOptions copts) {
+  auto existing = clients_.find(id);
+  if (existing != clients_.end()) return *existing->second;
+
+  auto transport = std::make_unique<rpc::SimTransport>(net_, client_node(id));
+  auto client = std::make_unique<core::Client>(config_, id, keystore_,
+                                               *transport, sim_,
+                                               replica_nodes(), rng_.split(),
+                                               copts);
+  core::Client& ref = *client;
+  client_transports_[id] = std::move(transport);
+  clients_[id] = std::move(client);
+  // Clients created through the harness are authorized writers (only
+  // relevant when replicas enforce the ACL).
+  for (auto& replica : replicas_) replica->authorize(id);
+  return ref;
+}
+
+std::unique_ptr<rpc::Transport> Cluster::make_transport(sim::NodeId node) {
+  return std::make_unique<rpc::SimTransport>(net_, node);
+}
+
+Result<core::Client::WriteResult> Cluster::write(core::Client& c,
+                                                 quorum::ObjectId object,
+                                                 Bytes value) {
+  std::optional<Result<core::Client::WriteResult>> result;
+  c.write(object, std::move(value),
+          [&result](Result<core::Client::WriteResult> r) {
+            result = std::move(r);
+          });
+  run_until([&result] { return result.has_value(); });
+  if (!result.has_value())
+    return Status(StatusCode::kInternal, "simulation drained before write completed");
+  return *result;
+}
+
+Result<core::Client::ReadResult> Cluster::read(core::Client& c,
+                                               quorum::ObjectId object) {
+  std::optional<Result<core::Client::ReadResult>> result;
+  c.read(object, [&result](Result<core::Client::ReadResult> r) {
+    result = std::move(r);
+  });
+  run_until([&result] { return result.has_value(); });
+  if (!result.has_value())
+    return Status(StatusCode::kInternal, "simulation drained before read completed");
+  return std::move(*result);
+}
+
+bool Cluster::run_until(const std::function<bool()>& done,
+                        std::size_t max_events) {
+  return !sim_.run_while_pending([&done] { return !done(); }, max_events);
+}
+
+void Cluster::settle() {
+  sim_.run();
+}
+
+void Cluster::crash_replica(quorum::ReplicaId r) { net_.crash(r); }
+
+void Cluster::recover_replica(quorum::ReplicaId r) { net_.recover(r); }
+
+void Cluster::stop_client(quorum::ClientId c) {
+  // Both halves of the paper's administrator action: the key can no
+  // longer mint new signatures, and the ACL entry disappears.
+  keystore_.revoke(quorum::client_principal(c));
+  for (auto& replica : replicas_) replica->deauthorize(c);
+}
+
+}  // namespace bftbc::harness

@@ -1,0 +1,111 @@
+// Test/bench harness: a fully wired BFT-BC cluster on the simulator.
+//
+// Owns the Simulator, Network, Keystore, 3f+1 replicas, and any number of
+// clients; provides synchronous write/read helpers that drive the event
+// loop until the operation's callback fires. Replicas can be constructed
+// through a factory hook so the fault-injection module can swap Byzantine
+// implementations in.
+//
+// Node addressing: replica r lives at NodeId r; client c lives at
+// NodeId kClientNodeBase + c.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "bftbc/client.h"
+#include "bftbc/replica.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace bftbc::harness {
+
+inline constexpr sim::NodeId kClientNodeBase = 0x10000;
+
+inline sim::NodeId client_node(quorum::ClientId c) {
+  return kClientNodeBase + c;
+}
+
+using ReplicaFactory = std::function<std::unique_ptr<core::Replica>(
+    const quorum::QuorumConfig&, quorum::ReplicaId, crypto::Keystore&,
+    rpc::Transport&, sim::Simulator&, const core::ReplicaOptions&)>;
+
+struct ClusterOptions {
+  std::uint32_t f = 1;
+  bool optimized = false;  // applied to replicas and default client options
+  bool strong = false;
+  crypto::SignatureScheme scheme = crypto::SignatureScheme::kHmacSim;
+  std::size_t rsa_bits = 512;  // when scheme == kRsa
+  std::uint64_t seed = 1;
+  sim::LinkConfig link;
+  core::ReplicaOptions replica;        // mode flags overridden by the above
+  core::ClientOptions client_defaults; // mode flags overridden by the above
+  // Per-replica construction hook; nullptr slots fall back to the default
+  // correct replica. Keyed by replica id.
+  std::map<quorum::ReplicaId, ReplicaFactory> replica_factories;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterOptions options = ClusterOptions());
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  const quorum::QuorumConfig& config() const { return config_; }
+  sim::Simulator& sim() { return sim_; }
+  sim::Network& net() { return net_; }
+  crypto::Keystore& keystore() { return keystore_; }
+  Rng& rng() { return rng_; }
+
+  core::Replica& replica(quorum::ReplicaId r) { return *replicas_.at(r); }
+  std::vector<sim::NodeId> replica_nodes() const;
+
+  // Creates (or returns the existing) client with this id.
+  core::Client& add_client(quorum::ClientId id);
+  core::Client& add_client(quorum::ClientId id, core::ClientOptions options);
+  core::Client& client(quorum::ClientId id) { return *clients_.at(id); }
+
+  // Raw transport bound to an otherwise-unused node id — building block
+  // for colluders and custom Byzantine actors.
+  std::unique_ptr<rpc::Transport> make_transport(sim::NodeId node);
+
+  // ---- synchronous convenience (drives the simulator) ----------------
+  Result<core::Client::WriteResult> write(core::Client& c,
+                                          quorum::ObjectId object,
+                                          Bytes value);
+  Result<core::Client::ReadResult> read(core::Client& c,
+                                        quorum::ObjectId object);
+  // Runs the simulator until `done` returns true (or the event queue
+  // drains / max_events trips). Returns true iff done() held.
+  bool run_until(const std::function<bool()>& done,
+                 std::size_t max_events = 20'000'000);
+  // Let all in-flight events settle.
+  void settle();
+
+  // ---- fault controls -------------------------------------------------
+  void crash_replica(quorum::ReplicaId r);
+  void recover_replica(quorum::ReplicaId r);
+  // The paper's STOP event: the client's key becomes unusable for new
+  // signatures (administrator removed it from the ACL).
+  void stop_client(quorum::ClientId c);
+
+ private:
+  ClusterOptions options_;
+  quorum::QuorumConfig config_;
+  sim::Simulator sim_;
+  Rng rng_;
+  sim::Network net_;
+  crypto::Keystore keystore_;
+
+  std::vector<std::unique_ptr<rpc::SimTransport>> replica_transports_;
+  std::vector<std::unique_ptr<core::Replica>> replicas_;
+  std::map<quorum::ClientId, std::unique_ptr<rpc::SimTransport>>
+      client_transports_;
+  std::map<quorum::ClientId, std::unique_ptr<core::Client>> clients_;
+};
+
+}  // namespace bftbc::harness

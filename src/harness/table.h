@@ -1,0 +1,68 @@
+// Fixed-width table printer for the experiment binaries: every bench
+// prints paper-claim-vs-measured rows through this, so EXPERIMENTS.md and
+// bench output stay visually aligned.
+#pragma once
+
+#include <cstdio>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace bftbc::harness {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {
+    widths_.reserve(headers_.size());
+    for (const auto& h : headers_) widths_.push_back(h.size());
+  }
+
+  void add_row(std::vector<std::string> cells) {
+    for (std::size_t i = 0; i < cells.size() && i < widths_.size(); ++i) {
+      widths_[i] = std::max(widths_[i], cells[i].size());
+    }
+    rows_.push_back(std::move(cells));
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    print_row(os, headers_);
+    std::string sep;
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      sep += std::string(widths_[i] + 2, '-');
+      if (i + 1 < headers_.size()) sep += "+";
+    }
+    os << sep << "\n";
+    for (const auto& row : rows_) print_row(os, row);
+  }
+
+  static std::string num(double v, int precision = 2) {
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(precision) << v;
+    return ss.str();
+  }
+
+ private:
+  void print_row(std::ostream& os, const std::vector<std::string>& cells) const {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << " " << std::left << std::setw(static_cast<int>(widths_[i]))
+         << cells[i] << " ";
+      if (i + 1 < cells.size()) os << "|";
+    }
+    os << "\n";
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::size_t> widths_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline void print_experiment_header(const std::string& id,
+                                    const std::string& claim) {
+  std::cout << "\n=== " << id << " ===\n"
+            << "paper claim: " << claim << "\n\n";
+}
+
+}  // namespace bftbc::harness

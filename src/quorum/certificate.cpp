@@ -1,0 +1,120 @@
+#include "quorum/certificate.h"
+
+#include "util/hex.h"
+
+namespace bftbc::quorum {
+
+void encode_signature_set(Writer& w, const SignatureSet& sigs) {
+  w.put_varint(sigs.size());
+  for (const auto& [replica, sig] : sigs) {
+    w.put_u32(replica);
+    w.put_bytes(sig);
+  }
+}
+
+SignatureSet decode_signature_set(Reader& r) {
+  SignatureSet sigs;
+  const std::uint64_t count = r.get_varint();
+  // Hard cap stops a malicious encoder from claiming 2^60 entries.
+  if (count > 1024) return sigs;
+  for (std::uint64_t i = 0; i < count && r.ok(); ++i) {
+    const ReplicaId replica = r.get_u32();
+    sigs[replica] = r.get_bytes();
+  }
+  return sigs;
+}
+
+Status validate_signature_quorum(const SignatureSet& signatures,
+                                 BytesView statement,
+                                 const QuorumConfig& config,
+                                 const crypto::Keystore& keystore) {
+  std::uint32_t valid = 0;
+  for (const auto& [replica, sig] : signatures) {
+    if (!config.valid_replica(replica))
+      return bad_certificate("replica id out of range");
+    if (!keystore.verify(replica_principal(replica), statement, sig))
+      return bad_certificate("signature does not verify");
+    ++valid;
+  }
+  // std::map keys are unique, so `valid` counts distinct replicas.
+  if (valid < config.q)
+    return bad_certificate("fewer than a quorum of signatures");
+  return Status::ok();
+}
+
+// ------------------------------------------------------------ prepare
+
+PrepareCertificate PrepareCertificate::genesis(ObjectId object) {
+  return PrepareCertificate(object, Timestamp::zero(),
+                            crypto::sha256(BytesView{}), {});
+}
+
+bool PrepareCertificate::is_genesis() const {
+  return ts_.is_zero() && signatures_.empty() &&
+         hash_ == crypto::sha256(BytesView{});
+}
+
+Status PrepareCertificate::validate(const QuorumConfig& config,
+                                    const crypto::Keystore& keystore) const {
+  if (is_genesis()) return Status::ok();
+  if (ts_.is_zero()) return bad_certificate("non-genesis cert with zero ts");
+  const Bytes stmt = prepare_reply_statement(object_, ts_, hash_);
+  return validate_signature_quorum(signatures_, stmt, config, keystore);
+}
+
+void PrepareCertificate::encode(Writer& w) const {
+  w.put_u64(object_);
+  ts_.encode(w);
+  w.put_raw(crypto::digest_view(hash_));
+  encode_signature_set(w, signatures_);
+}
+
+PrepareCertificate PrepareCertificate::decode(Reader& r) {
+  PrepareCertificate c;
+  c.object_ = r.get_u64();
+  c.ts_ = Timestamp::decode(r);
+  const Bytes h = r.get_raw(crypto::kDigestSize);
+  crypto::digest_from_bytes(h, c.hash_);
+  c.signatures_ = decode_signature_set(r);
+  return c;
+}
+
+std::string PrepareCertificate::to_string() const {
+  return "PrepCert{obj=" + std::to_string(object_) + " ts=" + ts_.to_string() +
+         " h=" + hex_prefix(crypto::digest_view(hash_)) +
+         " sigs=" + std::to_string(signatures_.size()) + "}";
+}
+
+// ------------------------------------------------------------ write
+
+Status WriteCertificate::validate(const QuorumConfig& config,
+                                  const crypto::Keystore& keystore) const {
+  // A zero-timestamp write certificate is legitimate: in the strong
+  // variant (§7) a quorum vouches "the genesis write completed" for the
+  // first writer of an object. The quorum requirement below still
+  // guards it — an empty signature set never validates.
+  const Bytes stmt = write_reply_statement(object_, ts_);
+  return validate_signature_quorum(signatures_, stmt, config, keystore);
+}
+
+void WriteCertificate::encode(Writer& w) const {
+  w.put_u64(object_);
+  ts_.encode(w);
+  encode_signature_set(w, signatures_);
+}
+
+WriteCertificate WriteCertificate::decode(Reader& r) {
+  WriteCertificate c;
+  c.object_ = r.get_u64();
+  c.ts_ = Timestamp::decode(r);
+  c.signatures_ = decode_signature_set(r);
+  return c;
+}
+
+std::string WriteCertificate::to_string() const {
+  return "WriteCert{obj=" + std::to_string(object_) +
+         " ts=" + ts_.to_string() +
+         " sigs=" + std::to_string(signatures_.size()) + "}";
+}
+
+}  // namespace bftbc::quorum

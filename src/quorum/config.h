@@ -1,0 +1,60 @@
+// Quorum-system configuration and the principal directory.
+//
+// BFT-BC uses n = 3f+1 replicas with quorums of q = 2f+1 (any two quorums
+// intersect in >= f+1 replicas, at least one of which is correct). The
+// Phalanx-style baseline uses masking quorums: n = 4f+1, q = 3f+1 (two
+// quorums intersect in >= 2f+1, a majority of which are correct).
+//
+// Principals: one flat 32-bit id space shared with crypto::PrincipalId.
+// Clients occupy the low half (their ids embed into timestamps); replica
+// r of a group gets the high-bit id kReplicaBase + r.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "crypto/signature.h"
+#include "quorum/timestamp.h"
+
+namespace bftbc::quorum {
+
+using ReplicaId = std::uint32_t;
+
+inline constexpr crypto::PrincipalId kReplicaBase = 0x80000000u;
+
+inline crypto::PrincipalId replica_principal(ReplicaId r) {
+  return kReplicaBase + r;
+}
+
+inline bool is_replica_principal(crypto::PrincipalId p) {
+  return p >= kReplicaBase;
+}
+
+inline crypto::PrincipalId client_principal(ClientId c) {
+  assert(c < kReplicaBase);
+  return c;
+}
+
+struct QuorumConfig {
+  std::uint32_t n = 4;  // replica group size
+  std::uint32_t q = 3;  // quorum size
+  std::uint32_t f = 1;  // tolerated replica failures
+
+  // BFT-BC (and classic BQS) dissemination quorums: 3f+1 / 2f+1.
+  static QuorumConfig bft_bc(std::uint32_t f) {
+    return {3 * f + 1, 2 * f + 1, f};
+  }
+
+  // Masking quorums for the Phalanx-style baseline: 4f+1 / 3f+1.
+  static QuorumConfig masking(std::uint32_t f) {
+    return {4 * f + 1, 3 * f + 1, f};
+  }
+
+  bool valid_replica(ReplicaId r) const { return r < n; }
+
+  friend bool operator==(const QuorumConfig& a, const QuorumConfig& b) {
+    return a.n == b.n && a.q == b.q && a.f == b.f;
+  }
+};
+
+}  // namespace bftbc::quorum

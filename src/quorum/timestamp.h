@@ -1,0 +1,66 @@
+// Timestamps 〈val, client-id〉 (paper §3.2.1).
+//
+// "Our protocols require that different clients choose different
+//  timestamps, and therefore we construct timestamps by concatenating a
+//  sequence number with a client identifier."
+//
+// succ(ts, c) = 〈ts.val + 1, c〉 ; order is (val, id) lexicographic.
+// Embedding the writer's identity is also what lets replicas enforce
+// that a prepare's timestamp belongs to the requesting client, which is
+// the defense against timestamp-space exhaustion (§3.2 attack 3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/codec.h"
+
+namespace bftbc::quorum {
+
+using ClientId = std::uint32_t;
+
+struct Timestamp {
+  std::uint64_t val = 0;
+  ClientId id = 0;
+
+  static Timestamp zero() { return {}; }
+  bool is_zero() const { return val == 0 && id == 0; }
+
+  // The paper's succ function.
+  Timestamp succ(ClientId c) const { return Timestamp{val + 1, c}; }
+
+  friend bool operator==(const Timestamp& a, const Timestamp& b) {
+    return a.val == b.val && a.id == b.id;
+  }
+  friend bool operator!=(const Timestamp& a, const Timestamp& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const Timestamp& a, const Timestamp& b) {
+    if (a.val != b.val) return a.val < b.val;
+    return a.id < b.id;
+  }
+  friend bool operator<=(const Timestamp& a, const Timestamp& b) {
+    return a < b || a == b;
+  }
+  friend bool operator>(const Timestamp& a, const Timestamp& b) { return b < a; }
+  friend bool operator>=(const Timestamp& a, const Timestamp& b) {
+    return b <= a;
+  }
+
+  void encode(Writer& w) const {
+    w.put_u64(val);
+    w.put_u32(id);
+  }
+  static Timestamp decode(Reader& r) {
+    Timestamp ts;
+    ts.val = r.get_u64();
+    ts.id = r.get_u32();
+    return ts;
+  }
+
+  std::string to_string() const {
+    return "<" + std::to_string(val) + "," + std::to_string(id) + ">";
+  }
+};
+
+}  // namespace bftbc::quorum

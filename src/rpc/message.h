@@ -1,0 +1,87 @@
+// Wire envelope shared by every protocol in the repo.
+//
+// An Envelope frames one protocol message: its type, an rpc id for
+// request/reply matching (transport-level only — never trusted for
+// authentication; all authentication is by signatures inside the body),
+// the claimed sender principal, and the opaque body bytes.
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/signature.h"
+#include "util/codec.h"
+#include "util/status.h"
+
+namespace bftbc::rpc {
+
+enum class MsgType : std::uint16_t {
+  kInvalid = 0,
+
+  // BFT-BC (base + optimized + strong variants)
+  kReadTs = 1,        // phase 1 of write: 〈READ-TS, nonce〉
+  kReadTsReply = 2,   // 〈READ-TS-REPLY, Pcert, nonce〉σr
+  kPrepare = 3,       // 〈PREPARE, Pmax, t, h(val), Wcert〉σc
+  kPrepareReply = 4,  // 〈PREPARE-REPLY, t, h〉σr
+  kWrite = 5,         // 〈WRITE, val, Pnew〉σc
+  kWriteReply = 6,    // 〈WRITE-REPLY, t〉σr
+  kRead = 7,          // 〈READ, nonce〉
+  kReadReply = 8,     // 〈READ-REPLY, val, Pcert, nonce〉σr
+  kReadTsPrep = 9,    // optimized phase 1: 〈READ-TS-PREP, h, Wcert〉σc
+  kReadTsPrepReply = 10,  // 〈Pcert, optional PREPARE-REPLY stmt〉σr
+
+  // Classic BQS baseline (Malkhi-Reiter 3f+1, no Byzantine-client defense)
+  kBqsReadTs = 32,
+  kBqsReadTsReply = 33,
+  kBqsWrite = 34,
+  kBqsWriteReply = 35,
+  kBqsRead = 36,
+  kBqsReadReply = 37,
+
+  // Phalanx-style 4f+1 baseline
+  kPhalanxWrite = 48,
+  kPhalanxWriteReply = 49,
+  kPhalanxRead = 50,
+  kPhalanxReadReply = 51,
+  kPhalanxReadTs = 52,
+  kPhalanxReadTsReply = 53,
+
+  // SBQ-L baseline (3f+1 with a reliable-network assumption)
+  kSbqlReadTs = 64,
+  kSbqlReadTsReply = 65,
+  kSbqlWrite = 66,
+  kSbqlWriteReply = 67,
+  kSbqlRead = 68,
+  kSbqlReadReply = 69,
+  kSbqlForward = 70,     // replica→replica reliable forward
+  kSbqlForwardAck = 71,  // ack that lets the sender drop its buffer entry
+};
+
+struct Envelope {
+  MsgType type = MsgType::kInvalid;
+  std::uint64_t rpc_id = 0;
+  crypto::PrincipalId sender = 0;
+  Bytes body;
+
+  Bytes encode() const {
+    Writer w;
+    w.put_u16(static_cast<std::uint16_t>(type));
+    w.put_u64(rpc_id);
+    w.put_u32(sender);
+    w.put_bytes(body);
+    return std::move(w).take();
+  }
+
+  // Returns nullopt on malformed input (truncated, trailing garbage).
+  static std::optional<Envelope> decode(BytesView data) {
+    Reader r(data);
+    Envelope env;
+    env.type = static_cast<MsgType>(r.get_u16());
+    env.rpc_id = r.get_u64();
+    env.sender = r.get_u32();
+    env.body = r.get_bytes();
+    if (!r.done()) return std::nullopt;
+    return env;
+  }
+};
+
+}  // namespace bftbc::rpc

@@ -1,0 +1,73 @@
+#include "rpc/quorum_call.h"
+
+namespace bftbc::rpc {
+
+QuorumCall::QuorumCall(sim::Simulator& simulator, Transport& transport,
+                       std::vector<sim::NodeId> targets, std::uint32_t quorum,
+                       Envelope request, Validator validator,
+                       Completion on_complete,
+                       std::function<void()> on_timeout, Options options)
+    : sim_(simulator),
+      transport_(transport),
+      targets_(std::move(targets)),
+      quorum_(quorum),
+      request_(std::move(request)),
+      validator_(std::move(validator)),
+      on_complete_(std::move(on_complete)),
+      on_timeout_(std::move(on_timeout)),
+      options_(options),
+      accepted_(targets_.size(), false) {
+  for (std::uint32_t i = 0; i < targets_.size(); ++i) index_of_[targets_[i]] = i;
+  if (options_.deadline > 0) {
+    deadline_timer_ = sim_.schedule(options_.deadline, [this] {
+      if (complete_) return;
+      timed_out_ = true;
+      sim_.cancel(retransmit_timer_);
+      if (on_timeout_) on_timeout_();
+    });
+  }
+  transmit();
+  arm_retransmit();
+}
+
+QuorumCall::~QuorumCall() {
+  sim_.cancel(retransmit_timer_);
+  sim_.cancel(deadline_timer_);
+}
+
+void QuorumCall::transmit() {
+  ++sends_;
+  for (std::uint32_t i = 0; i < targets_.size(); ++i) {
+    if (!accepted_[i]) transport_.send(targets_[i], request_);
+  }
+}
+
+void QuorumCall::arm_retransmit() {
+  retransmit_timer_ = sim_.schedule(options_.retransmit_period, [this] {
+    if (complete_ || timed_out_) return;
+    transmit();
+    arm_retransmit();
+  });
+}
+
+bool QuorumCall::on_reply(sim::NodeId from, const Envelope& env) {
+  if (env.rpc_id != request_.rpc_id) return false;
+  auto it = index_of_.find(from);
+  if (it == index_of_.end()) return false;
+  // The envelope is ours even if we end up rejecting its contents.
+  if (complete_ || timed_out_) return true;
+  const std::uint32_t idx = it->second;
+  if (accepted_[idx]) return true;  // duplicate from this replica
+  if (!validator_(idx, env)) return true;
+  accepted_[idx] = true;
+  ++accepted_count_;
+  if (accepted_count_ >= quorum_) {
+    complete_ = true;
+    sim_.cancel(retransmit_timer_);
+    sim_.cancel(deadline_timer_);
+    if (on_complete_) on_complete_();
+  }
+  return true;
+}
+
+}  // namespace bftbc::rpc

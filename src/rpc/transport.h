@@ -1,0 +1,64 @@
+// Transport abstraction: how a protocol node sends and receives envelopes.
+//
+// Protocol code (clients, replicas, baselines, Byzantine behaviors) is
+// written against this interface only, so the same state machines run on
+// the deterministic simulator today and could run on sockets unchanged.
+#pragma once
+
+#include <functional>
+
+#include "rpc/message.h"
+#include "sim/network.h"
+
+namespace bftbc::rpc {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // This node's address.
+  virtual sim::NodeId node_id() const = 0;
+
+  // Fire-and-forget send; the network may lose/duplicate/reorder it.
+  virtual void send(sim::NodeId to, const Envelope& env) = 0;
+
+  // Delivery callback. Malformed payloads are dropped before reaching it.
+  using Receiver = std::function<void(sim::NodeId from, const Envelope& env)>;
+  virtual void set_receiver(Receiver receiver) = 0;
+};
+
+// Transport bound to the simulated network.
+class SimTransport final : public Transport {
+ public:
+  SimTransport(sim::Network& network, sim::NodeId id)
+      : network_(network), id_(id) {
+    network_.register_node(id_, [this](sim::NodeId from, Bytes payload) {
+      if (!receiver_) return;
+      auto env = Envelope::decode(payload);
+      if (!env.has_value()) return;  // corrupted / garbage: drop silently
+      receiver_(from, *env);
+    });
+  }
+
+  ~SimTransport() override { network_.unregister_node(id_); }
+
+  SimTransport(const SimTransport&) = delete;
+  SimTransport& operator=(const SimTransport&) = delete;
+
+  sim::NodeId node_id() const override { return id_; }
+
+  void send(sim::NodeId to, const Envelope& env) override {
+    network_.send(id_, to, env.encode());
+  }
+
+  void set_receiver(Receiver receiver) override {
+    receiver_ = std::move(receiver);
+  }
+
+ private:
+  sim::Network& network_;
+  sim::NodeId id_;
+  Receiver receiver_;
+};
+
+}  // namespace bftbc::rpc

@@ -1,0 +1,103 @@
+#include "sim/network.h"
+
+#include "util/log.h"
+
+namespace bftbc::sim {
+
+void Network::register_node(NodeId id, Handler handler) {
+  handlers_[id] = std::move(handler);
+}
+
+void Network::unregister_node(NodeId id) { handlers_.erase(id); }
+
+const LinkConfig& Network::link_for(NodeId from, NodeId to) const {
+  auto it = link_overrides_.find({from, to});
+  return it == link_overrides_.end() ? default_link_ : it->second;
+}
+
+Time Network::draw_delay(const LinkConfig& cfg) {
+  Time d = cfg.base_delay;
+  if (cfg.jitter_mean > 0) {
+    d += static_cast<Time>(
+        rng_.next_exponential(static_cast<double>(cfg.jitter_mean)));
+  }
+  return d;
+}
+
+void Network::deliver_later(NodeId from, NodeId to, Bytes payload, Time delay) {
+  sim_.schedule(delay, [this, from, to, payload = std::move(payload)]() {
+    if (crashed_.count(to) != 0) {
+      counters_.inc("msgs_dropped");
+      return;
+    }
+    auto it = handlers_.find(to);
+    if (it == handlers_.end()) {
+      counters_.inc("msgs_dropped");
+      return;
+    }
+    counters_.inc("msgs_delivered");
+    counters_.inc("bytes_delivered", payload.size());
+    it->second(from, payload);
+  });
+}
+
+void Network::send(NodeId from, NodeId to, Bytes payload) {
+  counters_.inc("msgs_sent");
+  counters_.inc("bytes_sent", payload.size());
+
+  if (is_partitioned(from, to) || crashed_.count(to) != 0) {
+    counters_.inc("msgs_dropped");
+    return;
+  }
+
+  const LinkConfig& cfg = link_for(from, to);
+  if (rng_.next_bool(cfg.loss_probability)) {
+    counters_.inc("msgs_dropped");
+    return;
+  }
+
+  Bytes to_deliver = payload;
+  if (rng_.next_bool(cfg.corrupt_probability) && !to_deliver.empty()) {
+    // Flip one random byte; receivers must treat this as garbage.
+    const std::size_t idx =
+        static_cast<std::size_t>(rng_.next_below(to_deliver.size()));
+    to_deliver[idx] ^= static_cast<std::uint8_t>(1 + rng_.next_below(255));
+    counters_.inc("msgs_corrupted");
+  }
+
+  if (rng_.next_bool(cfg.duplicate_probability)) {
+    counters_.inc("msgs_duplicated");
+    deliver_later(from, to, to_deliver, draw_delay(cfg));
+  }
+  deliver_later(from, to, std::move(to_deliver), draw_delay(cfg));
+}
+
+void Network::set_link(NodeId from, NodeId to, LinkConfig cfg) {
+  link_overrides_[{from, to}] = cfg;
+}
+
+namespace {
+std::pair<NodeId, NodeId> normalized(NodeId a, NodeId b) {
+  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+}  // namespace
+
+void Network::partition(NodeId a, NodeId b) {
+  partitions_.insert(normalized(a, b));
+}
+
+void Network::heal(NodeId a, NodeId b) { partitions_.erase(normalized(a, b)); }
+
+void Network::partition_group(const std::vector<NodeId>& group_a,
+                              const std::vector<NodeId>& group_b) {
+  for (NodeId a : group_a)
+    for (NodeId b : group_b) partition(a, b);
+}
+
+void Network::heal_all() { partitions_.clear(); }
+
+bool Network::is_partitioned(NodeId a, NodeId b) const {
+  return partitions_.count(normalized(a, b)) != 0;
+}
+
+}  // namespace bftbc::sim

@@ -1,0 +1,84 @@
+#include "sim/simulator.h"
+
+#include "util/log.h"
+
+namespace bftbc::sim {
+
+Simulator::Simulator() {
+  // Log lines carry virtual time while this simulator is alive.
+  set_log_time_source([this] { return now_; });
+}
+
+Simulator::~Simulator() { clear_log_time_source(); }
+
+TimerId Simulator::schedule(Time delay, std::function<void()> fn) {
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+TimerId Simulator::schedule_at(Time when, std::function<void()> fn) {
+  const TimerId id = next_id_++;
+  if (when < now_) when = now_;
+  queue_.push(Event{when, next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+void Simulator::cancel(TimerId id) {
+  if (callbacks_.erase(id) > 0) cancelled_.insert(id);
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (cancelled_.erase(ev.id) > 0) continue;  // tombstone
+    auto it = callbacks_.find(ev.id);
+    if (it == callbacks_.end()) continue;
+    std::function<void()> fn = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = ev.when;
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulator::run(std::size_t max_events) {
+  std::size_t n = 0;
+  while (n < max_events && step()) ++n;
+  if (n == max_events) {
+    BFTBC_LOG(kWarn) << "simulator stopped at max_events=" << max_events
+                     << " with " << pending_events() << " pending";
+  }
+  return n;
+}
+
+std::size_t Simulator::run_until(Time deadline) {
+  std::size_t n = 0;
+  while (!queue_.empty()) {
+    // Skip over tombstones to see the true next event time.
+    Event top = queue_.top();
+    if (cancelled_.count(top.id)) {
+      queue_.pop();
+      cancelled_.erase(top.id);
+      continue;
+    }
+    if (top.when > deadline) break;
+    if (step()) ++n;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+bool Simulator::run_while_pending(const std::function<bool()>& pred,
+                                  std::size_t max_events) {
+  std::size_t n = 0;
+  while (pred()) {
+    if (n >= max_events || !step()) return pred();
+    ++n;
+  }
+  return false;
+}
+
+}  // namespace bftbc::sim

@@ -1,0 +1,93 @@
+// Deterministic discrete-event simulator.
+//
+// The protocol stack runs over virtual time: timers, message deliveries,
+// and crypto-cost charges are all events in one priority queue. Two runs
+// with the same seed execute the same event sequence — the property every
+// test and benchmark in this repo leans on.
+//
+// Tie-breaking: events at the same virtual time fire in insertion order
+// (a monotone sequence number), so determinism never depends on
+// std::priority_queue internals.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace bftbc::sim {
+
+// Virtual time in nanoseconds.
+using Time = std::uint64_t;
+
+constexpr Time kMicrosecond = 1000;
+constexpr Time kMillisecond = 1000 * kMicrosecond;
+constexpr Time kSecond = 1000 * kMillisecond;
+
+using TimerId = std::uint64_t;
+
+class Simulator {
+ public:
+  Simulator();
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Time now() const { return now_; }
+
+  // Schedule fn to run at now() + delay. Returns an id usable with cancel.
+  TimerId schedule(Time delay, std::function<void()> fn);
+  TimerId schedule_at(Time when, std::function<void()> fn);
+
+  // Cancel a pending timer; no-op if already fired or cancelled.
+  void cancel(TimerId id);
+
+  // Run a single event. Returns false if the queue is empty.
+  bool step();
+
+  // Run until the event queue drains or max_events fire; returns the
+  // number of events executed. A bounded default guards against protocol
+  // bugs that retransmit forever.
+  std::size_t run(std::size_t max_events = kDefaultMaxEvents);
+
+  // Run events with timestamp <= deadline (advances now_ to deadline even
+  // if the queue empties earlier).
+  std::size_t run_until(Time deadline);
+
+  // Run until pred() is true, the queue drains, or max_events fire.
+  // Returns true iff pred() held when it stopped.
+  bool run_while_pending(const std::function<bool()>& pred,
+                         std::size_t max_events = kDefaultMaxEvents);
+
+  std::size_t pending_events() const { return queue_.size() - cancelled_.size(); }
+  std::uint64_t executed_events() const { return executed_; }
+
+  static constexpr std::size_t kDefaultMaxEvents = 50'000'000;
+
+ private:
+  struct Event {
+    Time when;
+    std::uint64_t seq;
+    TimerId id;
+    // Ordering for the min-heap: earliest time first, then FIFO.
+    bool operator>(const Event& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  // Callbacks live outside the heap entries so cancel() is O(1).
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  std::unordered_map<TimerId, std::function<void()>> callbacks_;
+  std::unordered_set<TimerId> cancelled_;
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  TimerId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace bftbc::sim

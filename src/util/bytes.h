@@ -1,0 +1,50 @@
+// Basic byte-sequence aliases and helpers shared across the library.
+//
+// Everything that crosses a module boundary as "raw data" is a
+// `bftbc::Bytes` (owning) or `bftbc::BytesView` (non-owning). Keeping a
+// single spelling avoids accidental copies between vector<char> /
+// vector<uint8_t> / string representations.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bftbc {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+// Construct an owning byte vector from a string literal / std::string.
+inline Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+// View a string's contents as bytes without copying.
+inline BytesView as_bytes_view(std::string_view s) {
+  return BytesView(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+}
+
+// Render bytes as a std::string (useful for tests on textual payloads).
+inline std::string to_string(BytesView b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+// Constant-time equality. Crypto comparisons (MAC tags, digests) must not
+// leak the position of the first mismatch through timing.
+inline bool constant_time_equal(BytesView a, BytesView b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
+  return acc == 0;
+}
+
+// Append a view onto an owning buffer.
+inline void append(Bytes& dst, BytesView src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+}  // namespace bftbc

@@ -1,0 +1,83 @@
+// Binary serialization primitives.
+//
+// All wire messages and all signed statements are encoded with Writer and
+// decoded with Reader. The format is deliberately simple and fully
+// deterministic (a requirement for signing: the signed bytes of a
+// statement must be identical on every node):
+//
+//   u8/u16/u32/u64   little-endian fixed width
+//   varint           LEB128, used for lengths
+//   bytes            varint length + raw bytes
+//   string           same as bytes
+//
+// Reader is non-throwing: any malformed input flips a sticky error flag
+// and subsequent reads return zero values. Callers check ok() once at the
+// end — this keeps replica message handlers simple and makes truncation /
+// garbage injected by Byzantine nodes safe to parse.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.h"
+
+namespace bftbc {
+
+class Writer {
+ public:
+  Writer() = default;
+
+  void put_u8(std::uint8_t v) { buf_.push_back(v); }
+  void put_u16(std::uint16_t v);
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  void put_varint(std::uint64_t v);
+  void put_bool(bool v) { put_u8(v ? 1 : 0); }
+  void put_bytes(BytesView b);
+  void put_string(std::string_view s) { put_bytes(as_bytes_view(s)); }
+  // Raw append with NO length prefix — for fixed-size fields (digests)
+  // and for nesting pre-encoded sub-messages.
+  void put_raw(BytesView b) { append(buf_, b); }
+
+  const Bytes& data() const& { return buf_; }
+  Bytes take() && { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(BytesView data) : data_(data) {}
+
+  std::uint8_t get_u8();
+  std::uint16_t get_u16();
+  std::uint32_t get_u32();
+  std::uint64_t get_u64();
+  std::uint64_t get_varint();
+  bool get_bool() { return get_u8() != 0; }
+  Bytes get_bytes();
+  std::string get_string();
+  // Read exactly n raw bytes (no length prefix).
+  Bytes get_raw(std::size_t n);
+
+  // True iff no read so far ran past the end or hit malformed data.
+  bool ok() const { return ok_; }
+  // True iff the cursor consumed the entire input (trailing garbage in a
+  // signed statement must be rejected, or signatures would not be unique).
+  bool at_end() const { return pos_ == data_.size(); }
+  // Convenience: fully parsed and well formed.
+  bool done() const { return ok_ && at_end(); }
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  bool need(std::size_t n);
+
+  BytesView data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace bftbc

@@ -1,0 +1,143 @@
+#include "util/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace bftbc {
+
+FlagSet::Entry& FlagSet::add_entry(const std::string& name,
+                                   const std::string& help) {
+  Entry& e = entries_[name];
+  e.help = help;
+  return e;
+}
+
+FlagSet::Flag<std::int64_t>& FlagSet::add_int(const std::string& name,
+                                              std::int64_t def,
+                                              const std::string& help) {
+  ints_.push_back(std::make_unique<Flag<std::int64_t>>(def));
+  add_entry(name, help).as_int = ints_.back().get();
+  return *ints_.back();
+}
+
+FlagSet::Flag<std::uint64_t>& FlagSet::add_u64(const std::string& name,
+                                               std::uint64_t def,
+                                               const std::string& help) {
+  u64s_.push_back(std::make_unique<Flag<std::uint64_t>>(def));
+  add_entry(name, help).as_u64 = u64s_.back().get();
+  return *u64s_.back();
+}
+
+FlagSet::Flag<double>& FlagSet::add_double(const std::string& name, double def,
+                                           const std::string& help) {
+  doubles_.push_back(std::make_unique<Flag<double>>(def));
+  add_entry(name, help).as_double = doubles_.back().get();
+  return *doubles_.back();
+}
+
+FlagSet::Flag<bool>& FlagSet::add_bool(const std::string& name, bool def,
+                                       const std::string& help) {
+  bools_.push_back(std::make_unique<Flag<bool>>(def));
+  add_entry(name, help).as_bool = bools_.back().get();
+  return *bools_.back();
+}
+
+FlagSet::Flag<std::string>& FlagSet::add_string(const std::string& name,
+                                                std::string def,
+                                                const std::string& help) {
+  strings_.push_back(std::make_unique<Flag<std::string>>(std::move(def)));
+  add_entry(name, help).as_string = strings_.back().get();
+  return *strings_.back();
+}
+
+bool FlagSet::Entry::set_value(const std::string& v) {
+  try {
+    if (as_int) {
+      as_int->value_ = std::stoll(v);
+    } else if (as_u64) {
+      as_u64->value_ = std::stoull(v);
+    } else if (as_double) {
+      as_double->value_ = std::stod(v);
+    } else if (as_bool) {
+      if (v == "true" || v == "1") {
+        as_bool->value_ = true;
+      } else if (v == "false" || v == "0") {
+        as_bool->value_ = false;
+      } else {
+        return false;
+      }
+    } else if (as_string) {
+      as_string->value_ = v;
+    }
+  } catch (...) {
+    return false;
+  }
+  return true;
+}
+
+std::string FlagSet::Entry::default_string() const {
+  if (as_int) return std::to_string(as_int->value_);
+  if (as_u64) return std::to_string(as_u64->value_);
+  if (as_double) return std::to_string(as_double->value_);
+  if (as_bool) return as_bool->value_ ? "true" : "false";
+  if (as_string) return as_string->value_;
+  return "";
+}
+
+std::string FlagSet::usage(const std::string& prog) const {
+  std::ostringstream ss;
+  ss << "usage: " << prog << " [flags]\n";
+  for (const auto& [name, e] : entries_) {
+    ss << "  --" << name << " (default " << e.default_string() << ")  "
+       << e.help << "\n";
+  }
+  return ss.str();
+}
+
+void FlagSet::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage(argv[0]).c_str(), stdout);
+      std::exit(0);
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool have_value = false;
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      have_value = true;
+    }
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+      std::fprintf(stderr, "unknown flag --%s\n%s", name.c_str(),
+                   usage(argv[0]).c_str());
+      std::exit(2);
+    }
+    if (!have_value) {
+      // Bare boolean flags may omit the value; others consume the next arg.
+      if (it->second.as_bool && (i + 1 >= argc ||
+                                 std::string(argv[i + 1]).rfind("--", 0) == 0)) {
+        value = "true";
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        std::fprintf(stderr, "flag --%s needs a value\n", name.c_str());
+        std::exit(2);
+      }
+    }
+    if (!it->second.set_value(value)) {
+      std::fprintf(stderr, "bad value for --%s: %s\n", name.c_str(),
+                   value.c_str());
+      std::exit(2);
+    }
+  }
+}
+
+}  // namespace bftbc

@@ -1,0 +1,74 @@
+// Tiny command-line flag parser for examples and bench binaries.
+//
+//   FlagSet flags;
+//   auto& f = flags.add_int("f", 1, "number of tolerated replica faults");
+//   auto& seed = flags.add_u64("seed", 42, "rng seed");
+//   flags.parse(argc, argv);           // accepts --f=2 and --f 2
+//   use(*f, *seed);
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace bftbc {
+
+class FlagSet {
+ public:
+  template <typename T>
+  class Flag {
+   public:
+    explicit Flag(T def) : value_(def) {}
+    const T& operator*() const { return value_; }
+    T value_;
+  };
+
+  Flag<std::int64_t>& add_int(const std::string& name, std::int64_t def,
+                              const std::string& help);
+  Flag<std::uint64_t>& add_u64(const std::string& name, std::uint64_t def,
+                               const std::string& help);
+  Flag<double>& add_double(const std::string& name, double def,
+                           const std::string& help);
+  Flag<bool>& add_bool(const std::string& name, bool def,
+                       const std::string& help);
+  Flag<std::string>& add_string(const std::string& name, std::string def,
+                                const std::string& help);
+
+  // Parses argv; on "--help" prints usage and exits(0). Unknown flags or
+  // malformed values print an error and exit(2). Positional arguments are
+  // collected in positional().
+  void parse(int argc, char** argv);
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  std::string usage(const std::string& prog) const;
+
+ private:
+  struct Entry;
+  Entry& add_entry(const std::string& name, const std::string& help);
+
+  struct Entry {
+    std::string help;
+    // exactly one of these is set
+    Flag<std::int64_t>* as_int = nullptr;
+    Flag<std::uint64_t>* as_u64 = nullptr;
+    Flag<double>* as_double = nullptr;
+    Flag<bool>* as_bool = nullptr;
+    Flag<std::string>* as_string = nullptr;
+    bool set_value(const std::string& v);
+    std::string default_string() const;
+  };
+
+  std::map<std::string, Entry> entries_;
+  // Own the flag objects; stable addresses are required since callers
+  // hold references.
+  std::vector<std::unique_ptr<Flag<std::int64_t>>> ints_;
+  std::vector<std::unique_ptr<Flag<std::uint64_t>>> u64s_;
+  std::vector<std::unique_ptr<Flag<double>>> doubles_;
+  std::vector<std::unique_ptr<Flag<bool>>> bools_;
+  std::vector<std::unique_ptr<Flag<std::string>>> strings_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace bftbc

@@ -1,0 +1,45 @@
+#include "util/hex.h"
+
+namespace bftbc {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string to_hex(BytesView b) {
+  std::string out;
+  out.reserve(b.size() * 2);
+  for (std::uint8_t byte : b) {
+    out.push_back(kHexDigits[byte >> 4]);
+    out.push_back(kHexDigits[byte & 0xf]);
+  }
+  return out;
+}
+
+std::optional<Bytes> from_hex(std::string_view s) {
+  if (s.size() % 2 != 0) return std::nullopt;
+  Bytes out;
+  out.reserve(s.size() / 2);
+  for (std::size_t i = 0; i < s.size(); i += 2) {
+    int hi = hex_value(s[i]);
+    int lo = hex_value(s[i + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    out.push_back(static_cast<std::uint8_t>(hi << 4 | lo));
+  }
+  return out;
+}
+
+std::string hex_prefix(BytesView b, std::size_t n) {
+  std::string h = to_hex(b);
+  if (h.size() > n) h.resize(n);
+  return h;
+}
+
+}  // namespace bftbc

@@ -1,0 +1,21 @@
+// Hex encoding/decoding for logs, test vectors, and digest display.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "util/bytes.h"
+
+namespace bftbc {
+
+// Lowercase hex string of the bytes.
+std::string to_hex(BytesView b);
+
+// Parse a hex string (case-insensitive). Returns nullopt on odd length or
+// non-hex characters.
+std::optional<Bytes> from_hex(std::string_view s);
+
+// First n hex chars of a digest — compact identifier for logs.
+std::string hex_prefix(BytesView b, std::size_t n = 8);
+
+}  // namespace bftbc

@@ -1,0 +1,55 @@
+// Minimal leveled logging.
+//
+// Simulation code logs with the *virtual* time of the simulator when one
+// is active (see sim::Simulator, which installs a time source); otherwise
+// entries are unstamped. Logging defaults to kWarn so tests and benches
+// stay quiet; set BFTBC_LOG=debug|info|warn|error or call set_log_level.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace bftbc {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+LogLevel log_level();
+void set_log_level(LogLevel lvl);
+
+// Installed by the simulator so log lines carry virtual timestamps.
+// Returns nanoseconds of virtual time.
+using LogTimeSource = std::function<std::uint64_t()>;
+void set_log_time_source(LogTimeSource src);
+void clear_log_time_source();
+
+namespace detail {
+void log_emit(LogLevel lvl, const std::string& msg);
+}
+
+// Stream-style logging: LOG(kInfo) << "replica " << id << " prepared";
+class LogLine {
+ public:
+  explicit LogLine(LogLevel lvl) : lvl_(lvl), active_(lvl >= log_level()) {}
+  ~LogLine() {
+    if (active_) detail::log_emit(lvl_, ss_.str());
+  }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (active_) ss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel lvl_;
+  bool active_;
+  std::ostringstream ss_;
+};
+
+#define BFTBC_LOG(level) ::bftbc::LogLine(::bftbc::LogLevel::level)
+
+}  // namespace bftbc

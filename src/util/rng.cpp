@@ -1,0 +1,106 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace bftbc {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+  // A pathological all-zero state would lock the generator at zero; the
+  // SplitMix64 expansion cannot produce it for any seed, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  // Lemire's nearly-divisionless bounded generation.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  std::uint64_t l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    std::uint64_t t = -bound % bound;
+    while (l < t) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::next_in_range(std::int64_t lo, std::int64_t hi) {
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+double Rng::next_double() {
+  // 53 high bits → uniform in [0,1) with full double precision.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::next_bool(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+double Rng::next_exponential(double mean) {
+  // Inverse-CDF; clamp the uniform away from 0 to avoid log(0).
+  double u = next_double();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+void Rng::fill(Bytes& out, std::size_t n) {
+  out.resize(n);
+  std::size_t i = 0;
+  while (i + 8 <= n) {
+    std::uint64_t v = next_u64();
+    for (int b = 0; b < 8; ++b) out[i++] = static_cast<std::uint8_t>(v >> (8 * b));
+  }
+  if (i < n) {
+    std::uint64_t v = next_u64();
+    for (int b = 0; i < n; ++b) out[i++] = static_cast<std::uint8_t>(v >> (8 * b));
+  }
+}
+
+Bytes Rng::bytes(std::size_t n) {
+  Bytes out;
+  fill(out, n);
+  return out;
+}
+
+Rng Rng::split() {
+  return Rng(next_u64());
+}
+
+}  // namespace bftbc

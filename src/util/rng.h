@@ -1,0 +1,82 @@
+// Deterministic pseudo-random number generation.
+//
+// Every source of randomness in the library flows through Rng so that an
+// entire simulation — network delays, loss, Byzantine behavior schedules,
+// client think times, crypto nonces in tests — reproduces exactly from a
+// single 64-bit seed. The generator is xoshiro256** (Blackman/Vigna),
+// which is fast, has a 256-bit state, and passes BigCrush.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace bftbc {
+
+class Rng {
+ public:
+  // Seeds the 256-bit state from a 64-bit seed via SplitMix64, the
+  // initialization recommended by the xoshiro authors.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  // Uniform over the full 64-bit range.
+  std::uint64_t next_u64();
+
+  std::uint32_t next_u32() { return static_cast<std::uint32_t>(next_u64() >> 32); }
+
+  // Uniform integer in [0, bound). bound must be > 0. Uses Lemire's
+  // multiply-shift rejection method to avoid modulo bias.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_in_range(std::int64_t lo, std::int64_t hi);
+
+  // Uniform double in [0, 1).
+  double next_double();
+
+  // Bernoulli trial with success probability p (clamped to [0,1]).
+  bool next_bool(double p);
+
+  // Exponentially distributed double with the given mean (> 0); used for
+  // Poisson inter-arrival times and network jitter models.
+  double next_exponential(double mean);
+
+  // Fill a buffer with random bytes (nonces, test payloads).
+  void fill(Bytes& out, std::size_t n);
+  Bytes bytes(std::size_t n);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  // Pick a uniformly random element index; container must be non-empty.
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    return v[static_cast<std::size_t>(next_below(v.size()))];
+  }
+
+  // Derive an independent child generator (for giving each simulated node
+  // its own stream without coupling their consumption order).
+  Rng split();
+
+  // Satisfy UniformRandomBitGenerator so std:: algorithms accept Rng.
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+  result_type operator()() { return next_u64(); }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace bftbc

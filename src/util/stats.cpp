@@ -1,0 +1,79 @@
+#include "util/stats.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace bftbc {
+
+void Summary::add(double x) {
+  samples_.push_back(x);
+  sum_ += x;
+  sum_sq_ += x * x;
+  sorted_valid_ = false;
+}
+
+double Summary::mean() const {
+  return samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size());
+}
+
+double Summary::min() const {
+  ensure_sorted();
+  return sorted_.empty() ? 0.0 : sorted_.front();
+}
+
+double Summary::max() const {
+  ensure_sorted();
+  return sorted_.empty() ? 0.0 : sorted_.back();
+}
+
+double Summary::stddev() const {
+  const auto n = static_cast<double>(samples_.size());
+  if (n < 2) return 0.0;
+  const double m = mean();
+  const double var = (sum_sq_ - n * m * m) / (n - 1);
+  return var > 0 ? std::sqrt(var) : 0.0;
+}
+
+double Summary::percentile(double q) const {
+  ensure_sorted();
+  if (sorted_.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted_.size() - 1) + 0.5);
+  return sorted_[idx];
+}
+
+void Summary::ensure_sorted() const {
+  if (sorted_valid_) return;
+  sorted_ = samples_;
+  std::sort(sorted_.begin(), sorted_.end());
+  sorted_valid_ = true;
+}
+
+std::string Summary::to_string() const {
+  std::ostringstream ss;
+  ss << "n=" << count() << " mean=" << mean() << " p50=" << median()
+     << " p99=" << p99() << " min=" << min() << " max=" << max();
+  return ss.str();
+}
+
+double Histogram::mean() const {
+  if (total_ == 0) return 0.0;
+  double s = 0;
+  for (const auto& [v, c] : buckets_)
+    s += static_cast<double>(v) * static_cast<double>(c);
+  return s / static_cast<double>(total_);
+}
+
+std::string Histogram::to_string() const {
+  std::ostringstream ss;
+  bool first = true;
+  for (const auto& [v, c] : buckets_) {
+    if (!first) ss << " ";
+    ss << v << ":" << c;
+    first = false;
+  }
+  return ss.str();
+}
+
+}  // namespace bftbc

@@ -1,0 +1,89 @@
+// Streaming statistics accumulators used by the benchmark harness.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bftbc {
+
+// Accumulates samples; computes count/mean/min/max/stddev/percentiles.
+// Percentiles keep all samples (fine at bench scale: <10^7 samples).
+class Summary {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return samples_.size(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+  double stddev() const;
+  // q in [0,1]; nearest-rank on the sorted samples.
+  double percentile(double q) const;
+  double median() const { return percentile(0.5); }
+  double p99() const { return percentile(0.99); }
+
+  // One-line rendering for bench output.
+  std::string to_string() const;
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+  double sum_ = 0;
+  double sum_sq_ = 0;
+};
+
+// Integer-valued histogram (e.g. "number of phases a write took").
+class Histogram {
+ public:
+  void add(std::int64_t v) { ++buckets_[v]; ++total_; }
+
+  std::uint64_t total() const { return total_; }
+  std::uint64_t count_of(std::int64_t v) const {
+    auto it = buckets_.find(v);
+    return it == buckets_.end() ? 0 : it->second;
+  }
+  double fraction_of(std::int64_t v) const {
+    return total_ == 0 ? 0.0 : static_cast<double>(count_of(v)) / total_;
+  }
+  std::int64_t max_value() const {
+    return buckets_.empty() ? 0 : buckets_.rbegin()->first;
+  }
+  double mean() const;
+
+  const std::map<std::int64_t, std::uint64_t>& buckets() const {
+    return buckets_;
+  }
+
+  // e.g. "2:914 3:86" — value:count pairs.
+  std::string to_string() const;
+
+ private:
+  std::map<std::int64_t, std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+};
+
+// Monotonic counters keyed by name; the metrics sink for protocol
+// instrumentation (messages sent, bytes, signatures computed, ...).
+class Counters {
+ public:
+  void inc(const std::string& name, std::uint64_t by = 1) {
+    counts_[name] += by;
+  }
+  std::uint64_t get(const std::string& name) const {
+    auto it = counts_.find(name);
+    return it == counts_.end() ? 0 : it->second;
+  }
+  void reset() { counts_.clear(); }
+  const std::map<std::string, std::uint64_t>& all() const { return counts_; }
+
+ private:
+  std::map<std::string, std::uint64_t> counts_;
+};
+
+}  // namespace bftbc

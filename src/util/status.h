@@ -1,0 +1,139 @@
+// Lightweight Status / Result<T> error-handling vocabulary.
+//
+// Protocol code runs inside a simulator event loop where exceptions are
+// awkward to reason about; instead fallible operations return
+// Result<T> = value or Status. Status carries a coarse code plus a
+// human-readable message for logs and test assertions.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace bftbc {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // malformed request / bad parameters
+  kBadSignature,      // authentication failed
+  kBadCertificate,    // certificate malformed or quorum not satisfied
+  kNotFound,          // unknown object / principal
+  kConflict,          // request conflicts with replica state (e.g. Plist)
+  kTimeout,           // operation deadline exceeded
+  kUnavailable,       // transport closed / node stopped
+  kInternal,          // invariant violation (bug)
+};
+
+inline const char* status_code_name(StatusCode c) {
+  switch (c) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kBadSignature: return "BAD_SIGNATURE";
+    case StatusCode::kBadCertificate: return "BAD_CERTIFICATE";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kConflict: return "CONFLICT";
+    case StatusCode::kTimeout: return "TIMEOUT";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+
+  bool is_ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string to_string() const {
+    if (is_ok()) return "OK";
+    std::string s = status_code_name(code_);
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status invalid_argument(std::string m) {
+  return Status(StatusCode::kInvalidArgument, std::move(m));
+}
+inline Status bad_signature(std::string m) {
+  return Status(StatusCode::kBadSignature, std::move(m));
+}
+inline Status bad_certificate(std::string m) {
+  return Status(StatusCode::kBadCertificate, std::move(m));
+}
+inline Status not_found(std::string m) {
+  return Status(StatusCode::kNotFound, std::move(m));
+}
+inline Status conflict(std::string m) {
+  return Status(StatusCode::kConflict, std::move(m));
+}
+inline Status timeout_error(std::string m) {
+  return Status(StatusCode::kTimeout, std::move(m));
+}
+inline Status unavailable(std::string m) {
+  return Status(StatusCode::kUnavailable, std::move(m));
+}
+inline Status internal_error(std::string m) {
+  return Status(StatusCode::kInternal, std::move(m));
+}
+
+// Result<T>: either a T or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}            // NOLINT(implicit)
+  Result(Status status) : v_(std::move(status)) {      // NOLINT(implicit)
+    assert(!std::get<Status>(v_).is_ok() && "Result from OK status");
+  }
+
+  bool is_ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return is_ok(); }
+
+  const T& value() const& {
+    assert(is_ok());
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    assert(is_ok());
+    return std::get<T>(v_);
+  }
+  T&& take() && {
+    assert(is_ok());
+    return std::get<T>(std::move(v_));
+  }
+
+  const Status& status() const {
+    static const Status kOk = Status::ok();
+    if (is_ok()) return kOk;
+    return std::get<Status>(v_);
+  }
+
+  const T& value_or(const T& fallback) const {
+    return is_ok() ? std::get<T>(v_) : fallback;
+  }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+}  // namespace bftbc

@@ -1,0 +1,293 @@
+// Unit tests for the BFT-linearizability checker, exercised on
+// hand-crafted histories — including ones that MUST be flagged as
+// violations (the checker itself needs adversarial testing).
+#include <gtest/gtest.h>
+
+#include "checker/bft_linearizability.h"
+
+namespace bftbc::checker {
+namespace {
+
+crypto::Digest h(const std::string& s) {
+  return crypto::sha256(as_bytes_view(s));
+}
+
+// Helper to add a complete write.
+void add_write(History& hist, ClientId c, ObjectId obj, sim::Time inv,
+               sim::Time rsp, const Timestamp& ts, const std::string& v) {
+  const std::size_t tok = hist.begin_write(c, obj, inv, to_bytes(v));
+  hist.end_write(tok, rsp, ts);
+}
+
+void add_read(History& hist, ClientId c, ObjectId obj, sim::Time inv,
+              sim::Time rsp, const Timestamp& ts, const std::string& v) {
+  const std::size_t tok = hist.begin_read(c, obj, inv);
+  hist.end_read(tok, rsp, ts, h(v), to_bytes(v));
+}
+
+TEST(CheckerTest, EmptyHistoryIsOk) {
+  History hist;
+  auto r = check_bft_linearizability(hist, {});
+  EXPECT_TRUE(r.ok(0));
+}
+
+TEST(CheckerTest, SequentialWriteReadOk) {
+  History hist;
+  add_write(hist, 1, 1, 0, 10, {1, 1}, "a");
+  add_read(hist, 2, 1, 20, 30, {1, 1}, "a");
+  auto r = check_bft_linearizability(hist, {});
+  EXPECT_TRUE(r.ok(0)) << r.summary();
+}
+
+TEST(CheckerTest, GenesisReadOk) {
+  History hist;
+  const std::size_t tok = hist.begin_read(1, 1, 0);
+  hist.end_read(tok, 10, Timestamp::zero(), h(""), Bytes{});
+  auto r = check_bft_linearizability(hist, {});
+  EXPECT_TRUE(r.ok(0)) << r.summary();
+}
+
+TEST(CheckerTest, StaleReadFlagged) {
+  History hist;
+  add_write(hist, 1, 1, 0, 10, {1, 1}, "a");
+  add_write(hist, 1, 1, 20, 30, {2, 1}, "b");
+  // Read AFTER the second write completed returns the first value: bad.
+  add_read(hist, 2, 1, 40, 50, {1, 1}, "a");
+  auto r = check_bft_linearizability(hist, {});
+  EXPECT_FALSE(r.linearizable);
+}
+
+TEST(CheckerTest, ReadReadMonotonicityViolationFlagged) {
+  History hist;
+  add_write(hist, 1, 1, 0, 10, {1, 1}, "a");
+  add_write(hist, 1, 1, 20, 30, {2, 1}, "b");
+  add_read(hist, 2, 1, 40, 50, {2, 1}, "b");
+  // Later read (non-overlapping) goes backwards.
+  add_read(hist, 2, 1, 60, 70, {1, 1}, "a");
+  auto r = check_bft_linearizability(hist, {});
+  EXPECT_FALSE(r.linearizable);
+}
+
+TEST(CheckerTest, ConcurrentReadsMayDiverge) {
+  History hist;
+  add_write(hist, 1, 1, 0, 10, {1, 1}, "a");
+  // A write in flight...
+  add_write(hist, 1, 1, 20, 100, {2, 1}, "b");
+  // ...two overlapping reads see old and new — fine.
+  add_read(hist, 2, 1, 30, 40, {2, 1}, "b");
+  add_read(hist, 3, 1, 30, 45, {1, 1}, "a");
+  auto r = check_bft_linearizability(hist, {});
+  EXPECT_TRUE(r.linearizable) << r.summary();
+}
+
+TEST(CheckerTest, WriteMustExceedCompletedVersions) {
+  History hist;
+  add_write(hist, 1, 1, 0, 10, {5, 1}, "a");
+  // A later write that completed with a LOWER timestamp: protocol bug.
+  add_write(hist, 2, 1, 20, 30, {3, 2}, "b");
+  auto r = check_bft_linearizability(hist, {});
+  EXPECT_FALSE(r.linearizable);
+}
+
+TEST(CheckerTest, ForgedReadValueFlagged) {
+  History hist;
+  add_write(hist, 1, 1, 0, 10, {1, 1}, "a");
+  // Read returns a version claiming to be client 1's ts but value "evil"
+  // (hash consistent with "evil" — i.e., a different version under the
+  // same timestamp, which client 1 never wrote).
+  add_read(hist, 2, 1, 20, 30, {1, 1}, "evil");
+  auto r = check_bft_linearizability(hist, {});
+  EXPECT_FALSE(r.reads_authentic);
+}
+
+TEST(CheckerTest, ValueHashMismatchFlagged) {
+  History hist;
+  const std::size_t tok = hist.begin_read(1, 1, 0);
+  // value "x" but hash of "y": certificate mismatch smuggled through.
+  hist.end_read(tok, 10, {1, 9}, h("y"), to_bytes("x"));
+  auto r = check_bft_linearizability(hist, {9});
+  EXPECT_FALSE(r.reads_authentic);
+}
+
+TEST(CheckerTest, BadClientWriteAttributed) {
+  History hist;
+  // Read returns a version from declared-bad client 66: allowed.
+  add_read(hist, 1, 1, 0, 10, {1, 66}, "evil");
+  auto r = check_bft_linearizability(hist, {66});
+  EXPECT_TRUE(r.reads_authentic) << r.summary();
+  EXPECT_TRUE(r.linearizable);
+}
+
+TEST(CheckerTest, UnknownWriterFlagged) {
+  History hist;
+  // Version from client 77, never declared bad, never wrote: forgery.
+  add_read(hist, 1, 1, 0, 10, {1, 77}, "mystery");
+  auto r = check_bft_linearizability(hist, {66});
+  EXPECT_FALSE(r.reads_authentic);
+}
+
+// ------------------------------------------------------- lurking writes
+
+TEST(CheckerTest, LurkingWriteCountedAfterStop) {
+  History hist;
+  add_write(hist, 1, 1, 0, 10, {1, 1}, "good");
+  add_read(hist, 1, 1, 20, 30, {1, 1}, "good");
+  hist.record_stop(66, 100);
+  // After the stop, a read surfaces a bad-client version above the
+  // pre-stop frontier: one lurking write.
+  add_read(hist, 1, 1, 200, 210, {2, 66}, "lurker");
+  auto r = check_bft_linearizability(hist, {66});
+  EXPECT_TRUE(r.linearizable) << r.summary();
+  ASSERT_EQ(r.lurking.count(66), 1u);
+  EXPECT_EQ(r.lurking.at(66).count, 1);
+  EXPECT_TRUE(r.ok(1));
+  EXPECT_FALSE(r.ok(0));
+}
+
+TEST(CheckerTest, TwoLurkingWritesCounted) {
+  History hist;
+  add_write(hist, 1, 1, 0, 10, {1, 1}, "good");
+  hist.record_stop(66, 100);
+  add_read(hist, 1, 1, 200, 210, {2, 66}, "lurker-a");
+  add_read(hist, 1, 1, 220, 230, {3, 66}, "lurker-b");
+  auto r = check_bft_linearizability(hist, {66});
+  ASSERT_EQ(r.lurking.count(66), 1u);
+  EXPECT_EQ(r.lurking.at(66).count, 2);
+  EXPECT_TRUE(r.ok(2));
+  EXPECT_FALSE(r.ok(1));
+}
+
+TEST(CheckerTest, PreStopSurfacedWritesNotLurking) {
+  History hist;
+  // The bad client's write surfaced BEFORE it stopped: not lurking.
+  add_read(hist, 1, 1, 0, 10, {1, 66}, "seen-early");
+  hist.record_stop(66, 100);
+  add_read(hist, 1, 1, 200, 210, {1, 66}, "seen-early");
+  auto r = check_bft_linearizability(hist, {66});
+  ASSERT_EQ(r.lurking.count(66), 1u);
+  EXPECT_EQ(r.lurking.at(66).count, 0);
+}
+
+TEST(CheckerTest, VersionsBelowPreStopFrontierNotLurking) {
+  History hist;
+  // Good client's version <5,1> completed before the stop; a bad version
+  // <2,66> read later sits BELOW the frontier — Theorem 1 places its
+  // write before the stop (and here it's also a monotonicity violation,
+  // caught separately).
+  add_write(hist, 1, 1, 0, 10, {5, 1}, "good");
+  add_read(hist, 1, 1, 20, 30, {5, 1}, "good");
+  hist.record_stop(66, 100);
+  add_read(hist, 2, 1, 200, 210, {2, 66}, "old-evil");
+  auto r = check_bft_linearizability(hist, {66});
+  ASSERT_EQ(r.lurking.count(66), 1u);
+  EXPECT_EQ(r.lurking.at(66).count, 0);
+  EXPECT_FALSE(r.linearizable);  // the stale read is still flagged
+}
+
+TEST(CheckerTest, SameLurkerReadTwiceCountsOnce) {
+  History hist;
+  add_write(hist, 1, 1, 0, 10, {1, 1}, "good");
+  hist.record_stop(66, 100);
+  add_read(hist, 1, 1, 200, 210, {2, 66}, "lurker");
+  add_read(hist, 2, 1, 220, 230, {2, 66}, "lurker");
+  add_read(hist, 1, 1, 240, 250, {2, 66}, "lurker");
+  auto r = check_bft_linearizability(hist, {66});
+  EXPECT_EQ(r.lurking.at(66).count, 1);
+}
+
+TEST(CheckerTest, OverwritesBeforeLastSurfaceMeasured) {
+  History hist;
+  add_write(hist, 1, 1, 0, 10, {1, 1}, "good");
+  hist.record_stop(66, 100);
+  // Two correct writes complete after the stop...
+  add_write(hist, 1, 1, 110, 120, {2, 1}, "post-1");
+  add_write(hist, 1, 1, 130, 140, {3, 1}, "post-2");
+  // ...and only then the lurking write surfaces (ts above everything).
+  add_read(hist, 2, 1, 300, 310, {4, 66}, "lurker");
+  auto r = check_bft_linearizability(hist, {66});
+  ASSERT_EQ(r.lurking.count(66), 1u);
+  EXPECT_EQ(r.lurking.at(66).count, 1);
+  EXPECT_EQ(r.lurking.at(66).overwrites_before_last_surface, 2);
+}
+
+TEST(CheckerTest, OkPlusBoundsOverwritesBeforeSurface) {
+  // A lurking write surfacing after 2 completed overwrites violates
+  // BFT-linearizability+ with k=2 but satisfies it with k=3.
+  History hist;
+  add_write(hist, 1, 1, 0, 10, {1, 1}, "good");
+  hist.record_stop(66, 100);
+  add_write(hist, 1, 1, 110, 120, {2, 1}, "post-1");
+  add_write(hist, 1, 1, 130, 140, {3, 1}, "post-2");
+  add_read(hist, 2, 1, 300, 310, {4, 66}, "lurker");
+  auto r = check_bft_linearizability(hist, {66});
+  EXPECT_TRUE(r.ok(1));
+  EXPECT_FALSE(r.ok_plus(1, 2));
+  EXPECT_TRUE(r.ok_plus(1, 3));
+}
+
+TEST(CheckerTest, OkPlusTrivialWhenNothingLurks) {
+  History hist;
+  add_write(hist, 1, 1, 0, 10, {1, 1}, "good");
+  hist.record_stop(66, 100);
+  add_write(hist, 1, 1, 110, 120, {2, 1}, "post");
+  auto r = check_bft_linearizability(hist, {66});
+  EXPECT_TRUE(r.ok_plus(0, 2));
+}
+
+TEST(CheckerTest, MultipleBadClientsTrackedIndependently) {
+  History hist;
+  add_write(hist, 1, 1, 0, 10, {1, 1}, "good");
+  hist.record_stop(66, 100);
+  hist.record_stop(67, 150);
+  add_read(hist, 1, 1, 200, 210, {2, 66}, "lurker-66");
+  add_read(hist, 1, 1, 220, 230, {3, 67}, "lurker-67a");
+  add_read(hist, 1, 1, 240, 250, {4, 67}, "lurker-67b");
+  auto r = check_bft_linearizability(hist, {66, 67});
+  EXPECT_EQ(r.lurking.at(66).count, 1);
+  EXPECT_EQ(r.lurking.at(67).count, 2);
+  EXPECT_EQ(r.max_lurking(), 2);
+}
+
+TEST(CheckerTest, MultiObjectIndependence) {
+  History hist;
+  add_write(hist, 1, 1, 0, 10, {1, 1}, "obj1");
+  add_write(hist, 1, 2, 20, 30, {1, 1}, "obj2");
+  // Reads of different objects never constrain each other.
+  add_read(hist, 2, 1, 40, 50, {1, 1}, "obj1");
+  add_read(hist, 2, 2, 60, 70, {1, 1}, "obj2");
+  auto r = check_bft_linearizability(hist, {});
+  EXPECT_TRUE(r.ok(0)) << r.summary();
+}
+
+TEST(CheckerTest, AbortedOpsExcluded) {
+  History hist;
+  const std::size_t tok = hist.begin_write(1, 1, 0, to_bytes("never"));
+  hist.abort(tok);
+  add_read(hist, 2, 1, 40, 50, Timestamp::zero(), "");
+  auto r = check_bft_linearizability(hist, {});
+  EXPECT_TRUE(r.ok(0)) << r.summary();
+  EXPECT_EQ(hist.completed_count(), 1u);
+}
+
+TEST(CheckerTest, OptimizedTieBreakVersionsDistinct) {
+  // Two versions sharing a timestamp (possible only from a bad client in
+  // the optimized protocol) are distinct versions ordered by hash; reads
+  // moving from smaller-hash to larger-hash are monotone, the reverse is
+  // flagged.
+  History hist;
+  const std::string small = h("aaa") < h("zzz") ? "aaa" : "zzz";
+  const std::string big = small == "aaa" ? "zzz" : "aaa";
+  add_read(hist, 1, 1, 0, 10, {1, 66}, small);
+  add_read(hist, 1, 1, 20, 30, {1, 66}, big);  // forward: ok
+  auto ok = check_bft_linearizability(hist, {66});
+  EXPECT_TRUE(ok.linearizable) << ok.summary();
+
+  History bad;
+  add_read(bad, 1, 1, 0, 10, {1, 66}, big);
+  add_read(bad, 1, 1, 20, 30, {1, 66}, small);  // backwards: flagged
+  auto flagged = check_bft_linearizability(bad, {66});
+  EXPECT_FALSE(flagged.linearizable);
+}
+
+}  // namespace
+}  // namespace bftbc::checker

@@ -1,0 +1,213 @@
+#include "crypto/bigint.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/prime.h"
+
+namespace bftbc::crypto {
+namespace {
+
+TEST(BigIntTest, ZeroProperties) {
+  BigInt z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_FALSE(z.is_odd());
+  EXPECT_EQ(z.bit_length(), 0u);
+  EXPECT_EQ(z.to_u64(), 0u);
+  EXPECT_EQ(z.to_hex(), "0");
+}
+
+TEST(BigIntTest, U64Roundtrip) {
+  for (std::uint64_t v : {0ULL, 1ULL, 255ULL, 0x100000000ULL,
+                          0xffffffffffffffffULL, 0xdeadbeefcafebabeULL}) {
+    EXPECT_EQ(BigInt(v).to_u64(), v);
+  }
+}
+
+TEST(BigIntTest, HexRoundtrip) {
+  const std::string h = "1fffffffffffffffffffffffffffffffffffffffcafebabe";
+  EXPECT_EQ(BigInt::from_hex(h).to_hex(), h);
+}
+
+TEST(BigIntTest, BytesRoundtrip) {
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    const Bytes b = rng.bytes(1 + static_cast<std::size_t>(rng.next_below(64)));
+    BigInt x = BigInt::from_bytes(b);
+    // Leading zeros are not preserved; compare via re-import.
+    EXPECT_EQ(BigInt::from_bytes(x.to_bytes()), x);
+  }
+}
+
+TEST(BigIntTest, PaddedExport) {
+  BigInt x(0xabcd);
+  Bytes padded = x.to_bytes_padded(8);
+  ASSERT_EQ(padded.size(), 8u);
+  EXPECT_EQ(padded[6], 0xab);
+  EXPECT_EQ(padded[7], 0xcd);
+  EXPECT_EQ(padded[0], 0);
+}
+
+TEST(BigIntTest, Comparison) {
+  EXPECT_LT(BigInt(1), BigInt(2));
+  EXPECT_GT(BigInt(0x100000000ULL), BigInt(0xffffffffULL));
+  EXPECT_EQ(BigInt(42), BigInt(42));
+  EXPECT_LE(BigInt(), BigInt(0));
+}
+
+TEST(BigIntTest, AddSubInverse) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    BigInt a = BigInt::random_with_bits(rng, 1 + rng.next_below(256));
+    BigInt b = BigInt::random_with_bits(rng, 1 + rng.next_below(256));
+    BigInt sum = a + b;
+    EXPECT_EQ(sum - b, a);
+    EXPECT_EQ(sum - a, b);
+  }
+}
+
+TEST(BigIntTest, MulAgainstU64) {
+  EXPECT_EQ((BigInt(0xffffffffULL) * BigInt(0xffffffffULL)).to_hex(),
+            "fffffffe00000001");
+  EXPECT_EQ((BigInt(0) * BigInt(12345)).is_zero(), true);
+  EXPECT_EQ((BigInt(1) * BigInt(12345)).to_u64(), 12345u);
+}
+
+TEST(BigIntTest, MulCommutesAndDistributes) {
+  Rng rng(13);
+  for (int i = 0; i < 50; ++i) {
+    BigInt a = BigInt::random_with_bits(rng, 1 + rng.next_below(200));
+    BigInt b = BigInt::random_with_bits(rng, 1 + rng.next_below(200));
+    BigInt c = BigInt::random_with_bits(rng, 1 + rng.next_below(200));
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+  }
+}
+
+TEST(BigIntTest, Shifts) {
+  BigInt one(1);
+  EXPECT_EQ(one.shifted_left(100).bit_length(), 101u);
+  EXPECT_EQ(one.shifted_left(100).shifted_right(100), one);
+  EXPECT_TRUE(one.shifted_right(1).is_zero());
+  BigInt x = BigInt::from_hex("123456789abcdef0");
+  EXPECT_EQ(x.shifted_left(4).to_hex(), "123456789abcdef00");
+  EXPECT_EQ(x.shifted_right(4).to_hex(), "123456789abcdef");
+}
+
+TEST(BigIntTest, DivModIdentity) {
+  Rng rng(17);
+  for (int i = 0; i < 200; ++i) {
+    BigInt a = BigInt::random_with_bits(rng, 1 + rng.next_below(512));
+    BigInt b = BigInt::random_with_bits(rng, 1 + rng.next_below(300));
+    auto [q, r] = BigInt::divmod(a, b);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_LT(r, b);
+  }
+}
+
+TEST(BigIntTest, DivModKnuthD6CornerCases) {
+  // Cases engineered to hit the "add back" (D6) step: divisor with
+  // top limb 0x80000000 and dividend just below a multiple.
+  BigInt b = BigInt::from_hex("8000000000000000000000000001");
+  BigInt a = b * BigInt::from_hex("ffffffffffffffff") - BigInt(1);
+  auto [q, r] = BigInt::divmod(a, b);
+  EXPECT_EQ(q * b + r, a);
+  EXPECT_LT(r, b);
+}
+
+TEST(BigIntTest, DivBySingleLimb) {
+  BigInt a = BigInt::from_hex("ffffffffffffffffffffffffffffffff");
+  auto [q, r] = BigInt::divmod(a, BigInt(10));
+  EXPECT_EQ(q * BigInt(10) + r, a);
+  EXPECT_LT(r.to_u64(), 10u);
+}
+
+TEST(BigIntTest, DivSmallerThanDivisor) {
+  auto [q, r] = BigInt::divmod(BigInt(5), BigInt(7));
+  EXPECT_TRUE(q.is_zero());
+  EXPECT_EQ(r.to_u64(), 5u);
+}
+
+TEST(BigIntTest, ModExpSmallNumbers) {
+  // 3^7 mod 50 = 2187 mod 50 = 37
+  EXPECT_EQ(BigInt::mod_exp(BigInt(3), BigInt(7), BigInt(50)).to_u64(), 37u);
+  // Fermat: a^(p-1) = 1 mod p for prime p
+  EXPECT_EQ(BigInt::mod_exp(BigInt(12345), BigInt(1000003 - 1),
+                            BigInt(1000003))
+                .to_u64(),
+            1u);
+}
+
+TEST(BigIntTest, ModExpZeroExponent) {
+  EXPECT_EQ(BigInt::mod_exp(BigInt(9), BigInt(0), BigInt(7)).to_u64(), 1u);
+}
+
+TEST(BigIntTest, GcdBasics) {
+  EXPECT_EQ(BigInt::gcd(BigInt(12), BigInt(18)).to_u64(), 6u);
+  EXPECT_EQ(BigInt::gcd(BigInt(17), BigInt(13)).to_u64(), 1u);
+  EXPECT_EQ(BigInt::gcd(BigInt(0), BigInt(5)).to_u64(), 5u);
+}
+
+TEST(BigIntTest, ModInverse) {
+  Rng rng(23);
+  const BigInt m = generate_prime(rng, 128);
+  for (int i = 0; i < 20; ++i) {
+    BigInt a = BigInt::random_below(rng, m);
+    if (a.is_zero()) continue;
+    BigInt inv = BigInt::mod_inverse(a, m);
+    ASSERT_FALSE(inv.is_zero());
+    EXPECT_TRUE(((a * inv) % m).is_one());
+  }
+}
+
+TEST(BigIntTest, ModInverseNonCoprimeFails) {
+  EXPECT_TRUE(BigInt::mod_inverse(BigInt(6), BigInt(9)).is_zero());
+}
+
+TEST(BigIntTest, RandomWithBitsExactLength) {
+  Rng rng(31);
+  for (std::size_t bits : {1u, 31u, 32u, 33u, 64u, 100u, 512u}) {
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_EQ(BigInt::random_with_bits(rng, bits).bit_length(), bits);
+    }
+  }
+}
+
+TEST(BigIntTest, RandomBelowIsBelow) {
+  Rng rng(37);
+  const BigInt bound = BigInt::from_hex("10000000000000001");
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_LT(BigInt::random_below(rng, bound), bound);
+  }
+}
+
+TEST(PrimeTest, KnownPrimes) {
+  Rng rng(41);
+  for (std::uint64_t p : {2ULL, 3ULL, 5ULL, 257ULL, 65537ULL, 1000003ULL,
+                          2147483647ULL /* M31 */}) {
+    EXPECT_TRUE(is_probable_prime(BigInt(p), rng)) << p;
+  }
+}
+
+TEST(PrimeTest, KnownComposites) {
+  Rng rng(43);
+  for (std::uint64_t c : {1ULL, 4ULL, 561ULL /* Carmichael */, 65536ULL,
+                          1000001ULL, 4294967297ULL /* F5 = 641*6700417 */}) {
+    EXPECT_FALSE(is_probable_prime(BigInt(c), rng)) << c;
+  }
+}
+
+TEST(PrimeTest, GeneratedPrimeHasRequestedBits) {
+  Rng rng(47);
+  BigInt p = generate_prime(rng, 96);
+  EXPECT_EQ(p.bit_length(), 96u);
+  EXPECT_TRUE(p.is_odd());
+  EXPECT_TRUE(is_probable_prime(p, rng));
+}
+
+TEST(PrimeTest, DeterministicForSeed) {
+  Rng a(99), b(99);
+  EXPECT_EQ(generate_prime(a, 64), generate_prime(b, 64));
+}
+
+}  // namespace
+}  // namespace bftbc::crypto

@@ -1,0 +1,90 @@
+#include "crypto/sha256.h"
+
+#include <gtest/gtest.h>
+
+#include "util/hex.h"
+
+namespace bftbc::crypto {
+namespace {
+
+// FIPS 180-4 / NIST CAVP test vectors.
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(to_hex(digest_view(sha256(as_bytes_view("")))),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(to_hex(digest_view(sha256(as_bytes_view("abc")))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(to_hex(digest_view(sha256(as_bytes_view(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 ctx;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) ctx.update(chunk);
+  EXPECT_EQ(to_hex(digest_view(ctx.finish())),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  const Bytes msg = to_bytes("the quick brown fox jumps over the lazy dog");
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    Sha256 ctx;
+    ctx.update(BytesView(msg.data(), split));
+    ctx.update(BytesView(msg.data() + split, msg.size() - split));
+    EXPECT_EQ(ctx.finish(), sha256(msg)) << "split at " << split;
+  }
+}
+
+TEST(Sha256Test, BoundaryLengths) {
+  // Exercise the padding logic at block-size boundaries.
+  for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    const Bytes msg(len, 0x5a);
+    Sha256 a;
+    a.update(msg);
+    // byte-at-a-time must agree
+    Sha256 b;
+    for (std::uint8_t byte : msg) b.update(BytesView(&byte, 1));
+    EXPECT_EQ(a.finish(), b.finish()) << "len " << len;
+  }
+}
+
+TEST(Sha256Test, ResetReusesContext) {
+  Sha256 ctx;
+  ctx.update(as_bytes_view("garbage"));
+  (void)ctx.finish();
+  ctx.reset();
+  ctx.update(as_bytes_view("abc"));
+  EXPECT_EQ(to_hex(digest_view(ctx.finish())),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, CompareDigestsOrdersNumerically) {
+  Digest a{};
+  Digest b{};
+  a[0] = 1;
+  EXPECT_GT(compare_digests(a, b), 0);
+  EXPECT_LT(compare_digests(b, a), 0);
+  EXPECT_EQ(compare_digests(a, a), 0);
+  // differs only in last byte
+  Digest c = a;
+  c[31] = 1;
+  EXPECT_LT(compare_digests(a, c), 0);
+}
+
+TEST(Sha256Test, DigestFromBytesRejectsWrongSize) {
+  Digest d;
+  EXPECT_FALSE(digest_from_bytes(Bytes(31, 0), d));
+  EXPECT_FALSE(digest_from_bytes(Bytes(33, 0), d));
+  EXPECT_TRUE(digest_from_bytes(Bytes(32, 7), d));
+  EXPECT_EQ(d[0], 7);
+}
+
+}  // namespace
+}  // namespace bftbc::crypto

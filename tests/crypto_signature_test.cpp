@@ -1,0 +1,148 @@
+#include "crypto/signature.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/nonce.h"
+
+namespace bftbc::crypto {
+namespace {
+
+class SignatureTest : public ::testing::TestWithParam<SignatureScheme> {
+ protected:
+  // RSA keystore uses small keys so the parameterized suite stays fast.
+  Keystore ks_{GetParam(), /*seed=*/5, /*rsa_bits=*/512};
+};
+
+TEST_P(SignatureTest, SignVerifyRoundtrip) {
+  Signer s = ks_.register_principal(7);
+  const Bytes msg = to_bytes("WRITE-REPLY ts=3");
+  auto sig = s.sign(msg);
+  ASSERT_TRUE(sig.is_ok()) << sig.status().to_string();
+  EXPECT_TRUE(ks_.verify(7, msg, sig.value()));
+}
+
+TEST_P(SignatureTest, VerifyRejectsOtherPrincipal) {
+  Signer a = ks_.register_principal(1);
+  ks_.register_principal(2);
+  const Bytes msg = to_bytes("statement");
+  auto sig = a.sign(msg);
+  ASSERT_TRUE(sig.is_ok());
+  // A signature by principal 1 must not verify as principal 2 even though
+  // the message bytes are identical.
+  EXPECT_FALSE(ks_.verify(2, msg, sig.value()));
+}
+
+TEST_P(SignatureTest, VerifyRejectsTamperedMessage) {
+  Signer s = ks_.register_principal(3);
+  auto sig = s.sign(to_bytes("original"));
+  ASSERT_TRUE(sig.is_ok());
+  EXPECT_FALSE(ks_.verify(3, to_bytes("tampered"), sig.value()));
+}
+
+TEST_P(SignatureTest, VerifyUnknownPrincipalFails) {
+  EXPECT_FALSE(ks_.verify(99, to_bytes("m"), Bytes(32, 0)));
+}
+
+TEST_P(SignatureTest, RevokedPrincipalCannotSign) {
+  Signer s = ks_.register_principal(4);
+  const Bytes msg = to_bytes("lurking write");
+  auto before = s.sign(msg);
+  ASSERT_TRUE(before.is_ok());
+
+  ks_.revoke(4);
+  EXPECT_TRUE(ks_.is_revoked(4));
+
+  auto after = s.sign(to_bytes("new statement"));
+  EXPECT_FALSE(after.is_ok());
+  EXPECT_EQ(after.status().code(), StatusCode::kUnavailable);
+
+  // Old signatures still verify: replays of pre-stop messages are
+  // allowed by the model (§4.1.1).
+  EXPECT_TRUE(ks_.verify(4, msg, before.value()));
+}
+
+TEST_P(SignatureTest, RegistrationIsIdempotent) {
+  Signer a = ks_.register_principal(6);
+  Signer b = ks_.register_principal(6);
+  auto sig_a = a.sign(to_bytes("m"));
+  auto sig_b = b.sign(to_bytes("m"));
+  ASSERT_TRUE(sig_a.is_ok());
+  ASSERT_TRUE(sig_b.is_ok());
+  // Same key material behind both handles.
+  EXPECT_TRUE(ks_.verify(6, to_bytes("m"), sig_a.value()));
+  EXPECT_TRUE(ks_.verify(6, to_bytes("m"), sig_b.value()));
+}
+
+TEST_P(SignatureTest, CountersTrackOps) {
+  Signer s = ks_.register_principal(8);
+  ks_.reset_counters();
+  auto sig = s.sign(to_bytes("m"));
+  ASSERT_TRUE(sig.is_ok());
+  (void)ks_.verify(8, to_bytes("m"), sig.value());
+  (void)ks_.verify(8, to_bytes("m"), sig.value());
+  EXPECT_EQ(ks_.counters().get("sign"), 1u);
+  EXPECT_EQ(ks_.counters().get("verify"), 2u);
+}
+
+TEST_P(SignatureTest, SignatureSizeReported) {
+  Signer s = ks_.register_principal(9);
+  auto sig = s.sign(to_bytes("m"));
+  ASSERT_TRUE(sig.is_ok());
+  EXPECT_EQ(sig.value().size(), ks_.signature_size());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, SignatureTest,
+                         ::testing::Values(SignatureScheme::kHmacSim,
+                                           SignatureScheme::kRsa),
+                         [](const auto& info) {
+                           return info.param == SignatureScheme::kHmacSim
+                                      ? "HmacSim"
+                                      : "Rsa";
+                         });
+
+TEST(KeystoreTest, UnboundSignerFails) {
+  Signer s;
+  EXPECT_FALSE(s.valid());
+  EXPECT_FALSE(s.sign(to_bytes("m")).is_ok());
+}
+
+TEST(KeystoreTest, DeterministicKeysForSeed) {
+  Keystore a(SignatureScheme::kHmacSim, 42);
+  Keystore b(SignatureScheme::kHmacSim, 42);
+  Signer sa = a.register_principal(1);
+  Signer sb = b.register_principal(1);
+  auto siga = sa.sign(to_bytes("m"));
+  auto sigb = sb.sign(to_bytes("m"));
+  ASSERT_TRUE(siga.is_ok());
+  ASSERT_TRUE(sigb.is_ok());
+  EXPECT_EQ(siga.value(), sigb.value());
+}
+
+TEST(NonceTest, NoncesAreUniquePerClient) {
+  NonceGenerator gen(5, Rng(1));
+  Nonce a = gen.next();
+  Nonce b = gen.next();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a.principal, 5u);
+  EXPECT_EQ(b.counter, a.counter + 1);
+}
+
+TEST(NonceTest, NoncesDifferAcrossClients) {
+  NonceGenerator g1(1, Rng(9)), g2(2, Rng(9));
+  // Same rng seed but different principals → still distinct nonces.
+  EXPECT_NE(g1.next(), g2.next());
+}
+
+TEST(NonceTest, EncodeDecodeRoundtrip) {
+  NonceGenerator gen(77, Rng(3));
+  const Nonce n = gen.next();
+  Writer w;
+  n.encode(w);
+  Reader r(w.data());
+  const Nonce back = Nonce::decode(r);
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(n, back);
+}
+
+}  // namespace
+}  // namespace bftbc::crypto

@@ -1,0 +1,139 @@
+// Tests for the command-line flag parser used by examples and benches.
+#include <gtest/gtest.h>
+
+#include "util/flags.h"
+
+namespace bftbc {
+namespace {
+
+std::vector<char*> argv_of(std::vector<std::string>& args) {
+  std::vector<char*> out;
+  for (auto& a : args) out.push_back(a.data());
+  return out;
+}
+
+TEST(FlagsTest, DefaultsWhenUnset) {
+  FlagSet flags;
+  auto& f = flags.add_int("f", 1, "faults");
+  auto& seed = flags.add_u64("seed", 42, "seed");
+  auto& rate = flags.add_double("rate", 0.5, "rate");
+  auto& verbose = flags.add_bool("verbose", false, "verbosity");
+  auto& name = flags.add_string("name", "dflt", "name");
+
+  std::vector<std::string> args{"prog"};
+  auto argv = argv_of(args);
+  flags.parse(static_cast<int>(argv.size()), argv.data());
+
+  EXPECT_EQ(*f, 1);
+  EXPECT_EQ(*seed, 42u);
+  EXPECT_DOUBLE_EQ(*rate, 0.5);
+  EXPECT_FALSE(*verbose);
+  EXPECT_EQ(*name, "dflt");
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  FlagSet flags;
+  auto& f = flags.add_int("f", 1, "faults");
+  auto& rate = flags.add_double("rate", 0.5, "rate");
+  std::vector<std::string> args{"prog", "--f=3", "--rate=0.25"};
+  auto argv = argv_of(args);
+  flags.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(*f, 3);
+  EXPECT_DOUBLE_EQ(*rate, 0.25);
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  FlagSet flags;
+  auto& seed = flags.add_u64("seed", 0, "seed");
+  auto& name = flags.add_string("name", "", "name");
+  std::vector<std::string> args{"prog", "--seed", "99", "--name", "xyz"};
+  auto argv = argv_of(args);
+  flags.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(*seed, 99u);
+  EXPECT_EQ(*name, "xyz");
+}
+
+TEST(FlagsTest, BareBooleanFlag) {
+  FlagSet flags;
+  auto& verbose = flags.add_bool("verbose", false, "v");
+  auto& f = flags.add_int("f", 1, "faults");
+  std::vector<std::string> args{"prog", "--verbose", "--f", "2"};
+  auto argv = argv_of(args);
+  flags.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(*verbose);
+  EXPECT_EQ(*f, 2);
+}
+
+TEST(FlagsTest, BooleanExplicitValues) {
+  FlagSet flags;
+  auto& a = flags.add_bool("a", false, "");
+  auto& b = flags.add_bool("b", true, "");
+  std::vector<std::string> args{"prog", "--a=true", "--b=false"};
+  auto argv = argv_of(args);
+  flags.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(*a);
+  EXPECT_FALSE(*b);
+}
+
+TEST(FlagsTest, PositionalArgumentsCollected) {
+  FlagSet flags;
+  auto& f = flags.add_int("f", 1, "");
+  std::vector<std::string> args{"prog", "input.txt", "--f=2", "output.txt"};
+  auto argv = argv_of(args);
+  flags.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(*f, 2);
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "input.txt");
+  EXPECT_EQ(flags.positional()[1], "output.txt");
+}
+
+TEST(FlagsTest, NegativeNumbers) {
+  FlagSet flags;
+  auto& delta = flags.add_int("delta", 0, "");
+  std::vector<std::string> args{"prog", "--delta=-7"};
+  auto argv = argv_of(args);
+  flags.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(*delta, -7);
+}
+
+TEST(FlagsTest, UsageListsFlagsAndDefaults) {
+  FlagSet flags;
+  flags.add_int("f", 3, "tolerated faults");
+  flags.add_string("mode", "base", "protocol mode");
+  const std::string usage = flags.usage("prog");
+  EXPECT_NE(usage.find("--f"), std::string::npos);
+  EXPECT_NE(usage.find("3"), std::string::npos);
+  EXPECT_NE(usage.find("tolerated faults"), std::string::npos);
+  EXPECT_NE(usage.find("--mode"), std::string::npos);
+  EXPECT_NE(usage.find("base"), std::string::npos);
+}
+
+TEST(FlagsDeathTest, UnknownFlagExits) {
+  FlagSet flags;
+  flags.add_int("f", 1, "");
+  std::vector<std::string> args{"prog", "--bogus=1"};
+  auto argv = argv_of(args);
+  EXPECT_EXIT(flags.parse(static_cast<int>(argv.size()), argv.data()),
+              ::testing::ExitedWithCode(2), "unknown flag");
+}
+
+TEST(FlagsDeathTest, BadValueExits) {
+  FlagSet flags;
+  flags.add_int("f", 1, "");
+  std::vector<std::string> args{"prog", "--f=notanumber"};
+  auto argv = argv_of(args);
+  EXPECT_EXIT(flags.parse(static_cast<int>(argv.size()), argv.data()),
+              ::testing::ExitedWithCode(2), "bad value");
+}
+
+TEST(FlagsDeathTest, MissingValueExits) {
+  FlagSet flags;
+  flags.add_int("f", 1, "");
+  std::vector<std::string> args{"prog", "--f"};
+  auto argv = argv_of(args);
+  EXPECT_EXIT(flags.parse(static_cast<int>(argv.size()), argv.data()),
+              ::testing::ExitedWithCode(2), "needs a value");
+}
+
+}  // namespace
+}  // namespace bftbc

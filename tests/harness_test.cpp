@@ -1,0 +1,137 @@
+// Tests for harness utilities: the table renderer, the Recorder's
+// failure paths, and Cluster configuration knobs not covered elsewhere.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "checker/bft_linearizability.h"
+#include "harness/cluster.h"
+#include "harness/recording.h"
+#include "harness/table.h"
+
+namespace bftbc::harness {
+namespace {
+
+TEST(TableTest, AlignsColumnsToWidestCell) {
+  Table t({"a", "long-header"});
+  t.add_row({"wide-cell-content", "x"});
+  std::ostringstream out;
+  t.print(out);
+  const std::string s = out.str();
+  // Header row, separator, data row.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 3);
+  // Separator contains the + column joint.
+  EXPECT_NE(s.find('+'), std::string::npos);
+  // All three lines equal length (alignment).
+  std::istringstream lines(s);
+  std::string l1, l2, l3;
+  std::getline(lines, l1);
+  std::getline(lines, l2);
+  std::getline(lines, l3);
+  EXPECT_EQ(l1.size(), l3.size());
+}
+
+TEST(TableTest, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(3.0, 0), "3");
+  EXPECT_EQ(Table::num(0.5), "0.50");
+}
+
+TEST(RecorderTest, FailedOpsAreAborted) {
+  ClusterOptions o;
+  o.client_defaults.op_deadline = sim::kSecond;
+  Cluster cluster(o);
+  // No quorum reachable: every op fails and must be excluded from the
+  // history (aborted), never recorded as completed.
+  cluster.crash_replica(0);
+  cluster.crash_replica(1);
+  checker::History history;
+  Recorder rec(cluster, history);
+  auto& c = cluster.add_client(1);
+  EXPECT_FALSE(rec.write(c, 1, to_bytes("v")).is_ok());
+  EXPECT_FALSE(rec.read(c, 1).is_ok());
+  EXPECT_EQ(history.completed_count(), 0u);
+  auto check = checker::check_bft_linearizability(history, {});
+  EXPECT_TRUE(check.ok(0));
+}
+
+TEST(RecorderTest, StopEventRecordedWithRevocation) {
+  Cluster cluster{ClusterOptions()};
+  checker::History history;
+  Recorder rec(cluster, history);
+  cluster.add_client(7);
+  rec.stop_client(7);
+  ASSERT_EQ(history.stops().size(), 1u);
+  EXPECT_EQ(history.stops()[0].client, 7u);
+  EXPECT_TRUE(cluster.keystore().is_revoked(quorum::client_principal(7)));
+}
+
+TEST(ClusterTest, AddClientIsIdempotent) {
+  Cluster cluster{ClusterOptions()};
+  auto& a = cluster.add_client(1);
+  auto& b = cluster.add_client(1);
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(ClusterTest, PerClientOptionsOverrideDefaults) {
+  ClusterOptions o;
+  o.optimized = true;
+  Cluster cluster(o);
+  // Default-built client inherits optimized mode...
+  auto& fast = cluster.add_client(1);
+  EXPECT_TRUE(fast.options().optimized);
+  // ...but explicit options win.
+  core::ClientOptions plain;
+  plain.optimized = false;
+  auto& slow = cluster.add_client(2, plain);
+  EXPECT_FALSE(slow.options().optimized);
+}
+
+TEST(ClusterTest, ReplicaFactorySlotsApplied) {
+  int factory_calls = 0;
+  ClusterOptions o;
+  o.replica_factories[2] = [&factory_calls](
+                               const quorum::QuorumConfig& cfg,
+                               quorum::ReplicaId id, crypto::Keystore& ks,
+                               rpc::Transport& t, sim::Simulator& s,
+                               const core::ReplicaOptions& opts)
+      -> std::unique_ptr<core::Replica> {
+    ++factory_calls;
+    return std::make_unique<core::Replica>(cfg, id, ks, t, s, opts);
+  };
+  Cluster cluster(o);
+  EXPECT_EQ(factory_calls, 1);
+  EXPECT_EQ(cluster.replica(2).id(), 2u);
+}
+
+TEST(ClusterTest, ModeFlagsPropagateToReplicas) {
+  ClusterOptions o;
+  o.optimized = true;
+  o.strong = true;
+  Cluster cluster(o);
+  for (quorum::ReplicaId r = 0; r < cluster.config().n; ++r) {
+    EXPECT_TRUE(cluster.replica(r).options().optimized);
+    EXPECT_TRUE(cluster.replica(r).options().strong);
+  }
+}
+
+TEST(ClusterTest, DeterministicAcrossIdenticalRuns) {
+  auto run = [](std::uint64_t seed) {
+    ClusterOptions o;
+    o.seed = seed;
+    o.link.loss_probability = 0.1;
+    Cluster cluster(o);
+    auto& c = cluster.add_client(1);
+    std::vector<sim::Time> completion_times;
+    for (int i = 0; i < 5; ++i) {
+      (void)cluster.write(c, 1, to_bytes("v" + std::to_string(i)));
+      completion_times.push_back(cluster.sim().now());
+    }
+    return completion_times;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+}  // namespace
+}  // namespace bftbc::harness

@@ -1,0 +1,167 @@
+// Property sweep over network adversity: for every combination of loss,
+// duplication, corruption, jitter, and f, the protocol must complete all
+// operations and the final state must be the last write. This is the §2
+// network model exercised wholesale.
+#include <gtest/gtest.h>
+
+#include "harness/cluster.h"
+
+namespace bftbc {
+namespace {
+
+using harness::Cluster;
+using harness::ClusterOptions;
+
+struct NetParam {
+  double loss;
+  double dup;
+  double corrupt;
+  sim::Time jitter;
+  std::uint32_t f;
+  bool optimized;
+};
+
+class NetworkAdversityTest : public ::testing::TestWithParam<NetParam> {};
+
+TEST_P(NetworkAdversityTest, OpsCompleteAndConverge) {
+  const NetParam p = GetParam();
+  ClusterOptions o;
+  o.f = p.f;
+  o.seed = 1234 + static_cast<std::uint64_t>(p.loss * 100) +
+           static_cast<std::uint64_t>(p.dup * 10) + p.f;
+  o.optimized = p.optimized;
+  o.link.loss_probability = p.loss;
+  o.link.duplicate_probability = p.dup;
+  o.link.corrupt_probability = p.corrupt;
+  o.link.jitter_mean = p.jitter;
+  Cluster cluster(o);
+
+  auto& a = cluster.add_client(1);
+  auto& b = cluster.add_client(2);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(cluster.write(a, 1, to_bytes("a" + std::to_string(i))).is_ok())
+        << "loss=" << p.loss << " i=" << i;
+    ASSERT_TRUE(cluster.write(b, 1, to_bytes("b" + std::to_string(i))).is_ok());
+  }
+  auto r = cluster.read(a, 1);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(to_string(r.value().value), "b3");
+  EXPECT_EQ(r.value().ts.val, 8u);
+}
+
+std::vector<NetParam> make_grid() {
+  std::vector<NetParam> grid;
+  for (double loss : {0.0, 0.3}) {
+    for (double dup : {0.0, 0.3}) {
+      for (double corrupt : {0.0, 0.1}) {
+        for (std::uint32_t f : {1u, 2u}) {
+          grid.push_back(NetParam{loss, dup, corrupt,
+                                  2 * sim::kMillisecond, f, false});
+        }
+      }
+    }
+  }
+  // A few optimized-mode points on the nastiest corner.
+  grid.push_back(NetParam{0.3, 0.3, 0.1, 2 * sim::kMillisecond, 1, true});
+  grid.push_back(NetParam{0.3, 0.3, 0.1, 5 * sim::kMillisecond, 2, true});
+  return grid;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, NetworkAdversityTest, ::testing::ValuesIn(make_grid()),
+    [](const auto& info) {
+      const NetParam& p = info.param;
+      return "loss" + std::to_string(static_cast<int>(p.loss * 100)) +
+             "_dup" + std::to_string(static_cast<int>(p.dup * 100)) +
+             "_cor" + std::to_string(static_cast<int>(p.corrupt * 100)) +
+             "_f" + std::to_string(p.f) + (p.optimized ? "_opt" : "");
+    });
+
+// Partitions: a minority partition stalls nothing; a majority partition
+// stalls progress exactly until it heals.
+TEST(PartitionTest, MinorityPartitionHarmless) {
+  Cluster cluster([] { ClusterOptions o; o.seed = 9; return o; }());
+  auto& c = cluster.add_client(1);
+  // Cut replica 0 off from the client (2f+1 = 3 others still reachable).
+  cluster.net().partition(0, harness::client_node(1));
+  ASSERT_TRUE(cluster.write(c, 1, to_bytes("v")).is_ok());
+  auto r = cluster.read(c, 1);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(to_string(r.value().value), "v");
+}
+
+TEST(PartitionTest, MajorityPartitionStallsUntilHeal) {
+  Cluster cluster([] { ClusterOptions o; o.seed = 10; return o; }());
+  auto& c = cluster.add_client(1);
+  // Cut the client from replicas 0 and 1: only 2 reachable < q = 3.
+  cluster.net().partition(0, harness::client_node(1));
+  cluster.net().partition(1, harness::client_node(1));
+
+  bool done = false;
+  c.write(1, to_bytes("stalled"), [&](Result<core::Client::WriteResult> r) {
+    EXPECT_TRUE(r.is_ok());
+    done = true;
+  });
+  // Nothing can complete while partitioned...
+  cluster.sim().run_until(cluster.sim().now() + 500 * sim::kMillisecond);
+  EXPECT_FALSE(done);
+
+  // ...and the client's retransmission finishes the op after healing.
+  cluster.net().heal_all();
+  ASSERT_TRUE(cluster.run_until([&] { return done; }));
+  auto r = cluster.read(c, 1);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(to_string(r.value().value), "stalled");
+}
+
+TEST(PartitionTest, ReplicaSidePartitionToleratedUpToF) {
+  // Replicas partitioned from EACH OTHER don't matter at all — BFT-BC
+  // has no server-to-server communication (unlike the Phalanx baseline).
+  Cluster cluster([] { ClusterOptions o; o.seed = 11; return o; }());
+  for (quorum::ReplicaId a = 0; a < 4; ++a) {
+    for (quorum::ReplicaId b = a + 1; b < 4; ++b) {
+      cluster.net().partition(a, b);
+    }
+  }
+  auto& c = cluster.add_client(1);
+  ASSERT_TRUE(cluster.write(c, 1, to_bytes("no-server-gossip")).is_ok());
+  auto r = cluster.read(c, 1);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(to_string(r.value().value), "no-server-gossip");
+}
+
+// End-to-end over REAL RSA signatures (slow path: small keys, few ops).
+TEST(RealCryptoTest, FullProtocolOverRsa) {
+  ClusterOptions o;
+  o.scheme = crypto::SignatureScheme::kRsa;
+  o.rsa_bits = 512;
+  o.seed = 77;
+  Cluster cluster(o);
+  auto& c = cluster.add_client(1);
+  auto w = cluster.write(c, 1, to_bytes("rsa-signed"));
+  ASSERT_TRUE(w.is_ok());
+  EXPECT_EQ(w.value().phases, 3);
+  auto r = cluster.read(cluster.add_client(2), 1);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(to_string(r.value().value), "rsa-signed");
+  // Certificates carried real RSA signatures end to end.
+  EXPECT_GT(cluster.keystore().counters().get("sign"), 0u);
+  EXPECT_GT(cluster.keystore().counters().get("verify"), 0u);
+}
+
+TEST(RealCryptoTest, RsaOptimizedMode) {
+  ClusterOptions o;
+  o.scheme = crypto::SignatureScheme::kRsa;
+  o.rsa_bits = 512;
+  o.optimized = true;
+  o.seed = 78;
+  Cluster cluster(o);
+  auto& c = cluster.add_client(1);
+  ASSERT_TRUE(cluster.write(c, 1, to_bytes("first")).is_ok());
+  auto w = cluster.write(c, 1, to_bytes("second"));
+  ASSERT_TRUE(w.is_ok());
+  EXPECT_EQ(w.value().phases, 2);  // fast path over real crypto
+}
+
+}  // namespace
+}  // namespace bftbc

@@ -1,0 +1,222 @@
+// Direct tests of rpc::QuorumCall — the retransmission/collection
+// primitive every protocol phase in the repo is built on.
+#include <gtest/gtest.h>
+
+#include "rpc/quorum_call.h"
+
+namespace bftbc::rpc {
+namespace {
+
+class QuorumCallTest : public ::testing::Test {
+ protected:
+  QuorumCallTest()
+      : net_(sim_, Rng(4), [] { sim::LinkConfig c; c.base_delay = 100; c.jitter_mean = 0; return c; }()),
+        transport_(net_, 99) {
+    // Four fake replicas recording what they receive.
+    for (sim::NodeId n = 0; n < 4; ++n) {
+      net_.register_node(n, [this, n](sim::NodeId, Bytes payload) {
+        auto env = Envelope::decode(payload);
+        if (env.has_value()) received_[n].push_back(*env);
+      });
+    }
+  }
+
+  Envelope request(std::uint64_t rpc_id = 7) {
+    Envelope env;
+    env.type = MsgType::kReadTs;
+    env.rpc_id = rpc_id;
+    env.sender = 1;
+    env.body = to_bytes("req");
+    return env;
+  }
+
+  Envelope reply_env(std::uint64_t rpc_id, const std::string& body) {
+    Envelope env;
+    env.type = MsgType::kReadTsReply;
+    env.rpc_id = rpc_id;
+    env.sender = 1000;
+    env.body = to_bytes(body);
+    return env;
+  }
+
+  sim::Simulator sim_;
+  sim::Network net_;
+  SimTransport transport_;
+  std::map<sim::NodeId, std::vector<Envelope>> received_;
+};
+
+TEST_F(QuorumCallTest, SendsToAllTargetsImmediately) {
+  bool complete = false;
+  QuorumCall call(
+      sim_, transport_, {0, 1, 2, 3}, 3, request(),
+      [](std::uint32_t, const Envelope&) { return true; },
+      [&] { complete = true; });
+  sim_.run_until(200);
+  for (sim::NodeId n = 0; n < 4; ++n) {
+    EXPECT_EQ(received_[n].size(), 1u) << "node " << n;
+  }
+  EXPECT_FALSE(complete);
+}
+
+TEST_F(QuorumCallTest, CompletesAtQuorumOfValidReplies) {
+  bool complete = false;
+  QuorumCall call(
+      sim_, transport_, {0, 1, 2, 3}, 3, request(),
+      [](std::uint32_t, const Envelope&) { return true; },
+      [&] { complete = true; });
+  EXPECT_TRUE(call.on_reply(0, reply_env(7, "a")));
+  EXPECT_FALSE(complete);
+  EXPECT_TRUE(call.on_reply(1, reply_env(7, "b")));
+  EXPECT_FALSE(complete);
+  EXPECT_TRUE(call.on_reply(2, reply_env(7, "c")));
+  EXPECT_TRUE(complete);
+  EXPECT_TRUE(call.complete());
+  EXPECT_EQ(call.accepted_count(), 3u);
+}
+
+TEST_F(QuorumCallTest, WrongRpcIdNotOurs) {
+  QuorumCall call(
+      sim_, transport_, {0, 1, 2, 3}, 3, request(7),
+      [](std::uint32_t, const Envelope&) { return true; }, [] {});
+  EXPECT_FALSE(call.on_reply(0, reply_env(8, "other")));
+  EXPECT_EQ(call.accepted_count(), 0u);
+}
+
+TEST_F(QuorumCallTest, UnknownSenderIgnored) {
+  QuorumCall call(
+      sim_, transport_, {0, 1, 2}, 2, request(),
+      [](std::uint32_t, const Envelope&) { return true; }, [] {});
+  EXPECT_FALSE(call.on_reply(55, reply_env(7, "imposter")));
+  EXPECT_EQ(call.accepted_count(), 0u);
+}
+
+TEST_F(QuorumCallTest, DuplicateRepliesCountOnce) {
+  bool complete = false;
+  QuorumCall call(
+      sim_, transport_, {0, 1, 2, 3}, 3, request(),
+      [](std::uint32_t, const Envelope&) { return true; },
+      [&] { complete = true; });
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(call.on_reply(0, reply_env(7, "dup")));
+  }
+  EXPECT_EQ(call.accepted_count(), 1u);
+  EXPECT_FALSE(complete);
+}
+
+TEST_F(QuorumCallTest, RejectedRepliesDontCount) {
+  int validator_calls = 0;
+  QuorumCall call(
+      sim_, transport_, {0, 1, 2, 3}, 2, request(),
+      [&](std::uint32_t idx, const Envelope&) {
+        ++validator_calls;
+        return idx != 0;  // replica 0's replies always rejected
+      },
+      [] {});
+  EXPECT_TRUE(call.on_reply(0, reply_env(7, "bad")));
+  EXPECT_EQ(call.accepted_count(), 0u);
+  // A rejected replica may try again (it was not marked accepted)...
+  EXPECT_TRUE(call.on_reply(0, reply_env(7, "bad2")));
+  EXPECT_EQ(validator_calls, 2);
+  // ...and valid replicas complete the call.
+  EXPECT_TRUE(call.on_reply(1, reply_env(7, "ok")));
+  EXPECT_TRUE(call.on_reply(2, reply_env(7, "ok")));
+  EXPECT_TRUE(call.complete());
+}
+
+TEST_F(QuorumCallTest, RetransmitsOnlyToSilentReplicas) {
+  QuorumCallOptions opts;
+  opts.retransmit_period = 1000;
+  QuorumCall call(
+      sim_, transport_, {0, 1, 2, 3}, 3, request(),
+      [](std::uint32_t, const Envelope&) { return true; }, [] {}, nullptr,
+      opts);
+  sim_.run_until(150);
+  // Replica 0 answers; 1-3 stay silent.
+  call.on_reply(0, reply_env(7, "a"));
+  sim_.run_until(2500);  // two retransmission periods
+  EXPECT_EQ(received_[0].size(), 1u);   // no retransmit to the responder
+  EXPECT_EQ(received_[1].size(), 3u);   // initial + 2 retransmits
+  EXPECT_EQ(call.sends(), 3u);
+}
+
+TEST_F(QuorumCallTest, StopsRetransmittingWhenComplete) {
+  QuorumCallOptions opts;
+  opts.retransmit_period = 1000;
+  QuorumCall call(
+      sim_, transport_, {0, 1, 2, 3}, 2, request(),
+      [](std::uint32_t, const Envelope&) { return true; }, [] {}, nullptr,
+      opts);
+  sim_.run_until(150);
+  call.on_reply(0, reply_env(7, "a"));
+  call.on_reply(1, reply_env(7, "b"));
+  ASSERT_TRUE(call.complete());
+  sim_.run_until(10'000);
+  for (sim::NodeId n = 0; n < 4; ++n) {
+    EXPECT_EQ(received_[n].size(), 1u) << "node " << n;
+  }
+}
+
+TEST_F(QuorumCallTest, DeadlineFiresTimeoutOnce) {
+  QuorumCallOptions opts;
+  opts.deadline = 5000;
+  opts.retransmit_period = 1000;
+  int timeouts = 0;
+  bool complete = false;
+  QuorumCall call(
+      sim_, transport_, {0, 1, 2, 3}, 3, request(),
+      [](std::uint32_t, const Envelope&) { return true; },
+      [&] { complete = true; }, [&] { ++timeouts; }, opts);
+  call.on_reply(0, reply_env(7, "only-one"));
+  sim_.run_until(20'000);
+  EXPECT_EQ(timeouts, 1);
+  EXPECT_FALSE(complete);
+  // Late replies after timeout are absorbed without completing.
+  EXPECT_TRUE(call.on_reply(1, reply_env(7, "late")));
+  EXPECT_TRUE(call.on_reply(2, reply_env(7, "late")));
+  EXPECT_FALSE(complete);
+}
+
+TEST_F(QuorumCallTest, NoTimeoutWhenCompletedFirst) {
+  QuorumCallOptions opts;
+  opts.deadline = 5000;
+  int timeouts = 0;
+  QuorumCall call(
+      sim_, transport_, {0, 1}, 2, request(),
+      [](std::uint32_t, const Envelope&) { return true; }, [] {},
+      [&] { ++timeouts; }, opts);
+  call.on_reply(0, reply_env(7, "a"));
+  call.on_reply(1, reply_env(7, "b"));
+  sim_.run_until(20'000);
+  EXPECT_EQ(timeouts, 0);
+}
+
+TEST_F(QuorumCallTest, DestructionCancelsTimers) {
+  {
+    QuorumCallOptions opts;
+    opts.retransmit_period = 1000;
+    opts.deadline = 5000;
+    QuorumCall call(
+        sim_, transport_, {0, 1, 2, 3}, 3, request(),
+        [](std::uint32_t, const Envelope&) { return true; }, [] {},
+        [] { FAIL() << "timeout after destruction"; }, opts);
+  }
+  sim_.run_until(20'000);  // must not fire the destroyed call's timers
+  for (sim::NodeId n = 0; n < 4; ++n) {
+    EXPECT_EQ(received_[n].size(), 1u);
+  }
+}
+
+TEST_F(QuorumCallTest, AcceptedBitmapTracksRepliers) {
+  QuorumCall call(
+      sim_, transport_, {0, 1, 2, 3}, 3, request(),
+      [](std::uint32_t, const Envelope&) { return true; }, [] {});
+  call.on_reply(2, reply_env(7, "x"));
+  call.on_reply(0, reply_env(7, "y"));
+  EXPECT_TRUE(call.accepted()[0]);
+  EXPECT_FALSE(call.accepted()[1]);
+  EXPECT_TRUE(call.accepted()[2]);
+  EXPECT_FALSE(call.accepted()[3]);
+}
+
+}  // namespace
+}  // namespace bftbc::rpc

@@ -1,0 +1,272 @@
+// Unit tests for timestamps, quorum configs, statements, certificates.
+#include <gtest/gtest.h>
+
+#include "quorum/certificate.h"
+
+namespace bftbc::quorum {
+namespace {
+
+// ------------------------------------------------------------ timestamp
+
+TEST(TimestampTest, ZeroAndSucc) {
+  Timestamp z = Timestamp::zero();
+  EXPECT_TRUE(z.is_zero());
+  Timestamp t = z.succ(5);
+  EXPECT_EQ(t.val, 1u);
+  EXPECT_EQ(t.id, 5u);
+  EXPECT_FALSE(t.is_zero());
+  Timestamp t2 = t.succ(9);
+  EXPECT_EQ(t2.val, 2u);
+  EXPECT_EQ(t2.id, 9u);
+}
+
+TEST(TimestampTest, OrderValThenClient) {
+  // §3.2.1: compare val parts; ties broken by client id.
+  EXPECT_LT((Timestamp{1, 9}), (Timestamp{2, 1}));
+  EXPECT_LT((Timestamp{2, 1}), (Timestamp{2, 2}));
+  EXPECT_EQ((Timestamp{3, 3}), (Timestamp{3, 3}));
+  EXPECT_GE((Timestamp{3, 3}), (Timestamp{3, 3}));
+  EXPECT_GT((Timestamp{3, 4}), (Timestamp{3, 3}));
+}
+
+TEST(TimestampTest, DifferentClientsNeverCollide) {
+  // succ from the same base by different clients yields distinct,
+  // totally ordered timestamps.
+  Timestamp base{7, 1};
+  Timestamp a = base.succ(2);
+  Timestamp b = base.succ(3);
+  EXPECT_NE(a, b);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a.val, b.val);
+}
+
+TEST(TimestampTest, EncodeDecodeRoundtrip) {
+  Timestamp t{0xdeadbeefcafe, 42};
+  Writer w;
+  t.encode(w);
+  Reader r(w.data());
+  EXPECT_EQ(Timestamp::decode(r), t);
+  EXPECT_TRUE(r.done());
+}
+
+// ------------------------------------------------------------ config
+
+TEST(QuorumConfigTest, BftBcSizes) {
+  for (std::uint32_t f = 1; f <= 5; ++f) {
+    const QuorumConfig c = QuorumConfig::bft_bc(f);
+    EXPECT_EQ(c.n, 3 * f + 1);
+    EXPECT_EQ(c.q, 2 * f + 1);
+    // Any two quorums intersect in >= f+1 replicas (one correct).
+    EXPECT_GE(2 * c.q, c.n + c.f + 1);
+  }
+}
+
+TEST(QuorumConfigTest, MaskingSizes) {
+  for (std::uint32_t f = 1; f <= 5; ++f) {
+    const QuorumConfig c = QuorumConfig::masking(f);
+    EXPECT_EQ(c.n, 4 * f + 1);
+    EXPECT_EQ(c.q, 3 * f + 1);
+    // Masking: intersection >= 2f+1 (majority correct).
+    EXPECT_GE(2 * c.q, c.n + 2 * c.f + 1);
+  }
+}
+
+TEST(QuorumConfigTest, PrincipalMapping) {
+  EXPECT_TRUE(is_replica_principal(replica_principal(0)));
+  EXPECT_TRUE(is_replica_principal(replica_principal(12)));
+  EXPECT_FALSE(is_replica_principal(client_principal(1)));
+  EXPECT_NE(replica_principal(0), client_principal(0));
+}
+
+// ------------------------------------------------------------ statements
+
+TEST(StatementTest, DomainSeparation) {
+  const Timestamp ts{3, 1};
+  const crypto::Digest h = crypto::sha256(as_bytes_view("v"));
+  const Bytes prep = prepare_reply_statement(9, ts, h);
+  const Bytes write = write_reply_statement(9, ts);
+  EXPECT_NE(prep, write);
+  // Different objects → different statements.
+  EXPECT_NE(prepare_reply_statement(9, ts, h),
+            prepare_reply_statement(10, ts, h));
+  EXPECT_NE(write_reply_statement(9, ts), write_reply_statement(10, ts));
+  // Different hashes → different prepare statements.
+  EXPECT_NE(prepare_reply_statement(9, ts, h),
+            prepare_reply_statement(9, ts, crypto::sha256(as_bytes_view("w"))));
+}
+
+// ------------------------------------------------------------ certificates
+
+class CertificateTest : public ::testing::Test {
+ protected:
+  CertificateTest() : config_(QuorumConfig::bft_bc(1)) {
+    for (ReplicaId r = 0; r < config_.n; ++r) {
+      signers_.push_back(ks_.register_principal(replica_principal(r)));
+    }
+  }
+
+  PrepareCertificate make_prep_cert(ObjectId obj, Timestamp ts,
+                                    const crypto::Digest& h,
+                                    std::vector<ReplicaId> replicas) {
+    SignatureSet sigs;
+    const Bytes stmt = prepare_reply_statement(obj, ts, h);
+    for (ReplicaId r : replicas) {
+      sigs[r] = signers_[r].sign(stmt).value();
+    }
+    return PrepareCertificate(obj, ts, h, std::move(sigs));
+  }
+
+  WriteCertificate make_write_cert(ObjectId obj, Timestamp ts,
+                                   std::vector<ReplicaId> replicas) {
+    SignatureSet sigs;
+    const Bytes stmt = write_reply_statement(obj, ts);
+    for (ReplicaId r : replicas) {
+      sigs[r] = signers_[r].sign(stmt).value();
+    }
+    return WriteCertificate(obj, ts, std::move(sigs));
+  }
+
+  QuorumConfig config_;
+  crypto::Keystore ks_{crypto::SignatureScheme::kHmacSim, 77};
+  std::vector<crypto::Signer> signers_;
+  crypto::Digest h_ = crypto::sha256(as_bytes_view("value"));
+};
+
+TEST_F(CertificateTest, GenesisIsValid) {
+  const auto g = PrepareCertificate::genesis(5);
+  EXPECT_TRUE(g.is_genesis());
+  EXPECT_TRUE(g.validate(config_, ks_).is_ok());
+  EXPECT_TRUE(g.ts().is_zero());
+}
+
+TEST_F(CertificateTest, GenesisWithWrongHashInvalid) {
+  PrepareCertificate fake(5, Timestamp::zero(),
+                          crypto::sha256(as_bytes_view("not-empty")), {});
+  EXPECT_FALSE(fake.is_genesis());
+  EXPECT_FALSE(fake.validate(config_, ks_).is_ok());
+}
+
+TEST_F(CertificateTest, QuorumPrepareCertValidates) {
+  auto cert = make_prep_cert(1, {1, 4}, h_, {0, 1, 2});
+  EXPECT_TRUE(cert.validate(config_, ks_).is_ok());
+  // Any quorum-sized subset works, including all n.
+  auto cert4 = make_prep_cert(1, {1, 4}, h_, {0, 1, 2, 3});
+  EXPECT_TRUE(cert4.validate(config_, ks_).is_ok());
+}
+
+TEST_F(CertificateTest, SubQuorumRejected) {
+  auto cert = make_prep_cert(1, {1, 4}, h_, {0, 1});
+  const Status s = cert.validate(config_, ks_);
+  EXPECT_EQ(s.code(), StatusCode::kBadCertificate);
+}
+
+TEST_F(CertificateTest, ForgedSignatureRejected) {
+  auto cert = make_prep_cert(1, {1, 4}, h_, {0, 1, 2});
+  SignatureSet sigs = cert.signatures();
+  sigs[2][0] ^= 0xff;  // corrupt one signature
+  PrepareCertificate bad(1, {1, 4}, h_, std::move(sigs));
+  EXPECT_FALSE(bad.validate(config_, ks_).is_ok());
+}
+
+TEST_F(CertificateTest, SignatureFromWrongStatementRejected) {
+  // A write-reply signature cannot stand in for a prepare-reply one,
+  // even for the same ts (domain separation).
+  const Timestamp ts{1, 4};
+  SignatureSet sigs;
+  const Bytes wrong_stmt = write_reply_statement(1, ts);
+  for (ReplicaId r : {0u, 1u, 2u}) {
+    sigs[r] = signers_[r].sign(wrong_stmt).value();
+  }
+  PrepareCertificate bad(1, ts, h_, std::move(sigs));
+  EXPECT_FALSE(bad.validate(config_, ks_).is_ok());
+}
+
+TEST_F(CertificateTest, OutOfRangeReplicaRejected) {
+  auto cert = make_prep_cert(1, {1, 4}, h_, {0, 1, 2});
+  SignatureSet sigs = cert.signatures();
+  // Register a principal pretending to be replica 9 (n=4).
+  auto rogue = ks_.register_principal(replica_principal(9));
+  sigs[9] = rogue.sign(prepare_reply_statement(1, {1, 4}, h_)).value();
+  sigs.erase(0);
+  PrepareCertificate bad(1, {1, 4}, h_, std::move(sigs));
+  EXPECT_FALSE(bad.validate(config_, ks_).is_ok());
+}
+
+TEST_F(CertificateTest, CertBoundToObject) {
+  // Valid for object 1; claiming object 2 breaks every signature.
+  auto cert = make_prep_cert(1, {1, 4}, h_, {0, 1, 2});
+  PrepareCertificate moved(2, cert.ts(), cert.hash(), cert.signatures());
+  EXPECT_FALSE(moved.validate(config_, ks_).is_ok());
+}
+
+TEST_F(CertificateTest, WriteCertValidates) {
+  auto cert = make_write_cert(1, {2, 3}, {1, 2, 3});
+  EXPECT_TRUE(cert.validate(config_, ks_).is_ok());
+}
+
+TEST_F(CertificateTest, WriteCertSubQuorumRejected) {
+  auto cert = make_write_cert(1, {2, 3}, {1, 2});
+  EXPECT_FALSE(cert.validate(config_, ks_).is_ok());
+}
+
+TEST_F(CertificateTest, GenesisWriteCertWithQuorumValidates) {
+  // §7 strong mode: a quorum can vouch that "the zero write completed";
+  // used by the first writer of an object.
+  auto cert = make_write_cert(1, Timestamp::zero(), {0, 1, 2});
+  EXPECT_TRUE(cert.validate(config_, ks_).is_ok());
+}
+
+TEST_F(CertificateTest, EmptyZeroWriteCertRejected) {
+  WriteCertificate empty(1, Timestamp::zero(), {});
+  EXPECT_FALSE(empty.validate(config_, ks_).is_ok());
+}
+
+TEST_F(CertificateTest, PrepareCertEncodeDecodeRoundtrip) {
+  auto cert = make_prep_cert(6, {9, 2}, h_, {1, 2, 3});
+  Writer w;
+  cert.encode(w);
+  Reader r(w.data());
+  PrepareCertificate back = PrepareCertificate::decode(r);
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(back, cert);
+  EXPECT_TRUE(back.validate(config_, ks_).is_ok());
+}
+
+TEST_F(CertificateTest, WriteCertEncodeDecodeRoundtrip) {
+  auto cert = make_write_cert(6, {9, 2}, {0, 2, 3});
+  Writer w;
+  cert.encode(w);
+  Reader r(w.data());
+  WriteCertificate back = WriteCertificate::decode(r);
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(back, cert);
+}
+
+TEST_F(CertificateTest, DecodeGarbageIsInvalidNotCrash) {
+  Reader r(as_bytes_view("complete garbage that is not a certificate"));
+  PrepareCertificate cert = PrepareCertificate::decode(r);
+  EXPECT_FALSE(cert.validate(config_, ks_).is_ok());
+}
+
+TEST_F(CertificateTest, LargerFConfigsWork) {
+  const QuorumConfig c5 = QuorumConfig::bft_bc(5);
+  crypto::Keystore ks(crypto::SignatureScheme::kHmacSim, 3);
+  SignatureSet sigs;
+  const Timestamp ts{1, 1};
+  const Bytes stmt = prepare_reply_statement(0, ts, h_);
+  for (ReplicaId r = 0; r < c5.q; ++r) {
+    auto s = ks.register_principal(replica_principal(r));
+    sigs[r] = s.sign(stmt).value();
+  }
+  PrepareCertificate cert(0, ts, h_, std::move(sigs));
+  EXPECT_TRUE(cert.validate(c5, ks).is_ok());
+
+  // One fewer signature fails.
+  SignatureSet fewer = cert.signatures();
+  fewer.erase(fewer.begin());
+  PrepareCertificate bad(0, ts, h_, std::move(fewer));
+  EXPECT_FALSE(bad.validate(c5, ks).is_ok());
+}
+
+}  // namespace
+}  // namespace bftbc::quorum
