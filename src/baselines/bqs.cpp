@@ -17,7 +17,7 @@ Bytes bqs_value_statement(ObjectId object, const Timestamp& ts,
 bool BqsEntry::verify(ObjectId object, const crypto::Keystore& ks) const {
   if (ts.is_zero()) return value.empty() && writer_sig.empty();  // genesis
   const Bytes stmt = bqs_value_statement(object, ts, crypto::sha256(value));
-  return ks.verify(quorum::client_principal(writer), stmt, writer_sig);
+  return ks.verify_cached(quorum::client_principal(writer), stmt, writer_sig);
 }
 
 namespace {
@@ -255,7 +255,7 @@ void BqsReplica::on_envelope(sim::NodeId from, const rpc::Envelope& env) {
       const Bytes stmt = bqs_value_statement(req->object, req->ts,
                                              crypto::sha256(req->value));
       if (quorum::is_replica_principal(req->client) ||
-          !keystore_.verify(quorum::client_principal(req->client), stmt,
+          !keystore_.verify_cached(quorum::client_principal(req->client), stmt,
                             req->sig)) {
         metrics_.inc("drop_bad_auth");
         return;
@@ -384,7 +384,7 @@ void BqsClient::write(ObjectId object, Bytes value, WriteCallback cb) {
             m->replica != idx) {
           return false;
         }
-        if (!keystore_.verify(quorum::replica_principal(idx),
+        if (!keystore_.verify_cached(quorum::replica_principal(idx),
                               m->signing_payload(), m->auth)) {
           return false;
         }
@@ -427,7 +427,7 @@ void BqsClient::write(ObjectId object, Bytes value, WriteCallback cb) {
                   m->replica != idx) {
                 return false;
               }
-              return keystore_.verify(quorum::replica_principal(idx),
+              return keystore_.verify_cached(quorum::replica_principal(idx),
                                       m->signing_payload(), m->auth);
             },
             [this, op_id, t] {
@@ -475,7 +475,7 @@ void BqsClient::read(ObjectId object, ReadCallback cb) {
             m->replica != idx) {
           return false;
         }
-        if (!keystore_.verify(quorum::replica_principal(idx),
+        if (!keystore_.verify_cached(quorum::replica_principal(idx),
                               m->signing_payload(), m->auth)) {
           return false;
         }
@@ -521,7 +521,7 @@ void BqsClient::read(ObjectId object, ReadCallback cb) {
                 return false;
               auto m = BqsWriteRep::decode(e.body);
               if (!m || m->ts != t || m->replica != idx) return false;
-              return keystore_.verify(quorum::replica_principal(idx),
+              return keystore_.verify_cached(quorum::replica_principal(idx),
                                       m->signing_payload(), m->auth);
             },
             [this, op_id] {

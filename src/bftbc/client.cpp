@@ -203,7 +203,7 @@ void Client::start_write_phase1(WriteOp& op) {
             m->replica != idx) {
           return false;
         }
-        if (!keystore_.verify(quorum::replica_principal(idx),
+        if (!keystore_.verify_cached(quorum::replica_principal(idx),
                               m->signing_payload(), m->auth)) {
           return false;
         }
@@ -214,7 +214,7 @@ void Client::start_write_phase1(WriteOp& op) {
         if (options_.strong && !m->strong_write_sig.empty()) {
           const Bytes stmt =
               quorum::write_reply_statement(op->object, m->pcert.ts());
-          if (keystore_.verify(quorum::replica_principal(idx), stmt,
+          if (keystore_.verify_cached(quorum::replica_principal(idx), stmt,
                                m->strong_write_sig)) {
             op->strong_sigs[ts_key(m->pcert.ts())][idx] = m->strong_write_sig;
           }
@@ -307,7 +307,7 @@ void Client::start_write_phase2(WriteOp& op) {
         }
         const Bytes stmt =
             quorum::prepare_reply_statement(op->object, op->t, op->hash);
-        if (!keystore_.verify(quorum::replica_principal(idx), stmt, m->sig))
+        if (!keystore_.verify_cached(quorum::replica_principal(idx), stmt, m->sig))
           return false;
         op->prepare_sigs[idx] = m->sig;
         return true;
@@ -349,7 +349,7 @@ void Client::start_write_phase3(WriteOp& op) {
           return false;
         }
         const Bytes stmt = quorum::write_reply_statement(op->object, op->t);
-        if (!keystore_.verify(quorum::replica_principal(idx), stmt, m->sig))
+        if (!keystore_.verify_cached(quorum::replica_principal(idx), stmt, m->sig))
           return false;
         op->write_sigs[idx] = m->sig;
         return true;
@@ -405,7 +405,7 @@ void Client::start_write_phase1_opt(WriteOp& op) {
             m->replica != idx) {
           return false;
         }
-        if (!keystore_.verify(quorum::replica_principal(idx),
+        if (!keystore_.verify_cached(quorum::replica_principal(idx),
                               m->signing_payload(), m->auth)) {
           return false;
         }
@@ -417,7 +417,7 @@ void Client::start_write_phase1_opt(WriteOp& op) {
             m->predicted_t.id == id_) {
           const Bytes stmt = quorum::prepare_reply_statement(
               op->object, m->predicted_t, op->hash);
-          if (keystore_.verify(quorum::replica_principal(idx), stmt,
+          if (keystore_.verify_cached(quorum::replica_principal(idx), stmt,
                                m->prepare_sig)) {
             op->opt_prep_sigs[ts_key(m->predicted_t)][idx] = m->prepare_sig;
           }
@@ -425,7 +425,7 @@ void Client::start_write_phase1_opt(WriteOp& op) {
         if (options_.strong && !m->strong_write_sig.empty()) {
           const Bytes stmt =
               quorum::write_reply_statement(op->object, m->pcert.ts());
-          if (keystore_.verify(quorum::replica_principal(idx), stmt,
+          if (keystore_.verify_cached(quorum::replica_principal(idx), stmt,
                                m->strong_write_sig)) {
             op->strong_sigs[ts_key(m->pcert.ts())][idx] = m->strong_write_sig;
           }
@@ -506,7 +506,7 @@ void Client::start_read(ReadOp& op) {
             m->replica != idx) {
           return false;
         }
-        if (!keystore_.verify(quorum::replica_principal(idx),
+        if (!keystore_.verify_cached(quorum::replica_principal(idx),
                               m->signing_payload(), m->auth)) {
           return false;
         }
@@ -569,7 +569,7 @@ void Client::start_read_writeback(ReadOp& op) {
         }
         const Bytes stmt =
             quorum::write_reply_statement(op->object, expect_ts);
-        if (!keystore_.verify(quorum::replica_principal(idx), stmt, m->sig))
+        if (!keystore_.verify_cached(quorum::replica_principal(idx), stmt, m->sig))
           return false;
         op->writeback_sigs[idx] = m->sig;
         return true;

@@ -104,7 +104,7 @@ bool Replica::verify_client_sig(quorum::ClientId client, BytesView payload,
   cost += options_.verify_cost;
   metrics_.inc("verify_client");
   if (quorum::is_replica_principal(client)) return false;
-  return keystore_.verify(quorum::client_principal(client), payload, sig);
+  return keystore_.verify_cached(quorum::client_principal(client), payload, sig);
 }
 
 bool Replica::valid_prepare_cert(const PrepareCertificate& cert,

@@ -62,6 +62,7 @@ bool Keystore::verify(PrincipalId signer, BytesView msg, BytesView sig) const {
   auto it = principals_.find(signer);
   if (it == principals_.end()) return false;
   counters_.inc("verify");
+  counters_.inc("sig_verify_calls");
   const Bytes bound = bind_principal(signer, msg);
   if (scheme_ == SignatureScheme::kHmacSim) {
     return hmac_verify(it->second.hmac_secret, bound, sig);
@@ -69,9 +70,33 @@ bool Keystore::verify(PrincipalId signer, BytesView msg, BytesView sig) const {
   return rsa_verify(it->second.rsa->pub, bound, sig);
 }
 
+bool Keystore::verify_cached(PrincipalId signer, BytesView msg,
+                             BytesView sig) const {
+  // Unknown principals are rejected without caching: registering the
+  // principal later must not be shadowed by a stale negative verdict.
+  if (principals_.count(signer) == 0) return false;
+  const VerifyCache::Key key = VerifyCache::make_key(signer, msg, sig);
+  const int memo = verify_cache_.lookup(key);
+  if (memo >= 0) {
+    counters_.inc("sig_cache_hit");
+    return memo == 1;
+  }
+  counters_.inc("sig_cache_miss");
+  const bool valid = verify(signer, msg, sig);
+  verify_cache_.insert(key, valid);
+  return valid;
+}
+
+void Keystore::set_verify_cache_capacity(std::size_t entries) {
+  verify_cache_.set_capacity(entries);
+}
+
 void Keystore::revoke(PrincipalId p) {
   auto it = principals_.find(p);
   if (it != principals_.end()) it->second.revoked = true;
+  // Mandatory cache hygiene: a stopped principal's statements must not
+  // keep validating straight from memoization.
+  verify_cache_.purge_principal(p);
 }
 
 bool Keystore::is_revoked(PrincipalId p) const {

@@ -18,6 +18,12 @@
 // removes the bad client's key, after which no NEW signatures by that
 // principal can be created (old ones still verify — replays remain
 // possible, as §4.1.1 requires).
+//
+// verify_cached memoizes verification verdicts in a bounded LRU (see
+// verify_cache.h): certificates are transferable proofs whose 2f+1
+// signatures get re-checked at every hop, so the protocol routes all
+// certificate validation through this path. Revoking a principal purges
+// its cache entries, so post-stop checks always re-enter the keystore.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +32,7 @@
 #include <optional>
 
 #include "crypto/rsa.h"
+#include "crypto/verify_cache.h"
 #include "util/bytes.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -72,12 +79,28 @@ class Keystore {
 
   bool is_registered(PrincipalId p) const;
 
-  // Public verification — usable by any node, any principal.
+  // Public verification — usable by any node, any principal. Always
+  // performs the underlying cryptographic check (counter: "verify" /
+  // "sig_verify_calls").
   bool verify(PrincipalId signer, BytesView msg, BytesView sig) const;
+
+  // Memoized verification: consults the LRU cache keyed on
+  // (principal, sha256(msg), sha256(sig)) and only falls back to the
+  // real cryptographic check on a miss. Semantically identical to
+  // verify() — both positive and negative verdicts are cached, and a
+  // revocation purges the principal's entries. Counters:
+  // "sig_cache_hit" / "sig_cache_miss".
+  bool verify_cached(PrincipalId signer, BytesView msg, BytesView sig) const;
+
+  // Bounds the verification cache; 0 disables memoization (every
+  // verify_cached call then performs the real check).
+  void set_verify_cache_capacity(std::size_t entries);
+  const VerifyCache& verify_cache() const { return verify_cache_; }
 
   // The "stop"/administrator action: principal can no longer create new
   // signatures. Existing signatures continue to verify (replay of old
-  // messages is allowed by the model).
+  // messages is allowed by the model). Cached verdicts for the principal
+  // are dropped so nothing keeps validating purely from memoization.
   void revoke(PrincipalId p);
   bool is_revoked(PrincipalId p) const;
 
@@ -103,6 +126,7 @@ class Keystore {
   Rng rng_;
   std::map<PrincipalId, PrincipalEntry> principals_;
   mutable Counters counters_;
+  mutable VerifyCache verify_cache_;
 };
 
 }  // namespace bftbc::crypto

@@ -1,0 +1,57 @@
+#include "crypto/verify_cache.h"
+
+namespace bftbc::crypto {
+
+int VerifyCache::lookup(const Key& key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) return -1;
+  // Refresh: splice the entry to the front of the LRU list.
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->valid ? 1 : 0;
+}
+
+void VerifyCache::insert(const Key& key, bool valid) {
+  if (capacity_ == 0) return;
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->valid = valid;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  while (lru_.size() >= capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+  lru_.push_front(Entry{key, valid});
+  index_[key] = lru_.begin();
+}
+
+void VerifyCache::purge_principal(PrincipalId principal) {
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->key.principal == principal) {
+      index_.erase(it->key);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void VerifyCache::clear() {
+  lru_.clear();
+  index_.clear();
+}
+
+void VerifyCache::set_capacity(std::size_t capacity) {
+  capacity_ = capacity;
+  if (capacity_ == 0) {
+    clear();
+    return;
+  }
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+}
+
+}  // namespace bftbc::crypto

@@ -1,0 +1,106 @@
+// Bounded LRU memo for public-key signature verification.
+//
+// Certificates are transferable proofs: the same 2f+1 signatures are
+// re-checked by every replica that sees a PREPARE/WRITE, by every client
+// that reads the certificate back in phase 1, and again on write-backs
+// and retransmits. Each check is an RSA verification — the dominant cost
+// of the protocol (§3.3.2). The result of verifying a fixed (principal,
+// statement, signature) triple never changes, so it is safe to memoize.
+//
+// The cache key is (principal, SHA-256(statement), SHA-256(signature)):
+// hashing the inputs keeps entries fixed-size and means a Byzantine node
+// cannot blow up memory by shipping huge statements. Both positive and
+// negative results are cached — a replayed garbage signature is rejected
+// from cache just as cheaply as a valid one is accepted.
+//
+// Revocation hygiene: when a principal's key is revoked (the paper's
+// "stop" event), all of its entries are purged so nothing keeps
+// validating purely from cache; subsequent checks go back through the
+// keystore, which decides what revocation means for old signatures.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+
+namespace bftbc::crypto {
+
+using PrincipalId = std::uint32_t;
+
+class VerifyCache {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 64 * 1024;
+
+  explicit VerifyCache(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity) {}
+
+  struct Key {
+    PrincipalId principal = 0;
+    Digest statement{};  // SHA-256 of the signed bytes
+    Digest signature{};  // SHA-256 of the signature bytes
+
+    friend bool operator==(const Key& a, const Key& b) {
+      return a.principal == b.principal && a.statement == b.statement &&
+             a.signature == b.signature;
+    }
+  };
+
+  static Key make_key(PrincipalId principal, BytesView statement,
+                      BytesView signature) {
+    return Key{principal, sha256(statement), sha256(signature)};
+  }
+
+  // Returns the memoized verdict and refreshes the entry's LRU position;
+  // -1 if absent. (Not std::optional<bool> so a hot loop stays branchy-
+  // cheap; callers compare against 0/1.)
+  int lookup(const Key& key);
+
+  // Memoizes a verdict, evicting the least-recently-used entry when full.
+  // A capacity of zero disables the cache entirely.
+  void insert(const Key& key, bool valid);
+
+  // Drops every entry for one principal (key revocation / "stop").
+  void purge_principal(PrincipalId principal);
+
+  void clear();
+
+  // Shrinks/grows the bound; 0 disables and clears.
+  void set_capacity(std::size_t capacity);
+
+  std::size_t size() const { return lru_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      // The statement digest is already uniformly distributed; fold the
+      // leading signature-digest bytes and the principal in on top.
+      std::uint64_t h = 0;
+      for (int i = 0; i < 8; ++i) {
+        h = (h << 8) | k.statement[static_cast<std::size_t>(i)];
+      }
+      std::uint64_t s = 0;
+      for (int i = 0; i < 8; ++i) {
+        s = (s << 8) | k.signature[static_cast<std::size_t>(i)];
+      }
+      h ^= s * 0x9e3779b97f4a7c15ull;
+      h ^= static_cast<std::uint64_t>(k.principal) * 0xc2b2ae3d27d4eb4full;
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  struct Entry {
+    Key key;
+    bool valid = false;
+  };
+
+  // LRU list, most-recent first; map points into the list.
+  std::list<Entry> lru_;
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
+  std::size_t capacity_;
+};
+
+}  // namespace bftbc::crypto

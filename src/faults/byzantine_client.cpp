@@ -148,7 +148,7 @@ void AttackClientBase::gather_prepares(
             static_cast<quorum::ReplicaId>(targets_copy[idx]);
         if (m->replica != replica) return false;
         const Bytes stmt = quorum::prepare_reply_statement(object, t, h);
-        if (!keystore_.verify(quorum::replica_principal(replica), stmt,
+        if (!keystore_.verify_cached(quorum::replica_principal(replica), stmt,
                               m->sig)) {
           return false;
         }
@@ -246,7 +246,12 @@ void TimestampHog::attack(ObjectId object, std::uint64_t jump, int attempts,
                       done = std::move(done)](PrepareCertificate pmax) {
     auto outcome = std::make_shared<Outcome>();
     auto run = std::make_shared<std::function<void(int)>>();
-    *run = [this, object, jump, attempts, pmax, outcome, run,
+    // The stored function holds only a weak self-reference; each pending
+    // gather_prepares callback holds the strong one. A strong capture
+    // here would be a shared_ptr cycle (run owns the lambda, the lambda
+    // owns run) and leak the whole closure chain.
+    *run = [this, object, jump, attempts, pmax, outcome,
+            weak_run = std::weak_ptr<std::function<void(int)>>(run),
             done](int i) {
       if (i >= attempts) {
         done(*outcome);
@@ -256,12 +261,13 @@ void TimestampHog::attack(ObjectId object, std::uint64_t jump, int attempts,
       // pmax.val+1; this claims pmax.val + jump.
       const Timestamp bogus{pmax.ts().val + jump + i, id_};
       ++outcome->attempts;
+      auto self = weak_run.lock();  // non-null: *self is executing
       gather_prepares(object, bogus, crypto::sha256(as_bytes_view("junk")),
                       pmax, std::nullopt, replica_nodes_, config_.q,
                       200 * sim::kMillisecond,
-                      [outcome, run, i](quorum::SignatureSet sigs) {
+                      [outcome, self, i](quorum::SignatureSet sigs) {
                         outcome->accepted += sigs.size();
-                        (*run)(i + 1);
+                        (*self)(i + 1);
                       });
     };
     (*run)(0);
@@ -417,7 +423,7 @@ void LurkingWriteStasher::try_optlist_stash(
         if (m->prepared && m->hash == h_opt) {
           const Bytes stmt =
               quorum::prepare_reply_statement(object, m->predicted_t, h_opt);
-          if (keystore_.verify(quorum::replica_principal(idx), stmt,
+          if (keystore_.verify_cached(quorum::replica_principal(idx), stmt,
                                m->prepare_sig)) {
             harvest->by_ts[{m->predicted_t.val, m->predicted_t.id}][idx] =
                 m->prepare_sig;

@@ -15,11 +15,19 @@ void encode_signature_set(Writer& w, const SignatureSet& sigs) {
 SignatureSet decode_signature_set(Reader& r) {
   SignatureSet sigs;
   const std::uint64_t count = r.get_varint();
-  // Hard cap stops a malicious encoder from claiming 2^60 entries.
-  if (count > 1024) return sigs;
-  for (std::uint64_t i = 0; i < count && r.ok(); ++i) {
+  // Hard cap stops a malicious encoder from claiming 2^60 entries. The
+  // cap is a protocol violation, not a truncation point: mark the reader
+  // failed so the whole message is rejected instead of silently parsing
+  // as "no signatures".
+  if (count > kMaxSignatureSetEntries) {
+    r.fail();
+    return sigs;
+  }
+  for (std::uint64_t i = 0; i < count; ++i) {
     const ReplicaId replica = r.get_u32();
-    sigs[replica] = r.get_bytes();
+    Bytes sig = r.get_bytes();
+    if (!r.ok()) return {};  // never hand back a partial set
+    sigs[replica] = std::move(sig);
   }
   return sigs;
 }
@@ -28,30 +36,46 @@ Status validate_signature_quorum(const SignatureSet& signatures,
                                  BytesView statement,
                                  const QuorumConfig& config,
                                  const crypto::Keystore& keystore) {
+  // A certificate is "a quorum of valid signed statements" (§3.2): count
+  // the entries that verify and accept once q distinct replicas are
+  // confirmed. Invalid entries — an out-of-range id or a garbage
+  // signature a Byzantine node appended alongside an honest quorum — are
+  // skipped, never fatal; rejecting outright would let one poisoned
+  // entry invalidate an otherwise-valid certificate.
   std::uint32_t valid = 0;
+  std::uint32_t remaining = static_cast<std::uint32_t>(signatures.size());
   for (const auto& [replica, sig] : signatures) {
-    if (!config.valid_replica(replica))
-      return bad_certificate("replica id out of range");
-    if (!keystore.verify(replica_principal(replica), statement, sig))
-      return bad_certificate("signature does not verify");
-    ++valid;
+    // Early exit both ways: quorum confirmed, or unreachable even if
+    // every remaining signature verified.
+    if (valid >= config.q || valid + remaining < config.q) break;
+    --remaining;
+    if (!config.valid_replica(replica)) continue;
+    // std::map keys are unique, so `valid` counts distinct replicas.
+    if (keystore.verify_cached(replica_principal(replica), statement, sig))
+      ++valid;
   }
-  // std::map keys are unique, so `valid` counts distinct replicas.
   if (valid < config.q)
-    return bad_certificate("fewer than a quorum of signatures");
+    return bad_certificate("fewer than a quorum of valid signatures");
   return Status::ok();
 }
 
 // ------------------------------------------------------------ prepare
 
+const crypto::Digest& genesis_value_hash() {
+  // Computed once: is_genesis() runs on every certificate validation, and
+  // hashing the empty value each time was a measurable hot-path tax.
+  static const crypto::Digest digest = crypto::sha256(BytesView{});
+  return digest;
+}
+
 PrepareCertificate PrepareCertificate::genesis(ObjectId object) {
-  return PrepareCertificate(object, Timestamp::zero(),
-                            crypto::sha256(BytesView{}), {});
+  return PrepareCertificate(object, Timestamp::zero(), genesis_value_hash(),
+                            {});
 }
 
 bool PrepareCertificate::is_genesis() const {
   return ts_.is_zero() && signatures_.empty() &&
-         hash_ == crypto::sha256(BytesView{});
+         hash_ == genesis_value_hash();
 }
 
 Status PrepareCertificate::validate(const QuorumConfig& config,

@@ -102,13 +102,24 @@ class WriteCertificate {
   SignatureSet signatures_;
 };
 
+// SHA-256 of the empty value — the hash carried by every genesis prepare
+// certificate. Computed once and cached.
+const crypto::Digest& genesis_value_hash();
+
 // Helper shared by both certificate classes (and by the baselines):
-// checks the signature set has >= q distinct valid replicas signing
-// `statement`.
+// accepts iff >= q distinct in-range replicas have *valid* signatures
+// over `statement`. Invalid entries are skipped, not fatal — a Byzantine
+// node must not be able to poison an honest quorum by appending garbage.
+// Verification is memoized through Keystore::verify_cached, and the scan
+// stops as soon as q signatures are confirmed.
 Status validate_signature_quorum(const SignatureSet& signatures,
                                  BytesView statement,
                                  const QuorumConfig& config,
                                  const crypto::Keystore& keystore);
+
+// Hard upper bound on entries in an encoded signature set; exceeding it
+// marks the Reader failed (the message is rejected, not truncated).
+inline constexpr std::size_t kMaxSignatureSetEntries = 1024;
 
 void encode_signature_set(Writer& w, const SignatureSet& sigs);
 SignatureSet decode_signature_set(Reader& r);

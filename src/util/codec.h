@@ -64,6 +64,9 @@ class Reader {
 
   // True iff no read so far ran past the end or hit malformed data.
   bool ok() const { return ok_; }
+  // Lets decoders flag semantic violations the primitive reads cannot see
+  // (e.g. a length field exceeding a hard cap). Sticky, like read errors.
+  void fail() { ok_ = false; }
   // True iff the cursor consumed the entire input (trailing garbage in a
   // signed statement must be rejected, or signatures would not be unique).
   bool at_end() const { return pos_ == data_.size(); }

@@ -11,6 +11,11 @@ namespace bftbc {
 
 // Accumulates samples; computes count/mean/min/max/stddev/percentiles.
 // Percentiles keep all samples (fine at bench scale: <10^7 samples).
+//
+// Empty-summary contract: every statistic on a zero-sample Summary
+// returns the defined sentinel 0.0 (never indexes the empty sample
+// vector — benches routinely print summaries for scenarios that
+// recorded nothing).
 class Summary {
  public:
   void add(double x);
@@ -20,7 +25,7 @@ class Summary {
   double min() const;
   double max() const;
   double stddev() const;
-  // q in [0,1]; nearest-rank on the sorted samples.
+  // q in [0,1] (clamped); nearest-rank on the sorted samples.
   double percentile(double q) const;
   double median() const { return percentile(0.5); }
   double p99() const { return percentile(0.99); }

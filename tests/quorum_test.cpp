@@ -168,6 +168,45 @@ TEST_F(CertificateTest, ForgedSignatureRejected) {
   EXPECT_FALSE(bad.validate(config_, ks_).is_ok());
 }
 
+TEST_F(CertificateTest, PoisonedSignatureDoesNotInvalidateQuorum) {
+  // Regression: a certificate is a quorum of *valid* signed statements.
+  // A Byzantine replica appending a garbage signature alongside an
+  // honest quorum must not poison the certificate.
+  auto cert = make_prep_cert(1, {1, 4}, h_, {0, 1, 2});
+  SignatureSet sigs = cert.signatures();
+  sigs[3] = to_bytes("complete garbage, not a signature");
+  PrepareCertificate poisoned(1, {1, 4}, h_, std::move(sigs));
+  EXPECT_TRUE(poisoned.validate(config_, ks_).is_ok());
+
+  // Same for write certificates.
+  auto wcert = make_write_cert(1, {2, 3}, {0, 1, 2});
+  SignatureSet wsigs = wcert.signatures();
+  wsigs[3] = Bytes(32, 0xee);
+  WriteCertificate wpoisoned(1, {2, 3}, std::move(wsigs));
+  EXPECT_TRUE(wpoisoned.validate(config_, ks_).is_ok());
+}
+
+TEST_F(CertificateTest, PoisonedOutOfRangeEntryDoesNotInvalidateQuorum) {
+  // An out-of-range replica id is just another invalid entry: skipped,
+  // not fatal, as long as a valid quorum remains.
+  auto cert = make_prep_cert(1, {1, 4}, h_, {0, 1, 2});
+  SignatureSet sigs = cert.signatures();
+  sigs[99] = Bytes(32, 0x11);  // n = 4, so id 99 is out of range
+  PrepareCertificate poisoned(1, {1, 4}, h_, std::move(sigs));
+  EXPECT_TRUE(poisoned.validate(config_, ks_).is_ok());
+}
+
+TEST_F(CertificateTest, PoisonedEntriesCannotSubstituteForQuorum) {
+  // Garbage entries are skipped but never counted: 2 valid + 2 garbage
+  // signatures is still below q = 3.
+  auto cert = make_prep_cert(1, {1, 4}, h_, {0, 1});
+  SignatureSet sigs = cert.signatures();
+  sigs[2] = Bytes(32, 0xaa);
+  sigs[3] = Bytes(32, 0xbb);
+  PrepareCertificate bad(1, {1, 4}, h_, std::move(sigs));
+  EXPECT_FALSE(bad.validate(config_, ks_).is_ok());
+}
+
 TEST_F(CertificateTest, SignatureFromWrongStatementRejected) {
   // A write-reply signature cannot stand in for a prepare-reply one,
   // even for the same ts (domain separation).
@@ -246,6 +285,38 @@ TEST_F(CertificateTest, DecodeGarbageIsInvalidNotCrash) {
   Reader r(as_bytes_view("complete garbage that is not a certificate"));
   PrepareCertificate cert = PrepareCertificate::decode(r);
   EXPECT_FALSE(cert.validate(config_, ks_).is_ok());
+}
+
+TEST_F(CertificateTest, SignatureSetOverCapFailsReader) {
+  // Claiming more entries than the hard cap must fail the reader, not
+  // silently decode as an empty signature set.
+  Writer w;
+  w.put_varint(kMaxSignatureSetEntries + 1);
+  Reader r(w.data());
+  const SignatureSet sigs = decode_signature_set(r);
+  EXPECT_TRUE(sigs.empty());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(CertificateTest, SignatureSetTruncationFailsReaderAndYieldsNothing) {
+  // A mid-entry truncation must fail the reader and must not leak a
+  // partial set (a prefix of a valid certificate is not a certificate).
+  auto cert = make_write_cert(1, {2, 3}, {0, 1, 2});
+  Writer w;
+  encode_signature_set(w, cert.signatures());
+  const Bytes& full = w.data();
+  for (std::size_t cut = 1; cut + 1 < full.size(); cut += 7) {
+    Reader r(BytesView(full.data(), full.size() - cut));
+    const SignatureSet sigs = decode_signature_set(r);
+    EXPECT_FALSE(r.ok()) << "cut=" << cut;
+    EXPECT_TRUE(sigs.empty()) << "cut=" << cut;
+  }
+}
+
+TEST_F(CertificateTest, GenesisValueHashMatchesEmptySha256) {
+  EXPECT_EQ(genesis_value_hash(), crypto::sha256(BytesView{}));
+  // And the cached constant round-trips through genesis construction.
+  EXPECT_TRUE(PrepareCertificate::genesis(3).is_genesis());
 }
 
 TEST_F(CertificateTest, LargerFConfigsWork) {

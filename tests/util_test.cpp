@@ -297,10 +297,20 @@ TEST(StatsTest, SummaryBasics) {
 }
 
 TEST(StatsTest, EmptySummaryIsZero) {
+  // Every statistic on a zero-sample Summary returns the defined
+  // sentinel 0.0 — none may index the empty sample vector (benches
+  // print summaries for scenarios that recorded nothing).
   Summary s;
   EXPECT_EQ(s.count(), 0u);
   EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  EXPECT_EQ(s.median(), 0.0);
+  EXPECT_EQ(s.percentile(0.0), 0.0);
   EXPECT_EQ(s.percentile(0.99), 0.0);
+  EXPECT_EQ(s.percentile(1.0), 0.0);
+  EXPECT_FALSE(s.to_string().empty());
 }
 
 TEST(StatsTest, PercentileBounds) {
