@@ -16,6 +16,7 @@
 #include "harness/baseline_cluster.h"
 #include "harness/cluster.h"
 #include "harness/table.h"
+#include "metrics/bench_report.h"
 
 using namespace bftbc;
 using harness::BaselineOptions;
@@ -37,11 +38,11 @@ struct ProtoRow {
   std::string nulls;
 };
 
-constexpr int kOps = 20;
+int kOps = 20;  // shrunk by --smoke
 
 double ms(sim::Time t) { return static_cast<double>(t) / sim::kMillisecond; }
 
-ProtoRow measure_bftbc(bool optimized) {
+ProtoRow measure_bftbc(bool optimized, metrics::BenchReport& report) {
   ClusterOptions o;
   o.optimized = optimized;
   o.seed = 3;
@@ -81,6 +82,11 @@ ProtoRow measure_bftbc(bool optimized) {
     if (out->cert_v1 && out->cert_v2) equiv = "SPLIT (unsafe)";
   }
 
+  const std::string key = optimized ? "bftbc_opt" : "bftbc_base";
+  report.add_summary(key + "/write_latency_ms", latency);
+  report.add_histogram(key + "/write_phases", phases);
+  report.registry().gauge(key + "/msgs_per_write").set(msgs);
+  report.merge(cluster.snapshot_metrics());
   return ProtoRow{optimized ? "BFT-BC optimized" : "BFT-BC base",
                   cluster.config().n,
                   phases.mean(),
@@ -90,7 +96,7 @@ ProtoRow measure_bftbc(bool optimized) {
                   "never (reads self-certifying)"};
 }
 
-ProtoRow measure_bqs() {
+ProtoRow measure_bqs(metrics::BenchReport& report) {
   BaselineOptions o;
   o.seed = 3;
   BqsCluster cluster(o);
@@ -135,11 +141,14 @@ ProtoRow measure_bqs() {
     equiv = values.size() > 1 ? "SPLIT (unsafe)" : "not split (this run)";
   }
 
+  report.add_summary("bqs/write_latency_ms", latency);
+  report.add_histogram("bqs/write_phases", phases);
+  report.registry().gauge("bqs/msgs_per_write").set(msgs);
   return ProtoRow{"BQS classic", cluster.config().n, phases.mean(),
                   latency.mean(), msgs, equiv, "never"};
 }
 
-ProtoRow measure_phalanx() {
+ProtoRow measure_phalanx(metrics::BenchReport& report) {
   BaselineOptions o;
   o.seed = 3;
   PhalanxCluster cluster(o);
@@ -181,12 +190,15 @@ ProtoRow measure_phalanx() {
                 : "not triggered (this run)";
   }
 
+  report.add_summary("phalanx/write_latency_ms", latency);
+  report.add_histogram("phalanx/write_phases", phases);
+  report.registry().gauge("phalanx/msgs_per_write").set(msgs);
   return ProtoRow{"Phalanx-style", cluster.config().n, phases.mean(),
                   latency.mean(), msgs,
                   "blocked (echo quorum unreachable)", nulls};
 }
 
-ProtoRow measure_sbql() {
+ProtoRow measure_sbql(metrics::BenchReport& report) {
   BaselineOptions o;
   o.seed = 3;
   harness::SbqlCluster cluster(o);
@@ -207,6 +219,9 @@ ProtoRow measure_sbql() {
   const double msgs =
       static_cast<double>(cluster.net().counters().get("msgs_sent")) / kOps;
 
+  report.add_summary("sbql/write_latency_ms", latency);
+  report.add_histogram("sbql/write_phases", phases);
+  report.registry().gauge("sbql/msgs_per_write").set(msgs);
   return ProtoRow{"SBQ-L (reliable net)",
                   cluster.config().n,
                   phases.mean(),
@@ -219,7 +234,7 @@ ProtoRow measure_sbql() {
 // §8's buffer criticism, measured: server-side state after N writes with
 // one crashed replica — SBQ-L's reliable forwarding buffers grow without
 // bound; BFT-BC has no server-to-server traffic at all.
-void buffer_growth_section() {
+void buffer_growth_section(metrics::BenchReport& report) {
   std::cout << "\n--- reliable-network cost: buffered server bytes with one "
                "crashed replica ---\n";
   Table table({"writes completed", "SBQ-L buffered bytes",
@@ -229,13 +244,18 @@ void buffer_growth_section() {
   harness::SbqlCluster sbql(o);
   sbql.net().crash(3);
   auto& sc = sbql.add_client(1);
-  for (int batch : {5, 10, 20, 40}) {
-    static int written = 0;
+  const std::vector<int> batches =
+      report.smoke() ? std::vector<int>{5} : std::vector<int>{5, 10, 20, 40};
+  int written = 0;
+  for (int batch : batches) {
     while (written < batch) {
       (void)sbql.write(sc, 1, to_bytes("w" + std::to_string(written)));
       ++written;
     }
     sbql.run_for(200 * sim::kMillisecond);
+    report.registry()
+        .gauge("sbql/buffered_bytes_after_w" + std::to_string(batch))
+        .set(static_cast<double>(sbql.total_outbox_bytes()));
     table.add_row({std::to_string(batch),
                    std::to_string(sbql.total_outbox_bytes()),
                    "0 (no replica gossip in the protocol)"});
@@ -249,7 +269,12 @@ void buffer_growth_section() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  metrics::BenchArgs args = metrics::parse_bench_args(argc, argv);
+  metrics::BenchReport report("bench_baselines", args);
+  if (report.smoke()) kOps = 5;
+  report.set_config("ops_per_protocol", static_cast<std::int64_t>(kOps));
+
   harness::print_experiment_header(
       "E10: comparison with prior Byzantine quorum protocols",
       "BFT-BC handles Byzantine clients with only 3f+1 replicas and no "
@@ -261,15 +286,15 @@ int main() {
                "write latency ms", "client msgs/write", "equivocation attack",
                "null reads"});
   for (const ProtoRow& row :
-       {measure_bqs(), measure_phalanx(), measure_sbql(),
-        measure_bftbc(false), measure_bftbc(true)}) {
+       {measure_bqs(report), measure_phalanx(report), measure_sbql(report),
+        measure_bftbc(false, report), measure_bftbc(true, report)}) {
     table.add_row({row.name, std::to_string(row.replicas),
                    Table::num(row.write_phases), Table::num(row.write_latency_ms),
                    Table::num(row.write_msgs), row.equivocation, row.nulls});
   }
   table.print();
 
-  buffer_growth_section();
+  buffer_growth_section(report);
 
   std::cout
       << "\nShape to check against 8: BQS is the cheapest and the only "
@@ -277,5 +302,5 @@ int main() {
          "round (visible in msgs/write) and can return null; BFT-BC "
          "(optimized) matches BQS's 2 client phases while keeping 3f+1 "
          "replicas and full Byzantine-client safety.\n";
-  return 0;
+  return report.finish();
 }

@@ -12,6 +12,7 @@
 #include "faults/byzantine_client.h"
 #include "harness/cluster.h"
 #include "harness/table.h"
+#include "metrics/bench_report.h"
 
 using namespace bftbc;
 using harness::Cluster;
@@ -27,7 +28,7 @@ struct LatencyResult {
 };
 
 LatencyResult run(const ClusterOptions& base_options, int crashes,
-                  bool byz_clients, int ops) {
+                  bool byz_clients, int ops, metrics::BenchReport& report) {
   ClusterOptions o = base_options;
   Cluster cluster(o);
   // One round trip = 2 * (base_delay + jitter_mean) as a reference unit.
@@ -73,12 +74,18 @@ LatencyResult run(const ClusterOptions& base_options, int crashes,
     result.read_rtts.add(static_cast<double>(cluster.sim().now() - start) /
                          rtt);
   }
+  report.merge(cluster.snapshot_metrics());
   return result;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  metrics::BenchArgs args = metrics::parse_bench_args(argc, argv);
+  metrics::BenchReport report("bench_liveness", args);
+  const int ops = report.smoke() ? 5 : 20;
+  report.set_config("ops_per_scenario", static_cast<std::int64_t>(ops));
+
   harness::print_experiment_header(
       "E9: liveness under faults",
       "reads complete in ~2 RPC round trips, writes in ~3, regardless of "
@@ -90,7 +97,15 @@ int main() {
 
   auto row = [&](const char* name, const ClusterOptions& o, int crashes,
                  bool byz, const char* claim) {
-    LatencyResult r = run(o, crashes, byz, 20);
+    LatencyResult r = run(o, crashes, byz, ops, report);
+    std::string key(name);
+    for (char& ch : key) {
+      if (ch == ' ' || ch == ',' || ch == '%' || ch == '+' || ch == '=')
+        ch = '_';
+    }
+    report.add_summary(key + "/write_rtts", r.write_rtts);
+    report.add_summary(key + "/read_rtts", r.read_rtts);
+    if (!r.all_completed) report.counter("scenarios_with_incomplete_ops").inc();
     table.add_row({name,
                    Table::num(r.write_rtts.mean()) + " / " +
                        Table::num(r.write_rtts.p99()),
@@ -125,5 +140,5 @@ int main() {
                "near 3 round trips and reads near 1-2; only message loss "
                "(retransmission timers) stretches the tail, never Byzantine "
                "behavior — the 5.1 liveness claim.\n";
-  return 0;
+  return report.finish();
 }

@@ -15,6 +15,7 @@
 #include "harness/cluster.h"
 #include "harness/recording.h"
 #include "harness/table.h"
+#include "metrics/bench_report.h"
 
 using namespace bftbc;
 using harness::Cluster;
@@ -31,7 +32,8 @@ struct RunResult {
   bool safe = true;
 };
 
-RunResult run_attack(bool optimized, bool strong, std::uint64_t seed) {
+RunResult run_attack(bool optimized, bool strong, std::uint64_t seed,
+                     metrics::BenchReport& report) {
   ClusterOptions o;
   o.optimized = optimized;
   o.strong = strong;
@@ -78,6 +80,7 @@ RunResult run_attack(bool optimized, bool strong, std::uint64_t seed) {
     r.overwrites_to_mask = check.lurking.at(66).overwrites_before_last_surface;
   }
   r.safe = check.linearizable && check.reads_authentic;
+  report.merge(cluster.snapshot_metrics());
   return r;
 }
 
@@ -103,7 +106,7 @@ struct CartelResult {
 };
 
 CartelResult run_cartel(bool strong, int cartel_size, int overwrites,
-                        std::uint64_t seed) {
+                        std::uint64_t seed, metrics::BenchReport& report) {
   ClusterOptions o;
   o.strong = strong;
   o.seed = seed;
@@ -168,10 +171,11 @@ CartelResult run_cartel(bool strong, int cartel_size, int overwrites,
   for (const auto& [c, info] : check.lurking) {
     if (info.count > 0) r.surfaced = true;
   }
+  report.merge(cluster.snapshot_metrics());
   return r;
 }
 
-void run_cartel_experiment() {
+void run_cartel_experiment(metrics::BenchReport& report) {
   harness::print_experiment_header(
       "E7: colluding cartel vs the strong variant (7.2)",
       "plain BFT-BC: |C| colluders chain |C| prepares, so a lurking write "
@@ -180,18 +184,27 @@ void run_cartel_experiment() {
 
   Table table({"protocol", "cartel size", "stashes chained",
                "min overwrites to mask", "claimed"});
+  const std::vector<int> cartel_sizes =
+      report.smoke() ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 3, 4};
   for (bool strong : {false, true}) {
-    for (int k : {1, 2, 3, 4}) {
+    for (int k : cartel_sizes) {
       int stashed = 0;
       int min_mask = -1;
       for (int m = 0; m <= k + 2; ++m) {
-        CartelResult r = run_cartel(strong, k, m, 1000 + k);
+        CartelResult r = run_cartel(strong, k, m, 1000 + k, report);
         stashed = r.stashed;
         if (!r.surfaced) {
           min_mask = m;
           break;
         }
       }
+      const std::string key = std::string("cartel/") +
+                              (strong ? "strong" : "base") + "/k" +
+                              std::to_string(k);
+      report.registry().gauge(key + "/stashes_chained")
+          .set(static_cast<double>(stashed));
+      report.registry().gauge(key + "/min_overwrites_to_mask")
+          .set(static_cast<double>(min_mask));
       table.add_row({strong ? "strong" : "base", std::to_string(k),
                      std::to_string(stashed),
                      min_mask < 0 ? ">" + std::to_string(k + 2)
@@ -208,7 +221,12 @@ void run_cartel_experiment() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  metrics::BenchArgs args = metrics::parse_bench_args(argc, argv);
+  metrics::BenchReport report("bench_lurking", args);
+  const int n_seeds = report.smoke() ? 2 : 10;
+  report.set_config("seeds_per_mode", static_cast<std::int64_t>(n_seeds));
+
   harness::print_experiment_header(
       "E6/E7: lurking writes after a Byzantine client stops",
       "base <= 1 lurking write (Thm 1); optimized <= 2 (Thm 2); strong "
@@ -232,14 +250,19 @@ int main() {
   for (const Mode& m : modes) {
     int max_stashed = 0, max_lurking = 0;
     bool all_safe = true;
-    constexpr int kSeeds = 10;
-    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
-      RunResult r = run_attack(m.optimized, m.strong, seed * 101);
+    for (std::uint64_t seed = 1; seed <= static_cast<std::uint64_t>(n_seeds);
+         ++seed) {
+      RunResult r = run_attack(m.optimized, m.strong, seed * 101, report);
       max_stashed = std::max(max_stashed, r.stashed);
       max_lurking = std::max(max_lurking, r.lurking);
       all_safe = all_safe && r.safe;
     }
-    table.add_row({m.name, std::to_string(kSeeds), "5",
+    report.registry().gauge(std::string(m.name) + "/max_stashed")
+        .set(static_cast<double>(max_stashed));
+    report.registry().gauge(std::string(m.name) + "/max_lurking")
+        .set(static_cast<double>(max_lurking));
+    if (!all_safe) report.counter("atomicity_violations").inc();
+    table.add_row({m.name, std::to_string(n_seeds), "5",
                    std::to_string(max_stashed), std::to_string(max_lurking),
                    std::to_string(m.claimed_max), all_safe ? "yes" : "NO"});
   }
@@ -252,6 +275,6 @@ int main() {
          "refuses prepares without a predecessor write certificate, so the "
          "simple stasher gets nothing at all.\n";
 
-  run_cartel_experiment();
-  return 0;
+  run_cartel_experiment(report);
+  return report.finish();
 }

@@ -9,6 +9,7 @@
 // |Q|^2 so the asymptotic shape is visible in the output.
 #include "harness/cluster.h"
 #include "harness/table.h"
+#include "metrics/bench_report.h"
 
 using namespace bftbc;
 using harness::Cluster;
@@ -22,7 +23,8 @@ struct Cost {
   double bytes_per_op;
 };
 
-Cost measure(std::uint32_t f, bool writes, bool optimized) {
+Cost measure(std::uint32_t f, bool writes, bool optimized, int ops,
+             metrics::BenchReport& report) {
   ClusterOptions o;
   o.f = f;
   o.seed = 33 + f;
@@ -35,8 +37,7 @@ Cost measure(std::uint32_t f, bool writes, bool optimized) {
   cluster.settle();
 
   cluster.net().reset_counters();
-  constexpr int kOps = 20;
-  for (int i = 0; i < kOps; ++i) {
+  for (int i = 0; i < ops; ++i) {
     if (writes) {
       (void)cluster.write(client, 1, to_bytes("v" + std::to_string(i)));
     } else {
@@ -45,13 +46,21 @@ Cost measure(std::uint32_t f, bool writes, bool optimized) {
   }
   cluster.settle();
   const auto& c = cluster.net().counters();
-  return Cost{static_cast<double>(c.get("msgs_sent")) / kOps,
-              static_cast<double>(c.get("bytes_sent")) / kOps};
+  report.merge(cluster.snapshot_metrics());
+  return Cost{static_cast<double>(c.get("msgs_sent")) / ops,
+              static_cast<double>(c.get("bytes_sent")) / ops};
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  metrics::BenchArgs args = metrics::parse_bench_args(argc, argv);
+  metrics::BenchReport report("bench_msg_complexity", args);
+  const int ops = report.smoke() ? 5 : 20;
+  const std::uint32_t max_f = report.smoke() ? 2 : 5;
+  report.set_config("ops_per_point", static_cast<std::int64_t>(ops));
+  report.set_config("max_f", static_cast<std::int64_t>(max_f));
+
   harness::print_experiment_header(
       "E4: message complexity",
       "messages per op = O(|Q|) (three RPCs to a quorum); bytes per op = "
@@ -64,10 +73,16 @@ int main() {
                  "write bytes/op", "write bytes ratio vs |Q|^2",
                  "read msgs/op", "read bytes/op"});
     double base_q = 0, base_wm = 0, base_wb = 0;
-    for (std::uint32_t f = 1; f <= 5; ++f) {
+    for (std::uint32_t f = 1; f <= max_f; ++f) {
       const double q = 2.0 * f + 1;
-      Cost w = measure(f, /*writes=*/true, optimized);
-      Cost r = measure(f, /*writes=*/false, optimized);
+      Cost w = measure(f, /*writes=*/true, optimized, ops, report);
+      Cost r = measure(f, /*writes=*/false, optimized, ops, report);
+      const std::string key = std::string(optimized ? "opt" : "base") +
+                              "/f" + std::to_string(f);
+      report.registry().gauge(key + "/write_msgs_per_op").set(w.msgs_per_op);
+      report.registry().gauge(key + "/write_bytes_per_op").set(w.bytes_per_op);
+      report.registry().gauge(key + "/read_msgs_per_op").set(r.msgs_per_op);
+      report.registry().gauge(key + "/read_bytes_per_op").set(r.bytes_per_op);
       if (f == 1) {
         base_q = q;
         base_wm = w.msgs_per_op;
@@ -88,5 +103,5 @@ int main() {
   std::cout << "ratio columns ~= 1.00 across f confirm the claimed O(|Q|) "
                "message and O(|Q|^2) byte growth (constant factors differ "
                "between modes).\n";
-  return 0;
+  return report.finish();
 }

@@ -12,6 +12,7 @@
 
 #include "harness/cluster.h"
 #include "harness/table.h"
+#include "metrics/bench_report.h"
 #include "util/stats.h"
 
 using namespace bftbc;
@@ -44,7 +45,7 @@ struct PhaseStats {
 // chains its next write as the previous completes); one reader reads
 // between rounds.
 PhaseStats run_workload(const ModeSpec& mode, int writers, int rounds,
-                        std::uint64_t seed) {
+                        std::uint64_t seed, metrics::BenchReport& report) {
   ClusterOptions o;
   o.optimized = mode.optimized;
   o.strong = mode.strong;
@@ -79,12 +80,22 @@ PhaseStats run_workload(const ModeSpec& mode, int writers, int rounds,
     auto r = cluster.read(reader, 1);
     if (r.is_ok()) stats.read_phases.add(r.value().phases);
   }
+  report.merge(cluster.snapshot_metrics());
   return stats;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  metrics::BenchArgs args = metrics::parse_bench_args(argc, argv);
+  metrics::BenchReport report("bench_phases", args);
+  const int rounds = report.smoke() ? 2 : 10;
+  const std::vector<int> writer_sweep =
+      report.smoke() ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8};
+  report.set_config("rounds", static_cast<std::int64_t>(rounds));
+  report.set_config("max_writers", static_cast<std::int64_t>(
+                                       writer_sweep.back()));
+
   harness::print_experiment_header(
       "E1/E2: write and read phase counts",
       "base writes take 3 phases; optimized writes take 2 (falling back to "
@@ -94,8 +105,13 @@ int main() {
   Table table({"mode", "writers", "claimed write phases", "measured write phases",
                "mean", "read phases"});
   for (const ModeSpec& mode : kModes) {
-    for (int writers : {1, 2, 4, 8}) {
-      PhaseStats stats = run_workload(mode, writers, 10, 42 + writers);
+    for (int writers : writer_sweep) {
+      PhaseStats stats =
+          run_workload(mode, writers, rounds, 42 + writers, report);
+      report.add_histogram(std::string(mode.name) + ".write_phases",
+                           stats.write_phases);
+      report.add_histogram(std::string(mode.name) + ".read_phases",
+                           stats.read_phases);
       table.add_row({mode.name, std::to_string(writers), mode.claim_write,
                      stats.write_phases.to_string(),
                      Table::num(stats.write_phases.mean()),
@@ -107,5 +123,5 @@ int main() {
   std::cout << "\nNote: histogram entries are phases:count. Uncontended "
                "optimized writes hit the 2-phase fast path; contention and "
                "strong-mode phase-1 disagreement add fallback phases.\n";
-  return 0;
+  return report.finish();
 }

@@ -14,6 +14,7 @@
 #include "faults/byzantine_replica.h"
 #include "harness/cluster.h"
 #include "harness/table.h"
+#include "metrics/bench_report.h"
 
 using namespace bftbc;
 using harness::Cluster;
@@ -50,7 +51,12 @@ Histogram run_reads(Cluster& cluster, int reads) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  metrics::BenchArgs args = metrics::parse_bench_args(argc, argv);
+  metrics::BenchReport report("bench_read_phases", args);
+  const int reads = report.smoke() ? 5 : 30;
+  report.set_config("reads_per_scenario", static_cast<std::int64_t>(reads));
+
   harness::print_experiment_header(
       "E3: read phase bound under adversarial activity",
       "reads complete in 1 phase normally and never need more than 2, no "
@@ -66,10 +72,12 @@ int main() {
     (void)cluster.write(w, 1, to_bytes("v"));
     Histogram h;
     auto& reader = cluster.add_client(2);
-    for (int i = 0; i < 30; ++i) {
+    for (int i = 0; i < reads; ++i) {
       auto r = cluster.read(reader, 1);
       if (r.is_ok()) h.add(r.value().phases);
     }
+    report.add_histogram("quiet.read_phases", h);
+    report.merge(cluster.snapshot_metrics());
     table.add_row({"quiet", std::to_string(h.total()), h.to_string(),
                    std::to_string(h.max_value()), "2"});
   }
@@ -77,7 +85,9 @@ int main() {
   // Scenario 2: concurrent correct writers.
   {
     Cluster cluster([] { ClusterOptions o; o.seed = 8; return o; }());
-    Histogram h = run_reads(cluster, 30);
+    Histogram h = run_reads(cluster, reads);
+    report.add_histogram("concurrent_writer.read_phases", h);
+    report.merge(cluster.snapshot_metrics());
     table.add_row({"concurrent writer", std::to_string(h.total()),
                    h.to_string(), std::to_string(h.max_value()), "2"});
   }
@@ -102,7 +112,9 @@ int main() {
                                        cluster.rng().split());
     attacker.attack(1, to_bytes("evil-A"), to_bytes("evil-B"),
                     [](faults::EquivocatorClient::Outcome) {});
-    Histogram h = run_reads(cluster, 30);
+    Histogram h = run_reads(cluster, reads);
+    report.add_histogram("equivocator.read_phases", h);
+    report.merge(cluster.snapshot_metrics());
     table.add_row({"equivocator + byz replica", std::to_string(h.total()),
                    h.to_string(), std::to_string(h.max_value()), "2"});
   }
@@ -120,7 +132,9 @@ int main() {
     bool done = false;
     attacker.attack(1, to_bytes("skew"), [&](bool) { done = true; });
     cluster.run_until([&] { return done; });
-    Histogram h = run_reads(cluster, 30);
+    Histogram h = run_reads(cluster, reads);
+    report.add_histogram("partial_writer.read_phases", h);
+    report.merge(cluster.snapshot_metrics());
     table.add_row({"partial writer", std::to_string(h.total()), h.to_string(),
                    std::to_string(h.max_value()), "2"});
   }
@@ -132,7 +146,9 @@ int main() {
     o.link.loss_probability = 0.15;
     Cluster cluster(o);
     cluster.crash_replica(3);
-    Histogram h = run_reads(cluster, 30);
+    Histogram h = run_reads(cluster, reads);
+    report.add_histogram("crash_loss.read_phases", h);
+    report.merge(cluster.snapshot_metrics());
     table.add_row({"crash + 15% loss", std::to_string(h.total()),
                    h.to_string(), std::to_string(h.max_value()), "2"});
   }
@@ -140,5 +156,5 @@ int main() {
   table.print();
   std::cout << "\nEvery scenario's max phases must be <= 2: the read bound "
                "holds regardless of Byzantine activity.\n";
-  return 0;
+  return report.finish();
 }

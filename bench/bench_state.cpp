@@ -14,13 +14,24 @@
 #include "faults/byzantine_client.h"
 #include "harness/cluster.h"
 #include "harness/table.h"
+#include "metrics/bench_report.h"
 
 using namespace bftbc;
 using harness::Cluster;
 using harness::ClusterOptions;
 using harness::Table;
 
-int main() {
+int main(int argc, char** argv) {
+  metrics::BenchArgs args = metrics::parse_bench_args(argc, argv);
+  metrics::BenchReport report("bench_state", args);
+  const std::vector<int> writer_sweep =
+      report.smoke() ? std::vector<int>{1, 4}
+                     : std::vector<int>{1, 2, 4, 8, 16, 32};
+  const std::uint32_t max_f = report.smoke() ? 2 : 5;
+  report.set_config("max_writers",
+                    static_cast<std::int64_t>(writer_sweep.back()));
+  report.set_config("max_f", static_cast<std::int64_t>(max_f));
+
   harness::print_experiment_header(
       "E5: replica state size",
       "prepare list O(#writers) and kept small by write-certificate GC; "
@@ -34,7 +45,7 @@ int main() {
     Table table({"concurrent writers", "peak plist entries",
                  "entries after settle", "state bytes/replica (peak)",
                  "claimed bound"});
-    for (int writers : {1, 2, 4, 8, 16, 32}) {
+    for (int writers : writer_sweep) {
       Cluster cluster([] { ClusterOptions o; o.seed = 5; return o; }());
       int done = 0;
       std::vector<core::Client*> clients;
@@ -67,6 +78,14 @@ int main() {
         const auto* st = cluster.replica(r).find_object(1);
         if (st) after = std::max(after, st->plist().size());
       }
+      const std::string key = "plist/w" + std::to_string(writers);
+      report.registry().gauge(key + "/peak_entries")
+          .set(static_cast<double>(peak_plist));
+      report.registry().gauge(key + "/entries_after_settle")
+          .set(static_cast<double>(after));
+      report.registry().gauge(key + "/peak_state_bytes")
+          .set(static_cast<double>(peak_bytes));
+      report.merge(cluster.snapshot_metrics());
       table.add_row({std::to_string(writers), std::to_string(peak_plist),
                      std::to_string(after), std::to_string(peak_bytes),
                      "<= " + std::to_string(writers)});
@@ -164,7 +183,7 @@ int main() {
   {
     std::cout << "\n--- prepare certificate size vs f ---\n";
     Table table({"f", "|Q|", "cert bytes", "bytes per signature"});
-    for (std::uint32_t f = 1; f <= 5; ++f) {
+    for (std::uint32_t f = 1; f <= max_f; ++f) {
       ClusterOptions o;
       o.f = f;
       o.seed = 40 + f;
@@ -177,6 +196,8 @@ int main() {
       st->pcert().encode(w);
       const double per_sig =
           static_cast<double>(w.size()) / st->pcert().signatures().size();
+      report.registry().gauge("cert/f" + std::to_string(f) + "/bytes")
+          .set(static_cast<double>(w.size()));
       table.add_row({std::to_string(f), std::to_string(2 * f + 1),
                      std::to_string(w.size()), Table::num(per_sig)});
     }
@@ -185,5 +206,5 @@ int main() {
 
   std::cout << "\nPlist stays <= #writers and certificates grow linearly in "
                "|Q| — the claimed O(|C|) and O(|Q|) state bounds.\n";
-  return 0;
+  return report.finish();
 }

@@ -8,7 +8,11 @@
 // the repo and for sizing larger simulation studies.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "harness/cluster.h"
+#include "metrics/bench_report.h"
 
 using namespace bftbc;
 
@@ -92,4 +96,33 @@ BENCHMARK(BM_EnvelopeRoundtrip)->Arg(128)->Arg(4096);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  metrics::BenchArgs args = metrics::parse_bench_args(argc, argv);
+  metrics::BenchReport report("bench_throughput", args);
+
+  // A fixed simulated write/read workload feeds the JSON report with
+  // protocol phase latencies and sig-cache counters (the wall-clock
+  // microbenchmarks below report through google-benchmark's own output).
+  {
+    harness::ClusterOptions o;
+    o.seed = 17;
+    harness::Cluster cluster(o);
+    auto& c = cluster.add_client(1);
+    const int ops = report.smoke() ? 5 : 50;
+    report.set_config("report_ops", static_cast<std::int64_t>(ops));
+    for (int i = 0; i < ops; ++i) {
+      (void)cluster.write(c, 1, to_bytes("v" + std::to_string(i)));
+      (void)cluster.read(c, 1);
+    }
+    report.merge(cluster.snapshot_metrics());
+  }
+
+  std::vector<char*> bench_argv(args.argv, args.argv + args.argc);
+  std::string min_time = "--benchmark_min_time=0.001";
+  if (report.smoke()) bench_argv.push_back(min_time.data());
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return report.finish();
+}

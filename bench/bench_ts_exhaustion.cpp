@@ -13,6 +13,7 @@
 #include "harness/baseline_cluster.h"
 #include "harness/cluster.h"
 #include "harness/table.h"
+#include "metrics/bench_report.h"
 
 using namespace bftbc;
 using harness::BaselineOptions;
@@ -21,14 +22,18 @@ using harness::Cluster;
 using harness::ClusterOptions;
 using harness::Table;
 
-int main() {
+int main(int argc, char** argv) {
+  metrics::BenchArgs args = metrics::parse_bench_args(argc, argv);
+  metrics::BenchReport report("bench_ts_exhaustion", args);
+
   harness::print_experiment_header(
       "E11: timestamp-space exhaustion attack",
       "BFT-BC replicas only admit t = succ(cert.ts, c): timestamps grow by "
       "1 per completed write, so bad clients cannot exhaust the space "
       "(3.2); classic BQS accepts arbitrary jumps");
 
-  constexpr int kGoodWrites = 10;
+  const int kGoodWrites = report.smoke() ? 4 : 10;
+  report.set_config("good_writes", static_cast<std::int64_t>(kGoodWrites));
   Table table({"protocol", "attack", "good writes", "final ts.val",
                "expected", "attack accepted by replicas"});
 
@@ -51,6 +56,11 @@ int main() {
       (void)cluster.write(good, 1, to_bytes("v" + std::to_string(i)));
     auto r = cluster.read(good, 1);
 
+    report.registry().gauge("bftbc/final_ts_attacked")
+        .set(static_cast<double>(r.is_ok() ? r.value().ts.val : 0));
+    report.counter("bftbc/attack_prepares_accepted")
+        .set(static_cast<std::uint64_t>(out->accepted));
+    report.merge(cluster.snapshot_metrics());
     table.add_row({"BFT-BC", "10x jump of 1e9", std::to_string(kGoodWrites),
                    std::to_string(r.is_ok() ? r.value().ts.val : 0),
                    std::to_string(kGoodWrites) + " (exactly 1/write)",
@@ -64,6 +74,9 @@ int main() {
     for (int i = 0; i < kGoodWrites; ++i)
       (void)cluster.write(good, 1, to_bytes("v" + std::to_string(i)));
     auto r = cluster.read(good, 1);
+    report.registry().gauge("bftbc/final_ts_control")
+        .set(static_cast<double>(r.is_ok() ? r.value().ts.val : 0));
+    report.merge(cluster.snapshot_metrics());
     table.add_row({"BFT-BC", "none (control)", std::to_string(kGoodWrites),
                    std::to_string(r.is_ok() ? r.value().ts.val : 0),
                    std::to_string(kGoodWrites), "-"});
@@ -100,6 +113,8 @@ int main() {
     for (int i = 1; i < kGoodWrites; ++i)
       (void)cluster.write(good, 1, to_bytes("v" + std::to_string(i)));
     auto r = cluster.read(good, 1);
+    report.registry().gauge("bqs/final_ts_attacked")
+        .set(static_cast<double>(r.is_ok() ? r.value().ts.val : 0));
     table.add_row({"BQS classic", "single jump of 1e9",
                    std::to_string(kGoodWrites),
                    std::to_string(r.is_ok() ? r.value().ts.val : 0),
@@ -111,5 +126,5 @@ int main() {
   std::cout << "\nBFT-BC's final timestamp equals the number of completed "
                "writes no matter the attack; BQS's timestamp space is blown "
                "past 1e9 by one message.\n";
-  return 0;
+  return report.finish();
 }

@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json artifacts against the bench-report schema.
+
+Schema (schema_version 1, produced by src/metrics/bench_report.cpp):
+
+  {
+    "schema_version": 1,
+    "bench":   "<bench_name>",
+    "config":  { "<key>": "<string value>", ... },
+    "counters":   { "<name>": <non-negative int>, ... },
+    "gauges":     { "<name>": <number>, ... },
+    "summaries":  { "<name>": {count, mean, p50, p90, p99,
+                               min, max, stddev}, ... },
+    "histograms": { "<name>": {total, mean, max,
+                               buckets: {"<value>": <count>}}, ... }
+  }
+
+Checks, per file:
+  - parses as JSON, all five top-level sections present with right types
+  - schema_version == 1 and "bench" is a non-empty string
+  - the sig-cache counters the CI perf trajectory tracks are present
+  - at least one latency summary (a "*_ms" summary) with count > 0 and
+    internally consistent stats (min <= p50 <= p99 <= max, count > 0)
+  - histogram totals equal the sum of their buckets
+
+Usage: check_bench_json.py FILE [FILE...]
+Exit status: 0 if every file passes, 1 otherwise.
+"""
+
+import json
+import numbers
+import sys
+
+REQUIRED_SECTIONS = {
+    "config": dict,
+    "counters": dict,
+    "gauges": dict,
+    "summaries": dict,
+    "histograms": dict,
+}
+REQUIRED_COUNTERS = ("sig_cache_hit", "sig_cache_miss", "sig_verify_calls")
+SUMMARY_FIELDS = ("count", "mean", "p50", "p90", "p99", "min", "max", "stddev")
+
+
+def fail(errors, path, msg):
+    errors.append(f"{path}: {msg}")
+
+
+def check_summary(errors, path, name, s):
+    if not isinstance(s, dict):
+        fail(errors, path, f"summary {name!r} is not an object")
+        return
+    for field in SUMMARY_FIELDS:
+        if field not in s:
+            fail(errors, path, f"summary {name!r} missing field {field!r}")
+            return
+        if not isinstance(s[field], numbers.Real):
+            fail(errors, path, f"summary {name!r} field {field!r} not numeric")
+            return
+    if s["count"] > 0 and not (
+        s["min"] <= s["p50"] <= s["p99"] <= s["max"]
+    ):
+        fail(
+            errors,
+            path,
+            f"summary {name!r} percentiles out of order: "
+            f"min={s['min']} p50={s['p50']} p99={s['p99']} max={s['max']}",
+        )
+
+
+def check_histogram(errors, path, name, h):
+    if not isinstance(h, dict):
+        fail(errors, path, f"histogram {name!r} is not an object")
+        return
+    for field in ("total", "mean", "max", "buckets"):
+        if field not in h:
+            fail(errors, path, f"histogram {name!r} missing field {field!r}")
+            return
+    if not isinstance(h["buckets"], dict):
+        fail(errors, path, f"histogram {name!r} buckets is not an object")
+        return
+    bucket_sum = sum(h["buckets"].values())
+    if bucket_sum != h["total"]:
+        fail(
+            errors,
+            path,
+            f"histogram {name!r} total={h['total']} != bucket sum {bucket_sum}",
+        )
+
+
+def check_file(path):
+    errors = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: unreadable or invalid JSON: {e}"]
+
+    if not isinstance(doc, dict):
+        return [f"{path}: top level is not an object"]
+    if doc.get("schema_version") != 1:
+        fail(errors, path, f"schema_version={doc.get('schema_version')!r}, want 1")
+    bench = doc.get("bench")
+    if not isinstance(bench, str) or not bench:
+        fail(errors, path, "missing or empty 'bench' name")
+
+    for section, want_type in REQUIRED_SECTIONS.items():
+        if not isinstance(doc.get(section), want_type):
+            fail(errors, path, f"section {section!r} missing or wrong type")
+    if errors:
+        return errors
+
+    counters = doc["counters"]
+    for name in REQUIRED_COUNTERS:
+        if name not in counters:
+            fail(errors, path, f"required counter {name!r} missing")
+    for name, v in counters.items():
+        if not isinstance(v, int) or v < 0:
+            fail(errors, path, f"counter {name!r} is not a non-negative int")
+
+    for name, s in doc["summaries"].items():
+        check_summary(errors, path, name, s)
+    for name, h in doc["histograms"].items():
+        check_histogram(errors, path, name, h)
+
+    latency = [
+        n
+        for n, s in doc["summaries"].items()
+        if n.endswith("_ms") and isinstance(s, dict) and s.get("count", 0) > 0
+    ]
+    if not latency:
+        fail(errors, path, "no populated '*_ms' latency summary")
+
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    all_errors = []
+    for path in argv[1:]:
+        errs = check_file(path)
+        if errs:
+            all_errors.extend(errs)
+        else:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+            print(
+                f"OK {path}: bench={doc['bench']} "
+                f"{len(doc['counters'])} counters, "
+                f"{len(doc['summaries'])} summaries, "
+                f"{len(doc['histograms'])} histograms"
+            )
+    for e in all_errors:
+        print(f"FAIL {e}", file=sys.stderr)
+    return 1 if all_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

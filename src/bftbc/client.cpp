@@ -82,10 +82,21 @@ Client::Client(const quorum::QuorumConfig& config, quorum::ClientId id,
       sim_(simulator),
       replica_nodes_(std::move(replica_nodes)),
       nonces_(id, rng),
-      options_(options) {
+      options_(options),
+      tracer_(options.tracer) {
   transport_.set_receiver([this](sim::NodeId from, const rpc::Envelope& env) {
     on_envelope(from, env);
   });
+  if (options_.registry != nullptr) {
+    metrics::MetricsRegistry& r = *options_.registry;
+    lat_.write_total = &r.summary("client.write.total_ms");
+    lat_.write_read_ts = &r.summary("client.write.read_ts_ms");
+    lat_.write_prepare = &r.summary("client.write.prepare_ms");
+    lat_.write_write = &r.summary("client.write.write_ms");
+    lat_.read_total = &r.summary("client.read.total_ms");
+    lat_.read_read = &r.summary("client.read.read_ms");
+    lat_.read_writeback = &r.summary("client.read.writeback_ms");
+  }
 }
 
 Client::~Client() {
@@ -122,9 +133,23 @@ rpc::Envelope Client::make_request(rpc::MsgType type, Bytes body) {
 
 void Client::begin_call(OpBase& op, rpc::Envelope request,
                         rpc::QuorumCall::Validator validator,
-                        std::function<void()> on_complete) {
+                        std::function<void()> on_complete,
+                        Summary* phase_lat, const char* phase_name) {
   if (op.call) retired_calls_.push_back(std::move(op.call));
   ++op.phases;
+  if (tracer_ != nullptr && phase_name != nullptr) {
+    tracer_->record(sim_.now(), metrics::TraceKind::kPhase, id_, op.op_id,
+                    phase_name);
+  }
+  if (phase_lat != nullptr) {
+    const sim::Time phase_start = sim_.now();
+    on_complete = [this, phase_lat, phase_start,
+                   inner = std::move(on_complete)] {
+      phase_lat->add(static_cast<double>(sim_.now() - phase_start) /
+                     sim::kMillisecond);
+      inner();
+    };
+  }
   op.call = std::make_unique<rpc::QuorumCall>(
       sim_, transport_, replica_nodes_, config_.q, std::move(request),
       std::move(validator), std::move(on_complete), nullptr, options_.rpc);
@@ -155,6 +180,10 @@ void Client::fail_op(std::uint64_t op_id, Status status) {
       ops_.erase(child);
     }
   }
+  if (tracer_ != nullptr) {
+    tracer_->record(sim_.now(), metrics::TraceKind::kOpEnd, id_, op->op_id,
+                    status.message());
+  }
   op->fail(status);
 }
 
@@ -168,8 +197,13 @@ void Client::write(ObjectId object, Bytes value, WriteCallback cb) {
   op.value = std::move(value);
   op.hash = crypto::sha256(op.value);
   op.cb = std::move(cb);
+  op.started = sim_.now();
   ops_[op.op_id] = std::move(owned);
   metrics_.inc("writes");
+  if (tracer_ != nullptr) {
+    tracer_->record(sim_.now(), metrics::TraceKind::kOpBegin, id_, op.op_id,
+                    "write");
+  }
   if (options_.op_deadline > 0) {
     const std::uint64_t op_id = op.op_id;
     op.deadline_timer = sim_.schedule(options_.op_deadline, [this, op_id] {
@@ -229,7 +263,8 @@ void Client::start_write_phase1(WriteOp& op) {
       [this, op_id] {
         if (auto* op = dynamic_cast<WriteOp*>(find_op(op_id)))
           finish_write_phase1(*op);
-      });
+      },
+      lat_.write_read_ts, "write/read_ts");
 }
 
 void Client::finish_write_phase1(WriteOp& op) {
@@ -318,7 +353,8 @@ void Client::start_write_phase2(WriteOp& op) {
         op->pnew = PrepareCertificate(op->object, op->t, op->hash,
                                       op->prepare_sigs);
         start_write_phase3(*op);
-      });
+      },
+      lat_.write_prepare, "write/prepare");
 }
 
 // Figure 1, phase 3: 〈WRITE, val, Pnew〉σc; the quorum of WRITE-REPLY
@@ -357,13 +393,22 @@ void Client::start_write_phase3(WriteOp& op) {
       [this, op_id] {
         if (auto* op = dynamic_cast<WriteOp*>(find_op(op_id)))
           finish_write(*op);
-      });
+      },
+      lat_.write_write, "write/write");
 }
 
 void Client::finish_write(WriteOp& op) {
   last_write_cert_[op.object] =
       WriteCertificate(op.object, op.t, op.write_sigs);
   metrics_.inc("write_phases", static_cast<std::uint64_t>(op.phases));
+  if (lat_.write_total != nullptr) {
+    lat_.write_total->add(static_cast<double>(sim_.now() - op.started) /
+                          sim::kMillisecond);
+  }
+  if (tracer_ != nullptr) {
+    tracer_->record(sim_.now(), metrics::TraceKind::kOpEnd, id_, op.op_id,
+                    "write/ok");
+  }
 
   WriteResult result;
   result.ts = op.t;
@@ -440,7 +485,8 @@ void Client::start_write_phase1_opt(WriteOp& op) {
       [this, op_id] {
         if (auto* op = dynamic_cast<WriteOp*>(find_op(op_id)))
           finish_write_phase1_opt(*op);
-      });
+      },
+      lat_.write_read_ts, "write/read_ts_prep");
 }
 
 void Client::finish_write_phase1_opt(WriteOp& op) {
@@ -474,8 +520,13 @@ void Client::read(ObjectId object, ReadCallback cb) {
   op.op_id = next_op_id_++;
   op.object = object;
   op.cb = std::move(cb);
+  op.started = sim_.now();
   ops_[op.op_id] = std::move(owned);
   metrics_.inc("reads");
+  if (tracer_ != nullptr) {
+    tracer_->record(sim_.now(), metrics::TraceKind::kOpBegin, id_, op.op_id,
+                    "read");
+  }
   if (options_.op_deadline > 0) {
     const std::uint64_t op_id = op.op_id;
     op.deadline_timer = sim_.schedule(options_.op_deadline, [this, op_id] {
@@ -536,7 +587,8 @@ void Client::start_read(ReadOp& op) {
         } else {
           start_read_writeback(*op);
         }
-      });
+      },
+      lat_.read_read, "read/read");
 }
 
 // §3.2.2 phase 2: write back the largest (ts, value) — identical to write
@@ -577,11 +629,24 @@ void Client::start_read_writeback(ReadOp& op) {
       [this, op_id] {
         if (auto* op = dynamic_cast<ReadOp*>(find_op(op_id)))
           finish_read(*op);
-      });
+      },
+      lat_.read_writeback, "read/writeback");
 }
 
 void Client::finish_read(ReadOp& op) {
   metrics_.inc("read_phases", static_cast<std::uint64_t>(op.phases));
+  // Internal (strong-fallback) reads never went through read(): they have
+  // no start time and are not client-visible ops, so no total latency.
+  if (!op.internal_cb) {
+    if (lat_.read_total != nullptr) {
+      lat_.read_total->add(static_cast<double>(sim_.now() - op.started) /
+                           sim::kMillisecond);
+    }
+    if (tracer_ != nullptr) {
+      tracer_->record(sim_.now(), metrics::TraceKind::kOpEnd, id_, op.op_id,
+                      "read/ok");
+    }
+  }
 
   sim_.cancel(op.deadline_timer);
   if (op.call) retired_calls_.push_back(std::move(op.call));

@@ -21,6 +21,8 @@
 #include <vector>
 
 #include "bftbc/messages.h"
+#include "metrics/registry.h"
+#include "metrics/trace.h"
 #include "rpc/quorum_call.h"
 #include "rpc/transport.h"
 #include "sim/simulator.h"
@@ -39,6 +41,14 @@ struct ClientOptions {
   bool gc_in_reads = false;
   rpc::QuorumCallOptions rpc;
   sim::Time op_deadline = 0;  // 0 = rely on protocol liveness (no timeout)
+  // Optional observability hooks. When `registry` is set the client
+  // records per-phase and whole-op latencies (milliseconds of virtual
+  // time) into shared summaries: "client.write.{total,read_ts,prepare,
+  // write}_ms" and "client.read.{total,read,writeback}_ms". All clients
+  // bound to one registry aggregate into the same summaries. When
+  // `tracer` is set, op begin/end and phase transitions are recorded.
+  metrics::MetricsRegistry* registry = nullptr;
+  metrics::Tracer* tracer = nullptr;
 };
 
 class Client {
@@ -116,9 +126,13 @@ class Client {
 
   // --- plumbing ---------------------------------------------------------
   void on_envelope(sim::NodeId from, const rpc::Envelope& env);
+  // `phase_lat` (may be null) receives this round's latency when the
+  // quorum call completes; `phase_name` labels the kPhase trace event.
   void begin_call(OpBase& op, rpc::Envelope request,
                   rpc::QuorumCall::Validator validator,
-                  std::function<void()> on_complete);
+                  std::function<void()> on_complete,
+                  Summary* phase_lat = nullptr,
+                  const char* phase_name = nullptr);
   void fail_op(std::uint64_t op_id, Status status);
   rpc::Envelope make_request(rpc::MsgType type, Bytes body);
   OpBase* find_op(std::uint64_t id);
@@ -142,6 +156,19 @@ class Client {
   std::uint64_t next_op_id_ = 1;
   std::uint64_t next_rpc_id_ = 1;
   Counters metrics_;
+
+  // Pre-resolved latency summaries (all null without options.registry).
+  struct LatencyHandles {
+    Summary* write_total = nullptr;
+    Summary* write_read_ts = nullptr;
+    Summary* write_prepare = nullptr;
+    Summary* write_write = nullptr;
+    Summary* read_total = nullptr;
+    Summary* read_read = nullptr;
+    Summary* read_writeback = nullptr;
+  };
+  LatencyHandles lat_;
+  metrics::Tracer* tracer_ = nullptr;
 };
 
 // Shared base for in-flight operations (header-visible so unique_ptr in
@@ -154,6 +181,7 @@ struct OpBase {
   std::uint64_t op_id = 0;
   ObjectId object = 0;
   int phases = 0;
+  sim::Time started = 0;  // virtual start time (latency accounting)
   std::unique_ptr<rpc::QuorumCall> call;
   sim::TimerId deadline_timer = 0;
 };

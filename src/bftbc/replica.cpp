@@ -18,6 +18,34 @@ Replica::Replica(const quorum::QuorumConfig& config, ReplicaId id,
   transport_.set_receiver([this](sim::NodeId from, const rpc::Envelope& env) {
     on_envelope(from, env);
   });
+  if (options_.registry != nullptr) {
+    metrics::MetricsRegistry& r = *options_.registry;
+    metrics::MetricsRegistry::Scope scope =
+        r.scoped("replica/" + std::to_string(id_));
+    grants_ = &scope.counter("grants");
+    rejects_ = &scope.counter("rejects");
+    plist_size_ = &r.histogram("replica.plist_size");
+    optlist_size_ = &r.histogram("replica.optlist_size");
+  }
+}
+
+void Replica::granted(const char* counter) {
+  metrics_.inc(counter);
+  if (grants_ != nullptr) grants_->inc();
+}
+
+void Replica::dropped(const char* counter) {
+  metrics_.inc(counter);
+  if (rejects_ != nullptr) rejects_->inc();
+}
+
+void Replica::record_list_sizes(const ObjectState& state) {
+  if (plist_size_ != nullptr) {
+    plist_size_->add(static_cast<std::int64_t>(state.plist().size()));
+  }
+  if (optlist_size_ != nullptr && options_.optimized) {
+    optlist_size_->add(static_cast<std::int64_t>(state.optlist().size()));
+  }
 }
 
 ObjectState& Replica::object(ObjectId id) {
@@ -51,7 +79,7 @@ void Replica::on_envelope(sim::NodeId from, const rpc::Envelope& env) {
       if (options_.optimized) handle_read_ts_prep(from, env);
       break;
     default:
-      metrics_.inc("drop_unknown_type");
+      dropped("drop_unknown_type");
       break;
   }
 }
@@ -129,7 +157,7 @@ bool Replica::valid_write_cert(const WriteCertificate& cert, ObjectId object,
 void Replica::handle_read_ts(sim::NodeId from, const rpc::Envelope& env) {
   auto req = ReadTsRequest::decode(env.body);
   if (!req.has_value()) {
-    metrics_.inc("drop_malformed");
+    dropped("drop_malformed");
     return;
   }
   ObjectState& state = object(req->object);
@@ -148,7 +176,7 @@ void Replica::handle_read_ts(sim::NodeId from, const rpc::Envelope& env) {
   rep.replica = id_;
   rep.auth = p2p_auth(rep.signing_payload(), cost);
 
-  metrics_.inc("reply_read_ts");
+  granted("reply_read_ts");
   reply(from, rpc::MsgType::kReadTsReply, env.rpc_id, rep.encode(), cost);
 }
 
@@ -157,7 +185,7 @@ void Replica::handle_read_ts(sim::NodeId from, const rpc::Envelope& env) {
 void Replica::handle_prepare(sim::NodeId from, const rpc::Envelope& env) {
   auto req = PrepareRequest::decode(env.body);
   if (!req.has_value()) {
-    metrics_.inc("drop_malformed");
+    dropped("drop_malformed");
     return;
   }
   ObjectState& state = object(req->object);
@@ -169,27 +197,27 @@ void Replica::handle_prepare(sim::NodeId from, const rpc::Envelope& env) {
   // proves a then-authorized client prepared it — and a write-back /
   // colluder replay carries exactly such a certificate).
   if (!is_authorized(req->client)) {
-    metrics_.inc("drop_unauthorized");
+    dropped("drop_unauthorized");
     return;
   }
   if (!verify_client_sig(req->client, req->signing_payload(), req->sig,
                          cost)) {
-    metrics_.inc("drop_bad_auth");
+    dropped("drop_bad_auth");
     return;
   }
   if (!valid_prepare_cert(req->prep_cert, req->object, cost)) {
-    metrics_.inc("drop_bad_cert");
+    dropped("drop_bad_cert");
     return;
   }
   if (req->write_cert.has_value() &&
       !valid_write_cert(*req->write_cert, req->object, cost)) {
-    metrics_.inc("drop_bad_cert");
+    dropped("drop_bad_cert");
     return;
   }
   // t must be the successor of the justifying certificate's timestamp —
   // this is what makes timestamp-space exhaustion impossible (§3.2).
   if (req->t != req->prep_cert.ts().succ(req->client)) {
-    metrics_.inc("drop_bad_ts");
+    dropped("drop_bad_ts");
     return;
   }
   if (options_.strong) {
@@ -197,7 +225,7 @@ void Replica::handle_prepare(sim::NodeId from, const rpc::Envelope& env) {
     // proven by a write certificate for the predecessor timestamp.
     if (!req->write_cert.has_value() ||
         req->write_cert->ts() != req->prep_cert.ts()) {
-      metrics_.inc("drop_strong_no_wcert");
+      dropped("drop_strong_no_wcert");
       return;
     }
   }
@@ -209,9 +237,10 @@ void Replica::handle_prepare(sim::NodeId from, const rpc::Envelope& env) {
 
   // Steps 3–4: Plist admission.
   if (!state.try_prepare(req->client, req->t, req->hash)) {
-    metrics_.inc("drop_plist_conflict");
+    dropped("drop_plist_conflict");
     return;
   }
+  record_list_sizes(state);
 
   // Step 5: reply with the signed PREPARE-REPLY statement.
   PrepareReply rep;
@@ -237,7 +266,7 @@ void Replica::handle_prepare(sim::NodeId from, const rpc::Envelope& env) {
     }
   }
 
-  metrics_.inc("reply_prepare");
+  granted("reply_prepare");
   reply(from, rpc::MsgType::kPrepareReply, env.rpc_id, rep.encode(), cost);
 }
 
@@ -246,7 +275,7 @@ void Replica::handle_prepare(sim::NodeId from, const rpc::Envelope& env) {
 void Replica::handle_write(sim::NodeId from, const rpc::Envelope& env) {
   auto req = WriteRequest::decode(env.body);
   if (!req.has_value()) {
-    metrics_.inc("drop_malformed");
+    dropped("drop_malformed");
     return;
   }
   ObjectState& state = object(req->object);
@@ -255,15 +284,15 @@ void Replica::handle_write(sim::NodeId from, const rpc::Envelope& env) {
   // Figure 2 phase 3 step 1.
   if (!verify_client_sig(req->client, req->signing_payload(), req->sig,
                          cost)) {
-    metrics_.inc("drop_bad_auth");
+    dropped("drop_bad_auth");
     return;
   }
   if (!valid_prepare_cert(req->prep_cert, req->object, cost)) {
-    metrics_.inc("drop_bad_cert");
+    dropped("drop_bad_cert");
     return;
   }
   if (req->prep_cert.hash() != crypto::sha256(req->value)) {
-    metrics_.inc("drop_hash_mismatch");
+    dropped("drop_hash_mismatch");
     return;
   }
 
@@ -283,7 +312,7 @@ void Replica::handle_write(sim::NodeId from, const rpc::Envelope& env) {
                       quorum::write_reply_statement(req->object, rep.ts),
                       cost);
 
-  metrics_.inc("reply_write");
+  granted("reply_write");
   reply(from, rpc::MsgType::kWriteReply, env.rpc_id, rep.encode(), cost);
 }
 
@@ -292,7 +321,7 @@ void Replica::handle_write(sim::NodeId from, const rpc::Envelope& env) {
 void Replica::handle_read(sim::NodeId from, const rpc::Envelope& env) {
   auto req = ReadRequest::decode(env.body);
   if (!req.has_value()) {
-    metrics_.inc("drop_malformed");
+    dropped("drop_malformed");
     return;
   }
   ObjectState& state = object(req->object);
@@ -316,7 +345,7 @@ void Replica::handle_read(sim::NodeId from, const rpc::Envelope& env) {
   rep.replica = id_;
   rep.auth = p2p_auth(rep.signing_payload(), cost);
 
-  metrics_.inc("reply_read");
+  granted("reply_read");
   reply(from, rpc::MsgType::kReadReply, env.rpc_id, rep.encode(), cost);
 }
 
@@ -325,24 +354,24 @@ void Replica::handle_read(sim::NodeId from, const rpc::Envelope& env) {
 void Replica::handle_read_ts_prep(sim::NodeId from, const rpc::Envelope& env) {
   auto req = ReadTsPrepRequest::decode(env.body);
   if (!req.has_value()) {
-    metrics_.inc("drop_malformed");
+    dropped("drop_malformed");
     return;
   }
   ObjectState& state = object(req->object);
   sim::Time cost = 0;
 
   if (!is_authorized(req->client)) {
-    metrics_.inc("drop_unauthorized");
+    dropped("drop_unauthorized");
     return;
   }
   if (!verify_client_sig(req->client, req->signing_payload(), req->sig,
                          cost)) {
-    metrics_.inc("drop_bad_auth");
+    dropped("drop_bad_auth");
     return;
   }
   if (req->write_cert.has_value()) {
     if (!valid_write_cert(*req->write_cert, req->object, cost)) {
-      metrics_.inc("drop_bad_cert");
+      dropped("drop_bad_cert");
       return;
     }
     state.absorb_write_certificate(req->write_cert->ts());
@@ -364,6 +393,7 @@ void Replica::handle_read_ts_prep(sim::NodeId from, const rpc::Envelope& env) {
 
   std::optional<Timestamp> predicted;
   if (strong_ok) predicted = state.try_opt_prepare(req->client, req->hash);
+  record_list_sizes(state);
 
   if (predicted.has_value()) {
     rep.prepared = true;
@@ -384,9 +414,9 @@ void Replica::handle_read_ts_prep(sim::NodeId from, const rpc::Envelope& env) {
         }
       }
     }
-    metrics_.inc("reply_read_ts_prep_prepared");
+    granted("reply_read_ts_prep_prepared");
   } else {
-    metrics_.inc("reply_read_ts_prep_fallback");
+    granted("reply_read_ts_prep_fallback");
   }
 
   if (options_.strong) {

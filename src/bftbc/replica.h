@@ -27,6 +27,7 @@
 
 #include "bftbc/messages.h"
 #include "bftbc/replica_state.h"
+#include "metrics/registry.h"
 #include "rpc/transport.h"
 #include "sim/simulator.h"
 #include "util/stats.h"
@@ -45,6 +46,11 @@ struct ReplicaOptions {
   // §3.1); when false, any client with a valid signature may write.
   // Reads are answered unconditionally either way.
   bool enforce_acl = false;
+  // Optional observability hook. When set, the replica keeps scoped
+  // grant/reject totals ("replica/<id>/grants", "replica/<id>/rejects")
+  // plus shared list-size histograms ("replica.plist_size",
+  // "replica.optlist_size") in addition to the per-name Counters.
+  metrics::MetricsRegistry* registry = nullptr;
 };
 
 class Replica {
@@ -106,6 +112,15 @@ class Replica {
   // Background-signature cache for WRITE-REPLY statements.
   Bytes write_sig_for(ObjectId object, const Timestamp& ts, sim::Time& cost);
 
+  // Metrics helpers: every handled request ends in exactly one of these.
+  // Both bump the named Counters entry; with a bound registry they also
+  // bump the scoped grant/reject totals.
+  void granted(const char* counter);
+  void dropped(const char* counter);
+  // Records current prepare-list sizes into the shared histograms (no-op
+  // without a bound registry).
+  void record_list_sizes(const ObjectState& state);
+
   // Shared request-validity checks.
   bool verify_client_sig(quorum::ClientId client, BytesView payload,
                          BytesView sig, sim::Time& cost);
@@ -128,6 +143,12 @@ class Replica {
       write_sig_cache_;
   std::set<quorum::ClientId> acl_;
   Counters metrics_;
+
+  // Pre-resolved registry handles (all null without options.registry).
+  metrics::Counter* grants_ = nullptr;
+  metrics::Counter* rejects_ = nullptr;
+  Histogram* plist_size_ = nullptr;
+  Histogram* optlist_size_ = nullptr;
 };
 
 }  // namespace bftbc::core

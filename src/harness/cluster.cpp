@@ -7,11 +7,16 @@ Cluster::Cluster(ClusterOptions options)
       config_(quorum::QuorumConfig::bft_bc(options_.f)),
       sim_(),
       rng_(options_.seed),
+      tracer_(options_.trace_capacity),
       net_(sim_, rng_.split(), options_.link),
       keystore_(options_.scheme, options_.seed ^ 0x5eedc0de, options_.rsa_bits) {
+  net_.bind_metrics(metrics_, "net");
+  if (tracer_.enabled()) net_.set_tracer(&tracer_);
+
   core::ReplicaOptions ropts = options_.replica;
   ropts.optimized = options_.optimized;
   ropts.strong = options_.strong;
+  if (ropts.registry == nullptr) ropts.registry = &metrics_;
 
   for (quorum::ReplicaId r = 0; r < config_.n; ++r) {
     auto transport = std::make_unique<rpc::SimTransport>(net_, r);
@@ -49,6 +54,8 @@ core::Client& Cluster::add_client(quorum::ClientId id,
   auto existing = clients_.find(id);
   if (existing != clients_.end()) return *existing->second;
 
+  if (copts.registry == nullptr) copts.registry = &metrics_;
+  if (copts.tracer == nullptr && tracer_.enabled()) copts.tracer = &tracer_;
   auto transport = std::make_unique<rpc::SimTransport>(net_, client_node(id));
   auto client = std::make_unique<core::Client>(config_, id, keystore_,
                                                *transport, sim_,
@@ -61,6 +68,20 @@ core::Client& Cluster::add_client(quorum::ClientId id,
   // relevant when replicas enforce the ACL).
   for (auto& replica : replicas_) replica->authorize(id);
   return ref;
+}
+
+metrics::MetricsRegistry& Cluster::snapshot_metrics() {
+  for (quorum::ReplicaId r = 0; r < config_.n; ++r) {
+    metrics_.fold_counters("replica/" + std::to_string(r),
+                           replicas_[r]->metrics());
+  }
+  for (const auto& [id, client] : clients_) {
+    metrics_.fold_counters("client/" + std::to_string(id), client->metrics());
+  }
+  // Keystore counters land unscoped: "sig_cache_hit", "sig_cache_miss",
+  // "sig_verify_calls", "sign", "verify".
+  metrics_.fold_counters("", keystore_.counters());
+  return metrics_;
 }
 
 std::unique_ptr<rpc::Transport> Cluster::make_transport(sim::NodeId node) {

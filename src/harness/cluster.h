@@ -11,12 +11,15 @@
 #pragma once
 
 #include <functional>
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <optional>
 
 #include "bftbc/client.h"
 #include "bftbc/replica.h"
+#include "metrics/registry.h"
+#include "metrics/trace.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
 
@@ -45,6 +48,8 @@ struct ClusterOptions {
   // Per-replica construction hook; nullptr slots fall back to the default
   // correct replica. Keyed by replica id.
   std::map<quorum::ReplicaId, ReplicaFactory> replica_factories;
+  // Ring-buffer event-trace capacity (0 disables tracing — hot benches).
+  std::size_t trace_capacity = metrics::Tracer::kDefaultCapacity;
 };
 
 class Cluster {
@@ -86,6 +91,22 @@ class Cluster {
   // Let all in-flight events settle.
   void settle();
 
+  // ---- observability --------------------------------------------------
+  // The cluster-wide registry. Network/replica/client hot paths record
+  // into it directly; legacy Counters sources are folded in by
+  // snapshot_metrics(). Each cluster owns its own registry so concurrent
+  // experiments in one process do not bleed into each other.
+  metrics::MetricsRegistry& metrics_registry() { return metrics_; }
+  metrics::Tracer& tracer() { return tracer_; }
+
+  // Folds the replica / client / keystore Counters into the registry
+  // (SET semantics — safe to call repeatedly) and returns it. Call
+  // before reading or serializing cluster metrics.
+  metrics::MetricsRegistry& snapshot_metrics();
+
+  // Dumps the event ring buffer (oldest first) — for test failure paths.
+  void dump_trace(std::ostream& os) const { tracer_.dump(os); }
+
   // ---- fault controls -------------------------------------------------
   void crash_replica(quorum::ReplicaId r);
   void recover_replica(quorum::ReplicaId r);
@@ -98,6 +119,10 @@ class Cluster {
   quorum::QuorumConfig config_;
   sim::Simulator sim_;
   Rng rng_;
+  // Declared before net_ / replicas / clients: they hold resolved handles
+  // into these, so the sinks must outlive the recorders.
+  metrics::MetricsRegistry metrics_;
+  metrics::Tracer tracer_;
   sim::Network net_;
   crypto::Keystore keystore_;
 

@@ -1,0 +1,125 @@
+#include "metrics/bench_report.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "metrics/json.h"
+
+namespace bftbc::metrics {
+
+BenchArgs parse_bench_args(int& argc, char** argv) {
+  BenchArgs out;
+  int write_idx = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--smoke") == 0) {
+      out.smoke = true;
+    } else if (std::strcmp(arg, "--json") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--json requires a path argument\n");
+        std::exit(2);
+      }
+      out.json_path = argv[++i];
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      out.json_path = arg + 7;
+    } else {
+      argv[write_idx++] = argv[i];  // keep for benchmark::Initialize etc.
+    }
+  }
+  argc = write_idx;
+  argv[argc] = nullptr;
+  out.argc = argc;
+  out.argv = argv;
+  return out;
+}
+
+BenchReport::BenchReport(std::string name, const BenchArgs& args)
+    : name_(std::move(name)), json_path_(args.json_path), smoke_(args.smoke) {
+  // The sig-cache counters are part of the committed schema: create the
+  // slots up front so they are emitted (as 0) even for workloads that
+  // never exercised the verification cache.
+  registry_.counter("sig_cache_hit");
+  registry_.counter("sig_cache_miss");
+  registry_.counter("sig_verify_calls");
+  set_config("smoke", smoke_);
+}
+
+void BenchReport::set_config(const std::string& key,
+                             const std::string& value) {
+  for (auto& [k, v] : config_) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  config_.emplace_back(key, value);
+}
+
+void BenchReport::set_config(const std::string& key, std::int64_t value) {
+  set_config(key, std::to_string(value));
+}
+
+void BenchReport::set_config(const std::string& key, double value) {
+  std::ostringstream ss;
+  ss << value;
+  set_config(key, ss.str());
+}
+
+void BenchReport::set_config(const std::string& key, bool value) {
+  set_config(key, std::string(value ? "true" : "false"));
+}
+
+std::string BenchReport::to_json() const {
+  // Render the registry body and splice the report envelope around it:
+  // the registry already emits the {counters,...} object we want inline.
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema_version");
+  w.value(std::int64_t{1});
+  w.key("bench");
+  w.value(name_);
+  w.key("config");
+  w.begin_object();
+  for (const auto& [k, v] : config_) {
+    w.key(k);
+    w.value(v);
+  }
+  w.end_object();
+  w.end_object();
+
+  std::string envelope = std::move(w).take();
+  std::string body = registry_.to_json();
+  // envelope = {... "config": {...}}  body = {"counters": ...}
+  // Result:    {... "config": {...},\n"counters": ...}
+  envelope.pop_back();  // trailing '}'
+  while (!envelope.empty() &&
+         (envelope.back() == '\n' || envelope.back() == ' ')) {
+    envelope.pop_back();  // and the newline/indent before it
+  }
+  body.erase(0, 1);  // leading '{'
+  return envelope + "," + body;
+}
+
+int BenchReport::finish() const {
+  if (json_path_.empty()) return 0;
+  std::ofstream out(json_path_, std::ios::trunc);
+  if (!out) {
+    std::cerr << name_ << ": cannot open --json path " << json_path_ << "\n";
+    return 1;
+  }
+  out << to_json() << "\n";
+  out.close();
+  if (!out) {
+    std::cerr << name_ << ": failed writing " << json_path_ << "\n";
+    return 1;
+  }
+  std::cout << "\n[" << name_ << "] JSON metrics written to " << json_path_
+            << "\n";
+  return 0;
+}
+
+}  // namespace bftbc::metrics

@@ -1,0 +1,99 @@
+// Shared machine-readable output pipeline for the bench/ binaries.
+//
+// Every bench keeps its human-oriented tables on stdout and additionally
+// routes its measurements through a BenchReport. With `--json <path>` the
+// report is written as one JSON document so CI can archive BENCH_*.json
+// artifacts and future PRs can diff the perf trajectory mechanically.
+//
+// Schema (schema_version 1, validated by scripts/check_bench_json.py):
+//   {
+//     "schema_version": 1,
+//     "bench":   "bench_phases",
+//     "config":  { "<key>": "<value>", ... },
+//     "counters":   { "<name>": <uint>, ... },    // sig_cache_* always present
+//     "gauges":     { "<name>": <double>, ... },
+//     "summaries":  { "<name>": {count, mean, p50, p90, p99,
+//                                min, max, stddev}, ... },
+//     "histograms": { "<name>": {total, mean, max,
+//                                buckets: {"<v>": <count>}}, ... }
+//   }
+//
+// Latency summaries are in milliseconds and named "*_ms". Benches merge
+// whole cluster registries (report.merge(cluster.metrics_registry()))
+// and/or add ad-hoc metrics directly.
+//
+// The uniform flag set is parsed by parse_bench_args():
+//   --json <path>   write the report there on report.finish()
+//   --smoke         tiny iteration budget (CI smoke job); benches read
+//                   args.smoke and shrink their sweeps
+// Unrecognized arguments are preserved (and argc/argv rewritten) so the
+// google-benchmark-based benches can still hand them to
+// benchmark::Initialize.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "metrics/registry.h"
+
+namespace bftbc::metrics {
+
+struct BenchArgs {
+  std::string json_path;  // empty = no JSON requested
+  bool smoke = false;
+  // argv rewritten in place with --json/--smoke removed; argc updated.
+  int argc = 0;
+  char** argv = nullptr;
+};
+
+// Strips the shared flags out of argv (mutates it) and returns them.
+// Exits(2) on `--json` without a path.
+BenchArgs parse_bench_args(int& argc, char** argv);
+
+class BenchReport {
+ public:
+  // `name` is the bench binary's canonical name, e.g. "bench_phases".
+  explicit BenchReport(std::string name, const BenchArgs& args);
+
+  bool smoke() const { return smoke_; }
+
+  // Workload/config parameters recorded verbatim into "config".
+  void set_config(const std::string& key, const std::string& value);
+  void set_config(const std::string& key, std::int64_t value);
+  void set_config(const std::string& key, double value);
+  void set_config(const std::string& key, bool value);
+
+  // The report's own registry: benches can record directly...
+  MetricsRegistry& registry() { return registry_; }
+  Counter& counter(std::string_view name) { return registry_.counter(name); }
+  Summary& summary(std::string_view name) { return registry_.summary(name); }
+  Histogram& histogram(std::string_view name) {
+    return registry_.histogram(name);
+  }
+  // ...or copy in existing accumulators / whole cluster registries.
+  void add_summary(std::string_view name, const Summary& s) {
+    registry_.summary(name).merge(s);
+  }
+  void add_histogram(std::string_view name, const Histogram& h) {
+    registry_.histogram(name).merge(h);
+  }
+  void merge(const MetricsRegistry& other) { registry_.merge(other); }
+
+  std::string to_json() const;
+
+  // Writes the JSON file if --json was given; prints where it went.
+  // Returns the process exit code to use (0, or 1 when the write failed)
+  // so main() can `return report.finish();`.
+  int finish() const;
+
+ private:
+  std::string name_;
+  std::string json_path_;
+  bool smoke_ = false;
+  std::vector<std::pair<std::string, std::string>> config_;
+  MetricsRegistry registry_;
+};
+
+}  // namespace bftbc::metrics

@@ -1,0 +1,132 @@
+#include "metrics/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace bftbc::metrics {
+
+std::string JsonWriter::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::comma_if_needed() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (need_comma_) out_ += ',';
+  if (depth_ > 0) newline_indent();
+}
+
+void JsonWriter::newline_indent() {
+  out_ += '\n';
+  out_.append(static_cast<std::size_t>(depth_) * 2, ' ');
+}
+
+void JsonWriter::begin_object() {
+  comma_if_needed();
+  out_ += '{';
+  ++depth_;
+  need_comma_ = false;
+}
+
+void JsonWriter::end_object() {
+  --depth_;
+  if (need_comma_) newline_indent();  // only break line for non-empty objects
+  out_ += '}';
+  need_comma_ = true;
+}
+
+void JsonWriter::begin_array() {
+  comma_if_needed();
+  out_ += '[';
+  ++depth_;
+  need_comma_ = false;
+}
+
+void JsonWriter::end_array() {
+  --depth_;
+  if (need_comma_) newline_indent();
+  out_ += ']';
+  need_comma_ = true;
+}
+
+void JsonWriter::key(std::string_view k) {
+  comma_if_needed();
+  out_ += '"';
+  out_ += escape(k);
+  out_ += "\": ";
+  need_comma_ = true;
+  after_key_ = true;
+}
+
+void JsonWriter::value(std::string_view v) {
+  comma_if_needed();
+  out_ += '"';
+  out_ += escape(v);
+  out_ += '"';
+  need_comma_ = true;
+}
+
+void JsonWriter::value(bool v) {
+  comma_if_needed();
+  out_ += v ? "true" : "false";
+  need_comma_ = true;
+}
+
+void JsonWriter::value(double v) {
+  comma_if_needed();
+  if (!std::isfinite(v)) {
+    out_ += "null";
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    // Trim to the shortest representation that still round-trips.
+    double parsed = 0;
+    for (int prec = 6; prec < 17; ++prec) {
+      char shorter[32];
+      std::snprintf(shorter, sizeof(shorter), "%.*g", prec, v);
+      std::sscanf(shorter, "%lf", &parsed);
+      if (parsed == v) {
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+        break;
+      }
+    }
+    out_ += buf;
+  }
+  need_comma_ = true;
+}
+
+void JsonWriter::value(std::int64_t v) {
+  comma_if_needed();
+  out_ += std::to_string(v);
+  need_comma_ = true;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  comma_if_needed();
+  out_ += std::to_string(v);
+  need_comma_ = true;
+}
+
+}  // namespace bftbc::metrics

@@ -1,0 +1,57 @@
+// Minimal JSON emitter for the metrics pipeline (no external deps).
+//
+// Produces RFC 8259-conformant output: strings are escaped, doubles are
+// printed with enough digits to round-trip, NaN/Inf degrade to null
+// (JSON has no encoding for them). The writer is push-based:
+//
+//   JsonWriter w;
+//   w.begin_object();
+//   w.key("bench"); w.value("bench_phases");
+//   w.key("summaries"); w.begin_object(); ... w.end_object();
+//   w.end_object();
+//   std::string out = std::move(w).take();
+//
+// Indentation is two spaces per level so committed BENCH_*.json files
+// diff cleanly across PRs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace bftbc::metrics {
+
+class JsonWriter {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  // Object key; must be followed by a value or a begin_*.
+  void key(std::string_view k);
+
+  void value(std::string_view v);
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(bool v);
+  void value(double v);
+  void value(std::int64_t v);
+  void value(std::uint64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+
+  const std::string& str() const& { return out_; }
+  std::string take() && { return std::move(out_); }
+
+  static std::string escape(std::string_view s);
+
+ private:
+  void comma_if_needed();
+  void newline_indent();
+
+  std::string out_;
+  int depth_ = 0;
+  bool need_comma_ = false;
+  bool after_key_ = false;
+};
+
+}  // namespace bftbc::metrics

@@ -1,0 +1,45 @@
+#include "metrics/trace.h"
+
+#include <ostream>
+
+namespace bftbc::metrics {
+
+const char* trace_kind_name(TraceKind k) {
+  switch (k) {
+    case TraceKind::kOpBegin: return "OP_BEGIN";
+    case TraceKind::kOpEnd: return "OP_END";
+    case TraceKind::kPhase: return "PHASE";
+    case TraceKind::kMsgSend: return "SEND";
+    case TraceKind::kMsgDeliver: return "DELIVER";
+    case TraceKind::kMsgDrop: return "DROP";
+    case TraceKind::kUser: return "USER";
+  }
+  return "?";
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<TraceEvent> out;
+  const std::size_t n = size();
+  out.reserve(n);
+  const std::uint64_t first = next_ - n;  // oldest retained event
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(ring_[(first + i) % capacity_]);
+  }
+  return out;
+}
+
+void Tracer::dump(std::ostream& os) const {
+  const std::uint64_t lost = total_recorded() - size();
+  if (lost > 0) {
+    os << "... " << lost << " earlier events overwritten (ring capacity "
+       << capacity_ << ")\n";
+  }
+  for (const TraceEvent& e : events()) {
+    os << e.time << "ns " << trace_kind_name(e.kind) << " " << e.a << "->"
+       << e.b;
+    if (!e.detail.empty()) os << " [" << e.detail << "]";
+    os << "\n";
+  }
+}
+
+}  // namespace bftbc::metrics

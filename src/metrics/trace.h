@@ -1,0 +1,85 @@
+// Bounded ring-buffer event tracer for the simulator.
+//
+// When a deterministic test fails, the interesting question is "what was
+// the protocol doing right before?". The tracer keeps the last N events
+// (op begin/end, client phase transitions, message send/deliver/drop) in
+// a fixed-size ring — O(1) record, zero allocation after construction
+// beyond the label strings — and dumps them chronologically on demand.
+// The harness wires it into the network and every client; tests call
+// Cluster::dump_trace(std::cerr) from a failure path.
+//
+// A capacity of 0 disables tracing entirely (record() is a no-op after
+// one branch), so hot benches can opt out.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bftbc::metrics {
+
+enum class TraceKind : std::uint8_t {
+  kOpBegin,     // a = client id, b = op id, detail = "write obj=1"
+  kOpEnd,       // a = client id, b = op id, detail = outcome
+  kPhase,       // a = client id, b = op id, detail = phase name
+  kMsgSend,     // a = from node, b = to node, detail = size
+  kMsgDeliver,  // a = from node, b = to node
+  kMsgDrop,     // a = from node, b = to node, detail = reason
+  kUser,        // free-form test annotations
+};
+
+const char* trace_kind_name(TraceKind k);
+
+struct TraceEvent {
+  std::uint64_t time = 0;  // sim virtual time, ns
+  TraceKind kind = TraceKind::kUser;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::string detail;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity) {
+    ring_.resize(capacity_);
+  }
+
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  bool enabled() const { return capacity_ != 0; }
+  std::size_t capacity() const { return capacity_; }
+
+  void record(std::uint64_t time, TraceKind kind, std::uint64_t a,
+              std::uint64_t b, std::string detail = {}) {
+    if (capacity_ == 0) return;
+    TraceEvent& slot = ring_[next_ % capacity_];
+    slot.time = time;
+    slot.kind = kind;
+    slot.a = a;
+    slot.b = b;
+    slot.detail = std::move(detail);
+    ++next_;
+  }
+
+  // Events currently held (≤ capacity).
+  std::size_t size() const { return next_ < capacity_ ? next_ : capacity_; }
+  // Total ever recorded; size() < total_recorded() means the ring wrapped.
+  std::uint64_t total_recorded() const { return next_; }
+
+  // Chronological copy, oldest first.
+  std::vector<TraceEvent> events() const;
+
+  // Human-readable dump, one event per line, oldest first.
+  void dump(std::ostream& os) const;
+
+  void clear() { next_ = 0; }
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceEvent> ring_;
+  std::uint64_t next_ = 0;
+};
+
+}  // namespace bftbc::metrics

@@ -10,6 +10,18 @@ void Network::register_node(NodeId id, Handler handler) {
 
 void Network::unregister_node(NodeId id) { handlers_.erase(id); }
 
+void Network::bind_metrics(metrics::MetricsRegistry& registry,
+                           const std::string& scope) {
+  metrics::MetricsRegistry::Scope s = registry.scoped(scope);
+  reg_.msgs_sent = &s.counter("msgs_sent");
+  reg_.msgs_delivered = &s.counter("msgs_delivered");
+  reg_.msgs_dropped = &s.counter("msgs_dropped");
+  reg_.msgs_duplicated = &s.counter("msgs_duplicated");
+  reg_.msgs_corrupted = &s.counter("msgs_corrupted");
+  reg_.bytes_sent = &s.counter("bytes_sent");
+  reg_.bytes_delivered = &s.counter("bytes_delivered");
+}
+
 const LinkConfig& Network::link_for(NodeId from, NodeId to) const {
   auto it = link_overrides_.find({from, to});
   return it == link_overrides_.end() ? default_link_ : it->second;
@@ -26,33 +38,58 @@ Time Network::draw_delay(const LinkConfig& cfg) {
 
 void Network::deliver_later(NodeId from, NodeId to, Bytes payload, Time delay) {
   sim_.schedule(delay, [this, from, to, payload = std::move(payload)]() {
-    if (crashed_.count(to) != 0) {
+    if (crashed_.count(to) != 0 || handlers_.find(to) == handlers_.end()) {
       counters_.inc("msgs_dropped");
-      return;
-    }
-    auto it = handlers_.find(to);
-    if (it == handlers_.end()) {
-      counters_.inc("msgs_dropped");
+      if (reg_.msgs_dropped) reg_.msgs_dropped->inc();
+      if (tracer_) {
+        tracer_->record(sim_.now(), metrics::TraceKind::kMsgDrop, from, to,
+                        crashed_.count(to) ? "crashed" : "unregistered");
+      }
       return;
     }
     counters_.inc("msgs_delivered");
     counters_.inc("bytes_delivered", payload.size());
-    it->second(from, payload);
+    if (reg_.msgs_delivered) {
+      reg_.msgs_delivered->inc();
+      reg_.bytes_delivered->inc(payload.size());
+    }
+    if (tracer_) {
+      tracer_->record(sim_.now(), metrics::TraceKind::kMsgDeliver, from, to);
+    }
+    handlers_.at(to)(from, payload);
   });
 }
 
 void Network::send(NodeId from, NodeId to, Bytes payload) {
   counters_.inc("msgs_sent");
   counters_.inc("bytes_sent", payload.size());
+  if (reg_.msgs_sent) {
+    reg_.msgs_sent->inc();
+    reg_.bytes_sent->inc(payload.size());
+  }
+  if (tracer_) {
+    tracer_->record(sim_.now(), metrics::TraceKind::kMsgSend, from, to,
+                    std::to_string(payload.size()) + "B");
+  }
 
   if (is_partitioned(from, to) || crashed_.count(to) != 0) {
     counters_.inc("msgs_dropped");
+    if (reg_.msgs_dropped) reg_.msgs_dropped->inc();
+    if (tracer_) {
+      tracer_->record(sim_.now(), metrics::TraceKind::kMsgDrop, from, to,
+                      is_partitioned(from, to) ? "partitioned" : "crashed");
+    }
     return;
   }
 
   const LinkConfig& cfg = link_for(from, to);
   if (rng_.next_bool(cfg.loss_probability)) {
     counters_.inc("msgs_dropped");
+    if (reg_.msgs_dropped) reg_.msgs_dropped->inc();
+    if (tracer_) {
+      tracer_->record(sim_.now(), metrics::TraceKind::kMsgDrop, from, to,
+                      "loss");
+    }
     return;
   }
 
@@ -63,10 +100,12 @@ void Network::send(NodeId from, NodeId to, Bytes payload) {
         static_cast<std::size_t>(rng_.next_below(to_deliver.size()));
     to_deliver[idx] ^= static_cast<std::uint8_t>(1 + rng_.next_below(255));
     counters_.inc("msgs_corrupted");
+    if (reg_.msgs_corrupted) reg_.msgs_corrupted->inc();
   }
 
   if (rng_.next_bool(cfg.duplicate_probability)) {
     counters_.inc("msgs_duplicated");
+    if (reg_.msgs_duplicated) reg_.msgs_duplicated->inc();
     deliver_later(from, to, to_deliver, draw_delay(cfg));
   }
   deliver_later(from, to, std::move(to_deliver), draw_delay(cfg));

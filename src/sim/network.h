@@ -22,6 +22,8 @@
 #include <set>
 #include <vector>
 
+#include "metrics/registry.h"
+#include "metrics/trace.h"
 #include "sim/simulator.h"
 #include "util/bytes.h"
 #include "util/rng.h"
@@ -81,6 +83,17 @@ class Network {
   const Counters& counters() const { return counters_; }
   void reset_counters() { counters_.reset(); }
 
+  // Resolves O(1) registry handles under `scope` (e.g. "net/msgs_sent")
+  // so the same totals also land in the metrics registry the harness
+  // snapshots into bench JSON. Recording goes through pre-resolved
+  // pointers — no per-message name lookups.
+  void bind_metrics(metrics::MetricsRegistry& registry,
+                    const std::string& scope);
+
+  // Optional event tracer: message send/deliver/drop events are recorded
+  // into the ring buffer (null disables).
+  void set_tracer(metrics::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   const LinkConfig& link_for(NodeId from, NodeId to) const;
   Time draw_delay(const LinkConfig& cfg);
@@ -94,6 +107,19 @@ class Network {
   std::set<std::pair<NodeId, NodeId>> partitions_;  // normalized (min,max)
   std::set<NodeId> crashed_;
   Counters counters_;
+
+  // Pre-resolved registry handles (all null until bind_metrics).
+  struct RegistryHandles {
+    metrics::Counter* msgs_sent = nullptr;
+    metrics::Counter* msgs_delivered = nullptr;
+    metrics::Counter* msgs_dropped = nullptr;
+    metrics::Counter* msgs_duplicated = nullptr;
+    metrics::Counter* msgs_corrupted = nullptr;
+    metrics::Counter* bytes_sent = nullptr;
+    metrics::Counter* bytes_delivered = nullptr;
+  };
+  RegistryHandles reg_;
+  metrics::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace bftbc::sim

@@ -12,6 +12,14 @@ void Summary::add(double x) {
   sorted_valid_ = false;
 }
 
+void Summary::merge(const Summary& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
+  sorted_valid_ = false;
+}
+
 double Summary::mean() const {
   return samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size());
 }
@@ -41,6 +49,20 @@ double Summary::percentile(double q) const {
   const auto idx = static_cast<std::size_t>(
       q * static_cast<double>(sorted_.size() - 1) + 0.5);
   return sorted_[idx];
+}
+
+Summary::Snapshot Summary::snapshot() const {
+  ensure_sorted();  // one sort covers every percentile below
+  Snapshot s;
+  s.count = count();
+  s.mean = mean();
+  s.min = min();
+  s.max = max();
+  s.stddev = stddev();
+  s.p50 = percentile(0.5);
+  s.p90 = percentile(0.9);
+  s.p99 = percentile(0.99);
+  return s;
 }
 
 void Summary::ensure_sorted() const {

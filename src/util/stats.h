@@ -20,15 +20,32 @@ class Summary {
  public:
   void add(double x);
 
+  // Appends all of `other`'s samples (bench pipeline: fold per-cluster
+  // summaries into one report-level summary).
+  void merge(const Summary& other);
+
   std::size_t count() const { return samples_.size(); }
   double mean() const;
   double min() const;
   double max() const;
   double stddev() const;
   // q in [0,1] (clamped); nearest-rank on the sorted samples.
+  //
+  // The sorted view is cached: reading several percentiles from a sealed
+  // summary sorts once; any add() afterwards invalidates the cache so
+  // the next read re-sorts (pinned by SummaryTest.AddAfterRead...).
   double percentile(double q) const;
   double median() const { return percentile(0.5); }
   double p99() const { return percentile(0.99); }
+
+  // All emission-relevant statistics in one struct, computed with a
+  // single sort — what the metrics JSON pipeline reads.
+  struct Snapshot {
+    std::size_t count = 0;
+    double mean = 0, min = 0, max = 0, stddev = 0;
+    double p50 = 0, p90 = 0, p99 = 0;
+  };
+  Snapshot snapshot() const;
 
   // One-line rendering for bench output.
   std::string to_string() const;
@@ -47,6 +64,11 @@ class Summary {
 class Histogram {
  public:
   void add(std::int64_t v) { ++buckets_[v]; ++total_; }
+
+  void merge(const Histogram& other) {
+    for (const auto& [v, c] : other.buckets_) buckets_[v] += c;
+    total_ += other.total_;
+  }
 
   std::uint64_t total() const { return total_; }
   std::uint64_t count_of(std::int64_t v) const {

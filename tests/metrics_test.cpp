@@ -1,0 +1,355 @@
+// Unit tests for the metrics/tracing subsystem (src/metrics/) plus the
+// Summary sort-cache contract it leans on, and an end-to-end check that
+// a harness Cluster populates the registry and tracer during protocol
+// operations.
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "harness/cluster.h"
+#include "metrics/bench_report.h"
+#include "metrics/json.h"
+#include "metrics/registry.h"
+#include "metrics/trace.h"
+#include "util/stats.h"
+
+namespace bftbc {
+namespace {
+
+using metrics::BenchArgs;
+using metrics::BenchReport;
+using metrics::JsonWriter;
+using metrics::MetricsRegistry;
+using metrics::TraceKind;
+using metrics::Tracer;
+
+// ---------------------------------------------------------------- registry
+
+TEST(RegistryTest, ResolveOrCreateReturnsSameSlot) {
+  MetricsRegistry reg;
+  metrics::Counter& a = reg.counter("x");
+  a.inc(3);
+  metrics::Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value, 3u);
+}
+
+TEST(RegistryTest, HandlesStayValidAcrossManyInsertions) {
+  MetricsRegistry reg;
+  metrics::Counter& first = reg.counter("first");
+  // Force plenty of further allocations; deque-backed slots must not move.
+  for (int i = 0; i < 1000; ++i) {
+    reg.counter("c" + std::to_string(i)).inc();
+  }
+  first.inc(7);
+  EXPECT_EQ(reg.counter("first").value, 7u);
+}
+
+TEST(RegistryTest, ScopePrefixesNames) {
+  MetricsRegistry reg;
+  reg.scoped("replica/3").counter("grants").inc(5);
+  EXPECT_EQ(reg.counter("replica/3/grants").value, 5u);
+  reg.scoped("client/9").summary("lat_ms").add(1.5);
+  EXPECT_EQ(reg.summary("client/9/lat_ms").count(), 1u);
+}
+
+TEST(RegistryTest, FoldCountersUsesSetSemantics) {
+  MetricsRegistry reg;
+  Counters legacy;
+  legacy.inc("reply_write", 4);
+  reg.fold_counters("replica/0", legacy);
+  // Folding the same cumulative source twice must not double-count.
+  reg.fold_counters("replica/0", legacy);
+  EXPECT_EQ(reg.counter("replica/0/reply_write").value, 4u);
+  legacy.inc("reply_write", 2);
+  reg.fold_counters("replica/0", legacy);
+  EXPECT_EQ(reg.counter("replica/0/reply_write").value, 6u);
+}
+
+TEST(RegistryTest, MergeAddsCountersAndMergesSamples) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.counter("n").inc(2);
+  b.counter("n").inc(3);
+  a.summary("lat").add(1.0);
+  b.summary("lat").add(3.0);
+  b.gauge("depth").set(9.0);
+  b.histogram("phases").add(2);
+  a.merge(b);
+  EXPECT_EQ(a.counter("n").value, 5u);
+  EXPECT_EQ(a.summary("lat").count(), 2u);
+  EXPECT_DOUBLE_EQ(a.summary("lat").mean(), 2.0);
+  EXPECT_DOUBLE_EQ(a.gauge("depth").value, 9.0);
+  EXPECT_EQ(a.histogram("phases").total(), 1u);
+}
+
+TEST(RegistryTest, ResetDropsEverything) {
+  MetricsRegistry reg;
+  reg.counter("x").inc();
+  reg.summary("s").add(1);
+  reg.reset();
+  EXPECT_TRUE(reg.counter_names().empty());
+  EXPECT_TRUE(reg.summary_names().empty());
+  EXPECT_EQ(reg.counter("x").value, 0u);
+}
+
+// ------------------------------------------------------------------- json
+
+TEST(JsonWriterTest, EscapesStringsAndFormatsScalars) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("s");
+  w.value("a\"b\\c\n");
+  w.key("i");
+  w.value(std::int64_t{-3});
+  w.key("u");
+  w.value(std::uint64_t{18446744073709551615ull});
+  w.key("b");
+  w.value(true);
+  w.end_object();
+  const std::string out = std::move(w).take();
+  EXPECT_NE(out.find("\"a\\\"b\\\\c\\n\""), std::string::npos);
+  EXPECT_NE(out.find("-3"), std::string::npos);
+  EXPECT_NE(out.find("18446744073709551615"), std::string::npos);
+  EXPECT_NE(out.find("true"), std::string::npos);
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.value(std::numeric_limits<double>::infinity());
+  w.end_array();
+  const std::string out = std::move(w).take();
+  EXPECT_EQ(out.find("nan"), std::string::npos);
+  EXPECT_EQ(out.find("inf"), std::string::npos);
+  EXPECT_NE(out.find("null"), std::string::npos);
+}
+
+TEST(RegistryTest, ToJsonEmitsAllFourSections) {
+  MetricsRegistry reg;
+  reg.counter("msgs").inc(12);
+  reg.gauge("depth").set(1.5);
+  reg.summary("lat_ms").add(2.0);
+  reg.histogram("phases").add(3);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"summaries\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"msgs\": 12"), std::string::npos);
+  // Summary is emitted as a snapshot object.
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+// ----------------------------------------------------------------- tracer
+
+TEST(TracerTest, RingWrapsKeepingNewestEvents) {
+  Tracer t(4);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    t.record(i, TraceKind::kUser, i, 0, "e" + std::to_string(i));
+  }
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.total_recorded(), 10u);
+  auto events = t.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first chronological order: 6, 7, 8, 9.
+  EXPECT_EQ(events.front().time, 6u);
+  EXPECT_EQ(events.back().time, 9u);
+  EXPECT_EQ(events.back().detail, "e9");
+}
+
+TEST(TracerTest, ZeroCapacityDisablesRecording) {
+  Tracer t(0);
+  EXPECT_FALSE(t.enabled());
+  t.record(1, TraceKind::kUser, 0, 0, "dropped");
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.total_recorded(), 0u);
+}
+
+TEST(TracerTest, DumpRendersOneLinePerEvent) {
+  Tracer t(8);
+  t.record(1000, TraceKind::kMsgSend, 1, 2, "64B");
+  t.record(2000, TraceKind::kMsgDeliver, 1, 2);
+  std::ostringstream os;
+  t.dump(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("SEND"), std::string::npos);
+  EXPECT_NE(out.find("DELIVER"), std::string::npos);
+  EXPECT_NE(out.find("64B"), std::string::npos);
+}
+
+// ------------------------------------------- Summary sort-cache contract
+
+// Pins the percentile sort-once cache: reads after a post-read add()
+// must see the new sample (the cache is invalidated, not stale).
+TEST(SummaryTest, AddAfterReadInvalidatesSortCache) {
+  Summary s;
+  for (double x : {5.0, 1.0, 3.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 5.0);  // cache is now warm
+  s.add(0.5);
+  s.add(9.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 9.0);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  Summary other;
+  other.add(100.0);
+  s.merge(other);  // merge must also invalidate
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 100.0);
+}
+
+TEST(SummaryTest, SnapshotMatchesDirectReads) {
+  Summary s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  auto snap = s.snapshot();
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_DOUBLE_EQ(snap.mean, s.mean());
+  EXPECT_DOUBLE_EQ(snap.p50, s.percentile(0.5));
+  EXPECT_DOUBLE_EQ(snap.p99, s.percentile(0.99));
+  EXPECT_DOUBLE_EQ(snap.min, 1.0);
+  EXPECT_DOUBLE_EQ(snap.max, 100.0);
+}
+
+// ------------------------------------------------------------ bench report
+
+TEST(BenchReportTest, ParseBenchArgsStripsSharedFlags) {
+  const char* raw[] = {"bench", "--smoke", "--json", "/tmp/x.json",
+                       "--benchmark_min_time=0.1"};
+  std::vector<char*> argv;
+  for (const char* a : raw) argv.push_back(const_cast<char*>(a));
+  int argc = static_cast<int>(argv.size());
+  BenchArgs args = metrics::parse_bench_args(argc, argv.data());
+  EXPECT_TRUE(args.smoke);
+  EXPECT_EQ(args.json_path, "/tmp/x.json");
+  ASSERT_EQ(argc, 2);
+  EXPECT_STREQ(argv[0], "bench");
+  EXPECT_STREQ(argv[1], "--benchmark_min_time=0.1");
+}
+
+TEST(BenchReportTest, JsonHasSchemaConfigAndSigCacheCounters) {
+  BenchArgs args;
+  args.smoke = true;
+  BenchReport report("bench_unit", args);
+  report.set_config("rounds", std::int64_t{7});
+  report.summary("demo/lat_ms").add(1.25);
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"bench\": \"bench_unit\""), std::string::npos);
+  EXPECT_NE(json.find("\"rounds\": \"7\""), std::string::npos);
+  EXPECT_NE(json.find("\"smoke\""), std::string::npos);
+  // Pre-created so CI schema checks can rely on their presence.
+  EXPECT_NE(json.find("\"sig_cache_hit\""), std::string::npos);
+  EXPECT_NE(json.find("\"sig_cache_miss\""), std::string::npos);
+  EXPECT_NE(json.find("\"sig_verify_calls\""), std::string::npos);
+  EXPECT_NE(json.find("\"demo/lat_ms\""), std::string::npos);
+}
+
+TEST(BenchReportTest, FinishWritesJsonFile) {
+  const std::string path =
+      testing::TempDir() + "metrics_test_bench_report.json";
+  BenchArgs args;
+  args.json_path = path;
+  BenchReport report("bench_unit", args);
+  report.counter("ops").inc(3);
+  EXPECT_EQ(report.finish(), 0);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find("\"ops\": 3"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(BenchReportTest, FinishFailsOnUnwritablePath) {
+  BenchArgs args;
+  args.json_path = "/nonexistent-dir/deeply/nested/out.json";
+  BenchReport report("bench_unit", args);
+  EXPECT_EQ(report.finish(), 1);
+}
+
+// ------------------------------------------------------ cluster integration
+
+TEST(ClusterMetricsTest, ProtocolOpsPopulateRegistryAndTracer) {
+  harness::ClusterOptions o;
+  o.seed = 99;
+  harness::Cluster cluster(o);
+  auto& c = cluster.add_client(1);
+  for (int i = 0; i < 3; ++i) {
+    auto w = cluster.write(c, 1, to_bytes("v" + std::to_string(i)));
+    ASSERT_TRUE(w.is_ok());
+  }
+  auto r = cluster.read(c, 1);
+  ASSERT_TRUE(r.is_ok());
+
+  MetricsRegistry& reg = cluster.snapshot_metrics();
+
+  // Client phase latencies (ms summaries, one sample per phase per op).
+  EXPECT_EQ(reg.summary("client.write.total_ms").count(), 3u);
+  EXPECT_EQ(reg.summary("client.write.read_ts_ms").count(), 3u);
+  EXPECT_EQ(reg.summary("client.write.prepare_ms").count(), 3u);
+  EXPECT_EQ(reg.summary("client.write.write_ms").count(), 3u);
+  EXPECT_EQ(reg.summary("client.read.total_ms").count(), 1u);
+  EXPECT_GT(reg.summary("client.write.total_ms").mean(), 0.0);
+
+  // Replica-side grant counters and prepare-list sizes.
+  std::uint64_t grants = 0;
+  for (int rep = 0; rep < 4; ++rep) {
+    grants += reg.counter("replica/" + std::to_string(rep) + "/grants").value;
+  }
+  EXPECT_GT(grants, 0u);
+  EXPECT_GT(reg.histogram("replica.plist_size").total(), 0u);
+
+  // Network totals recorded through direct handles.
+  EXPECT_GT(reg.counter("net/msgs_sent").value, 0u);
+  EXPECT_GT(reg.counter("net/msgs_delivered").value, 0u);
+  EXPECT_GT(reg.counter("net/bytes_sent").value, 0u);
+
+  // Keystore counters folded in unscoped.
+  EXPECT_GT(reg.counter("sign").value, 0u);
+
+  // Tracer captured op begin/end and phase transitions.
+  bool saw_begin = false, saw_end = false, saw_phase = false;
+  for (const auto& e : cluster.tracer().events()) {
+    saw_begin |= e.kind == TraceKind::kOpBegin;
+    saw_end |= e.kind == TraceKind::kOpEnd;
+    saw_phase |= e.kind == TraceKind::kPhase;
+  }
+  EXPECT_TRUE(saw_begin);
+  EXPECT_TRUE(saw_end);
+  EXPECT_TRUE(saw_phase);
+
+  // dump_trace produces a usable failure-path dump.
+  std::ostringstream os;
+  cluster.dump_trace(os);
+  EXPECT_NE(os.str().find("OP_BEGIN"), std::string::npos);
+}
+
+TEST(ClusterMetricsTest, SnapshotIsIdempotent) {
+  harness::ClusterOptions o;
+  harness::Cluster cluster(o);
+  auto& c = cluster.add_client(1);
+  ASSERT_TRUE(cluster.write(c, 1, to_bytes("v")).is_ok());
+  MetricsRegistry& reg = cluster.snapshot_metrics();
+  const std::uint64_t grants0 = reg.counter("replica/0/grants").value;
+  const std::uint64_t signs = reg.counter("sign").value;
+  cluster.snapshot_metrics();
+  cluster.snapshot_metrics();
+  EXPECT_EQ(reg.counter("replica/0/grants").value, grants0);
+  EXPECT_EQ(reg.counter("sign").value, signs);
+}
+
+TEST(ClusterMetricsTest, TraceCapacityZeroDisablesClusterTracing) {
+  harness::ClusterOptions o;
+  o.trace_capacity = 0;
+  harness::Cluster cluster(o);
+  auto& c = cluster.add_client(1);
+  ASSERT_TRUE(cluster.write(c, 1, to_bytes("v")).is_ok());
+  EXPECT_EQ(cluster.tracer().total_recorded(), 0u);
+}
+
+}  // namespace
+}  // namespace bftbc
