@@ -23,13 +23,21 @@ Checks, per file:
     internally consistent stats (min <= p50 <= p99 <= max, count > 0)
   - histogram totals equal the sum of their buckets
 
-Usage: check_bench_json.py FILE [FILE...]
-Exit status: 0 if every file passes, 1 otherwise.
+Usage:
+  check_bench_json.py FILE [FILE...]   # validate specific artifacts
+  check_bench_json.py --committed      # validate every BENCH_*.json
+                                       # committed at the repo root (the
+                                       # lint CI job runs this mode)
+Exit status: 0 if every file passes, 1 otherwise, 2 on usage error.
 """
 
+import glob
 import json
 import numbers
+import os
 import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 REQUIRED_SECTIONS = {
     "config": dict,
@@ -138,8 +146,20 @@ def main(argv):
     if len(argv) < 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2
+    if argv[1] == "--committed":
+        if len(argv) > 2:
+            print("--committed takes no extra arguments", file=sys.stderr)
+            return 2
+        paths = sorted(glob.glob(os.path.join(REPO_ROOT, "BENCH_*.json")))
+        if not paths:
+            # A repo with no committed baselines is fine; one with a
+            # malformed baseline is not — so absence is a pass.
+            print("check_bench_json: no committed BENCH_*.json to check")
+            return 0
+    else:
+        paths = argv[1:]
     all_errors = []
-    for path in argv[1:]:
+    for path in paths:
         errs = check_file(path)
         if errs:
             all_errors.extend(errs)

@@ -1,0 +1,9 @@
+// Fixture: wall-clock + libc randomness — must FAIL nondeterminism.
+#include <chrono>
+#include <cstdlib>
+unsigned seed_badly() {
+  auto t = std::chrono::system_clock::now();
+  (void)t;
+  std::srand(static_cast<unsigned>(time(nullptr)));
+  return static_cast<unsigned>(rand());
+}

@@ -1,0 +1,7 @@
+// Fixture: seeded Rng + virtual clock — must PASS nondeterminism.
+// Words like "runtime(x)" or members like sim.time_source must not trip
+// the lint; neither must "lifetime(" in an identifier-free context.
+std::uint64_t seed_well(Rng& rng, const sim::Simulator& sim) {
+  const std::uint64_t uptime = sim.now();
+  return rng.next() ^ uptime;
+}

@@ -1,0 +1,4 @@
+// Fixture: raw Keystore::verify in protocol code — must FAIL raw-verify.
+void handle(const Keystore& keystore_, BytesView stmt, BytesView sig) {
+  if (!keystore_.verify(3, stmt, sig)) return;
+}

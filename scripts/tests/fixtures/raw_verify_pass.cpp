@@ -1,0 +1,5 @@
+// Fixture: routed through the memoized path — must PASS raw-verify.
+void handle(const Keystore& keystore_, BytesView stmt, BytesView sig) {
+  if (!keystore_.verify_cached(3, stmt, sig)) return;
+  // A mention of keystore_.verify( in a comment must not trip the lint.
+}

@@ -1,0 +1,4 @@
+// Fixture: calling the crypto primitives directly — must FAIL raw-verify.
+bool check(const RsaPublicKey& pub, BytesView m, BytesView s) {
+  return rsa_verify(pub, m, s) || hmac_verify(m, m, s);
+}

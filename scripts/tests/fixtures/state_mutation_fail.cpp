@@ -1,0 +1,7 @@
+// Fixture: poking ObjectState internals from the replica — must FAIL
+// replica-state-mutation.
+void backdoor(ObjectState& state, const Timestamp& t) {
+  auto& s = const_cast<ObjectState&>(state);
+  s.write_ts_ = t;
+  state.plist_.clear();
+}

@@ -1,0 +1,9 @@
+// Fixture: mutations through the accessors — must PASS
+// replica-state-mutation.
+void legit(ObjectState& state, ClientId c, const Timestamp& t,
+           const crypto::Digest& h) {
+  state.absorb_write_certificate(t);
+  if (!state.try_prepare(c, t, h)) return;
+  const auto& snapshot = state.plist();  // read accessor is fine
+  (void)snapshot;
+}

@@ -1,0 +1,6 @@
+// Fixture: Result unwrapped with no visible check — must FAIL
+// unchecked-result-value.
+Bytes sign_and_use(const Signer& signer, BytesView msg) {
+  auto sig = signer.sign(msg);
+  return sig.value();
+}

@@ -1,0 +1,11 @@
+// Fixture: every unwrap is preceded by an ok-check — must PASS
+// unchecked-result-value.
+Bytes sign_and_use(const Signer& signer, BytesView msg) {
+  auto sig = signer.sign(msg);
+  if (!sig.is_ok()) return Bytes{};
+  return sig.value();
+}
+Bytes ternary_form(const Signer& signer, BytesView msg) {
+  auto sig = signer.sign(msg);
+  return sig.is_ok() ? sig.value() : Bytes{};
+}

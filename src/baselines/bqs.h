@@ -48,7 +48,7 @@ struct BqsEntry {
   ClientId writer = 0;
   Bytes writer_sig;  // over bqs_value_statement
 
-  bool verify(ObjectId object, const crypto::Keystore& ks) const;
+  [[nodiscard]] bool verify(ObjectId object, const crypto::Keystore& ks) const;
 };
 
 class BqsReplica {

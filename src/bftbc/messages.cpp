@@ -18,6 +18,10 @@ Cert get_cert(Reader& r) {
   const Bytes blob = r.get_bytes();
   Reader inner(blob);
   Cert cert = Cert::decode(inner);
+  // The inner decode's verdict must reach the outer message parse: a
+  // truncated blob or one with trailing garbage is a malformed message,
+  // not a default-initialized certificate.
+  if (!inner.done()) r.fail();
   return cert;
 }
 

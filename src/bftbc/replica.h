@@ -122,12 +122,13 @@ class Replica {
   void record_list_sizes(const ObjectState& state);
 
   // Shared request-validity checks.
-  bool verify_client_sig(quorum::ClientId client, BytesView payload,
-                         BytesView sig, sim::Time& cost);
-  bool valid_prepare_cert(const PrepareCertificate& cert, ObjectId object,
-                          sim::Time& cost);
-  bool valid_write_cert(const WriteCertificate& cert, ObjectId object,
-                        sim::Time& cost);
+  [[nodiscard]] bool verify_client_sig(quorum::ClientId client,
+                                       BytesView payload, BytesView sig,
+                                       sim::Time& cost);
+  [[nodiscard]] bool valid_prepare_cert(const PrepareCertificate& cert,
+                                        ObjectId object, sim::Time& cost);
+  [[nodiscard]] bool valid_write_cert(const WriteCertificate& cert,
+                                      ObjectId object, sim::Time& cost);
 
   quorum::QuorumConfig config_;
   ReplicaId id_;

@@ -56,19 +56,22 @@ class ObjectState {
   // Returns false if the request must be discarded (conflicting entry for
   // this client); on true the entry was added if admissible (t > write_ts
   // and not already present) and the replica should send PREPARE-REPLY.
-  bool try_prepare(ClientId c, const Timestamp& t, const crypto::Digest& h);
+  [[nodiscard]] bool try_prepare(ClientId c, const Timestamp& t,
+                                 const crypto::Digest& h);
 
   // Optimized protocol (§6.2 phase 1): attempt the prepare on the
   // client's behalf for the predicted timestamp succ(pcert.ts, c).
   // Fails (returns nullopt → caller sends a plain phase-1 reply) when the
   // client already has an entry in either list with a different (t, h).
-  std::optional<Timestamp> try_opt_prepare(ClientId c, const crypto::Digest& h);
+  [[nodiscard]] std::optional<Timestamp> try_opt_prepare(
+      ClientId c, const crypto::Digest& h);
 
   // Figure 2, phase 3, step 2 — plus the optimized tiebreak (§6.2
   // phase 3): equal timestamps resolve toward the larger hash.
   // Returns true if the state was overwritten.
-  bool apply_write(const Bytes& value, const PrepareCertificate& cert,
-                   bool optimized_tiebreak);
+  [[nodiscard]] bool apply_write(const Bytes& value,
+                                 const PrepareCertificate& cert,
+                                 bool optimized_tiebreak);
 
   // True if c currently occupies a slot in either prepare list.
   bool has_entry(ClientId c) const {

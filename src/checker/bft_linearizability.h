@@ -52,7 +52,7 @@ struct CheckResult {
   std::vector<std::string> violations;
   std::map<ClientId, LurkingInfo> lurking;  // keyed by stopped bad client
 
-  bool ok(int max_b) const {
+  [[nodiscard]] bool ok(int max_b) const {
     if (!linearizable || !reads_authentic) return false;
     for (const auto& [c, info] : lurking) {
       if (info.count > max_b) return false;
@@ -65,7 +65,7 @@ struct CheckResult {
   // overwriting operation following its stop event. Operationally: every
   // lurking write must have surfaced while fewer than k correct-client
   // overwrites had completed.
-  bool ok_plus(int max_b, int k) const {
+  [[nodiscard]] bool ok_plus(int max_b, int k) const {
     if (!ok(max_b)) return false;
     for (const auto& [c, info] : lurking) {
       if (info.count > 0 && info.overwrites_before_last_surface >= k)
@@ -86,7 +86,7 @@ struct CheckResult {
 // `bad_clients`: ids the test declared Byzantine. Reads returning
 // versions written by ids outside (good writers ∪ bad_clients ∪ genesis)
 // are forgeries.
-CheckResult check_bft_linearizability(const History& history,
-                                      const std::set<ClientId>& bad_clients);
+[[nodiscard]] CheckResult check_bft_linearizability(
+    const History& history, const std::set<ClientId>& bad_clients);
 
 }  // namespace bftbc::checker

@@ -15,6 +15,6 @@ namespace bftbc::crypto {
 Digest hmac_sha256(BytesView key, BytesView message);
 
 // Verify in constant time.
-bool hmac_verify(BytesView key, BytesView message, BytesView tag);
+[[nodiscard]] bool hmac_verify(BytesView key, BytesView message, BytesView tag);
 
 }  // namespace bftbc::crypto

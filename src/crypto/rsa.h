@@ -48,6 +48,7 @@ RsaKeyPair rsa_generate(Rng& rng, std::size_t bits = 1024);
 Bytes rsa_sign(const RsaPrivateKey& key, BytesView message);
 
 // Verify a signature over message.
-bool rsa_verify(const RsaPublicKey& key, BytesView message, BytesView signature);
+[[nodiscard]] bool rsa_verify(const RsaPublicKey& key, BytesView message,
+                              BytesView signature);
 
 }  // namespace bftbc::crypto

@@ -49,7 +49,10 @@ Result<Bytes> Keystore::sign_internal(PrincipalId p, BytesView msg) {
   if (it == principals_.end()) return not_found("unknown principal");
   if (it->second.revoked)
     return unavailable("principal revoked (stopped)");
-  counters_.inc("sign");
+  {
+    std::lock_guard<std::mutex> lock(verify_mu_);
+    counters_.inc("sign");
+  }
   const Bytes bound = bind_principal(p, msg);
   if (scheme_ == SignatureScheme::kHmacSim) {
     Digest tag = hmac_sha256(it->second.hmac_secret, bound);
@@ -61,8 +64,13 @@ Result<Bytes> Keystore::sign_internal(PrincipalId p, BytesView msg) {
 bool Keystore::verify(PrincipalId signer, BytesView msg, BytesView sig) const {
   auto it = principals_.find(signer);
   if (it == principals_.end()) return false;
-  counters_.inc("verify");
-  counters_.inc("sig_verify_calls");
+  {
+    std::lock_guard<std::mutex> lock(verify_mu_);
+    counters_.inc("verify");
+    counters_.inc("sig_verify_calls");
+  }
+  // The cryptographic check itself runs unlocked: the key material is
+  // immutable after registration, so concurrent verifies parallelize.
   const Bytes bound = bind_principal(signer, msg);
   if (scheme_ == SignatureScheme::kHmacSim) {
     return hmac_verify(it->second.hmac_secret, bound, sig);
@@ -76,18 +84,26 @@ bool Keystore::verify_cached(PrincipalId signer, BytesView msg,
   // principal later must not be shadowed by a stale negative verdict.
   if (principals_.count(signer) == 0) return false;
   const VerifyCache::Key key = VerifyCache::make_key(signer, msg, sig);
-  const int memo = verify_cache_.lookup(key);
-  if (memo >= 0) {
-    counters_.inc("sig_cache_hit");
-    return memo == 1;
+  {
+    std::lock_guard<std::mutex> lock(verify_mu_);
+    const int memo = verify_cache_.lookup(key);
+    if (memo >= 0) {
+      counters_.inc("sig_cache_hit");
+      return memo == 1;
+    }
+    counters_.inc("sig_cache_miss");
   }
-  counters_.inc("sig_cache_miss");
+  // Miss: run the real check outside the lock. Two threads racing on the
+  // same key both verify and insert the same verdict — wasted work at
+  // worst, never a wrong answer.
   const bool valid = verify(signer, msg, sig);
+  std::lock_guard<std::mutex> lock(verify_mu_);
   verify_cache_.insert(key, valid);
   return valid;
 }
 
 void Keystore::set_verify_cache_capacity(std::size_t entries) {
+  std::lock_guard<std::mutex> lock(verify_mu_);
   verify_cache_.set_capacity(entries);
 }
 
@@ -96,6 +112,7 @@ void Keystore::revoke(PrincipalId p) {
   if (it != principals_.end()) it->second.revoked = true;
   // Mandatory cache hygiene: a stopped principal's statements must not
   // keep validating straight from memoization.
+  std::lock_guard<std::mutex> lock(verify_mu_);
   verify_cache_.purge_principal(p);
 }
 

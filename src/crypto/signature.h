@@ -24,11 +24,20 @@
 // signatures get re-checked at every hop, so the protocol routes all
 // certificate validation through this path. Revoking a principal purges
 // its cache entries, so post-stop checks always re-enter the keystore.
+// Threading contract: registration (register_principal) and scheme setup
+// are single-threaded setup-time operations. After setup, verify /
+// verify_cached / sign are safe to call from multiple threads: the
+// principal table is read-only, and the shared mutable state — the
+// verification cache and the op counters — is guarded by verify_mu_
+// (see BFTBC_GUARDED_BY annotations). The underlying cryptographic check
+// runs outside the lock, so concurrent verifies of distinct statements
+// do not serialize on the RSA/HMAC work.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 
 #include "crypto/rsa.h"
@@ -37,6 +46,7 @@
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace bftbc::crypto {
 
@@ -57,7 +67,7 @@ class Signer {
 
   // Produces 〈msg〉σ_principal. Returns UNAVAILABLE after revocation
   // (the "stop" event) — a stopped client cannot mint new statements.
-  Result<Bytes> sign(BytesView msg) const;
+  [[nodiscard]] Result<Bytes> sign(BytesView msg) const;
 
  private:
   friend class Keystore;
@@ -82,7 +92,8 @@ class Keystore {
   // Public verification — usable by any node, any principal. Always
   // performs the underlying cryptographic check (counter: "verify" /
   // "sig_verify_calls").
-  bool verify(PrincipalId signer, BytesView msg, BytesView sig) const;
+  [[nodiscard]] bool verify(PrincipalId signer, BytesView msg,
+                            BytesView sig) const;
 
   // Memoized verification: consults the LRU cache keyed on
   // (principal, sha256(msg), sha256(sig)) and only falls back to the
@@ -90,12 +101,17 @@ class Keystore {
   // verify() — both positive and negative verdicts are cached, and a
   // revocation purges the principal's entries. Counters:
   // "sig_cache_hit" / "sig_cache_miss".
-  bool verify_cached(PrincipalId signer, BytesView msg, BytesView sig) const;
+  [[nodiscard]] bool verify_cached(PrincipalId signer, BytesView msg,
+                                   BytesView sig) const;
 
   // Bounds the verification cache; 0 disables memoization (every
   // verify_cached call then performs the real check).
   void set_verify_cache_capacity(std::size_t entries);
-  const VerifyCache& verify_cache() const { return verify_cache_; }
+  // Unsynchronized inspection handle — only valid while no other thread
+  // is concurrently verifying (tests / post-run reporting).
+  const VerifyCache& verify_cache() const BFTBC_NO_THREAD_SAFETY_ANALYSIS {
+    return verify_cache_;
+  }
 
   // The "stop"/administrator action: principal can no longer create new
   // signatures. Existing signatures continue to verify (replay of old
@@ -105,9 +121,15 @@ class Keystore {
   bool is_revoked(PrincipalId p) const;
 
   // Instrumentation: counts of sign/verify operations, for the message
-  // and crypto-cost experiments.
-  const Counters& counters() const { return counters_; }
-  void reset_counters() { counters_.reset(); }
+  // and crypto-cost experiments. Snapshot-style reads: take them after
+  // concurrent verification has quiesced.
+  const Counters& counters() const BFTBC_NO_THREAD_SAFETY_ANALYSIS {
+    return counters_;
+  }
+  void reset_counters() {
+    std::lock_guard<std::mutex> lock(verify_mu_);
+    counters_.reset();
+  }
 
   std::size_t signature_size() const;
 
@@ -125,8 +147,13 @@ class Keystore {
   std::size_t rsa_bits_;
   Rng rng_;
   std::map<PrincipalId, PrincipalEntry> principals_;
-  mutable Counters counters_;
-  mutable VerifyCache verify_cache_;
+  // Guards the two members every thread mutates on the verify path. The
+  // principal table above is intentionally NOT guarded: it is read-only
+  // after setup (register_principal is setup-time; revoke only flips a
+  // per-entry flag and purges the cache under the lock).
+  mutable std::mutex verify_mu_;
+  mutable Counters counters_ BFTBC_GUARDED_BY(verify_mu_);
+  mutable VerifyCache verify_cache_ BFTBC_GUARDED_BY(verify_mu_);
 };
 
 }  // namespace bftbc::crypto

@@ -56,7 +56,7 @@ class VerifyCache {
   // Returns the memoized verdict and refreshes the entry's LRU position;
   // -1 if absent. (Not std::optional<bool> so a hot loop stays branchy-
   // cheap; callers compare against 0/1.)
-  int lookup(const Key& key);
+  [[nodiscard]] int lookup(const Key& key);
 
   // Memoizes a verdict, evicting the least-recently-used entry when full.
   // A capacity of zero disables the cache entirely.

@@ -4,11 +4,10 @@
 
 namespace bftbc::metrics {
 
-namespace {
-
 template <typename SlotT>
-SlotT& resolve(std::map<std::string, std::size_t>& index,
-               std::deque<SlotT>& slots, std::string_view name) {
+SlotT& MetricsRegistry::resolve_locked(
+    std::map<std::string, std::size_t>& index, std::deque<SlotT>& slots,
+    std::string_view name) {
   auto it = index.find(std::string(name));
   if (it == index.end()) {
     it = index.emplace(std::string(name), slots.size()).first;
@@ -17,49 +16,60 @@ SlotT& resolve(std::map<std::string, std::size_t>& index,
   return slots[it->second];
 }
 
-}  // namespace
-
 Counter& MetricsRegistry::counter(std::string_view name) {
-  return resolve(counter_index_, counters_, name);
+  std::lock_guard<std::mutex> lock(mu_);
+  return resolve_locked(counter_index_, counters_, name);
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
-  return resolve(gauge_index_, gauges_, name);
+  std::lock_guard<std::mutex> lock(mu_);
+  return resolve_locked(gauge_index_, gauges_, name);
 }
 
 Summary& MetricsRegistry::summary(std::string_view name) {
-  return resolve(summary_index_, summaries_, name);
+  std::lock_guard<std::mutex> lock(mu_);
+  return resolve_locked(summary_index_, summaries_, name);
 }
 
 Histogram& MetricsRegistry::histogram(std::string_view name) {
-  return resolve(histogram_index_, histograms_, name);
+  std::lock_guard<std::mutex> lock(mu_);
+  return resolve_locked(histogram_index_, histograms_, name);
 }
 
 void MetricsRegistry::fold_counters(std::string_view scope,
                                     const Counters& counters) {
   const std::string prefix =
       scope.empty() ? std::string() : std::string(scope) + "/";
+  // One lock for the whole fold: the SETs on the slots happen under mu_,
+  // so concurrent folds into a shared registry are race-free.
+  std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [name, value] : counters.all()) {
-    counter(prefix + name).set(value);
+    resolve_locked(counter_index_, counters_, prefix + name).set(value);
   }
 }
 
 void MetricsRegistry::merge(const MetricsRegistry& other) {
+  if (&other == this) return;  // self-merge would double-lock mu_
+  std::scoped_lock lock(mu_, other.mu_);
   for (const auto& [name, slot] : other.counter_index_) {
-    counter(name).inc(other.counters_[slot].value);
+    resolve_locked(counter_index_, counters_, name)
+        .inc(other.counters_[slot].value);
   }
   for (const auto& [name, slot] : other.gauge_index_) {
-    gauge(name).set(other.gauges_[slot].value);
+    resolve_locked(gauge_index_, gauges_, name).set(other.gauges_[slot].value);
   }
   for (const auto& [name, slot] : other.summary_index_) {
-    summary(name).merge(other.summaries_[slot]);
+    resolve_locked(summary_index_, summaries_, name)
+        .merge(other.summaries_[slot]);
   }
   for (const auto& [name, slot] : other.histogram_index_) {
-    histogram(name).merge(other.histograms_[slot]);
+    resolve_locked(histogram_index_, histograms_, name)
+        .merge(other.histograms_[slot]);
   }
 }
 
 void MetricsRegistry::write_json(JsonWriter& w) const {
+  std::lock_guard<std::mutex> lock(mu_);
   w.begin_object();
 
   w.key("counters");
@@ -137,6 +147,7 @@ std::string MetricsRegistry::to_json() const {
 }
 
 void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   counter_index_.clear();
   counters_.clear();
   gauge_index_.clear();

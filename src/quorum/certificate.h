@@ -52,8 +52,8 @@ class PrepareCertificate {
 
   // Full validation: quorum-size distinct in-range replicas, every
   // signature verifying over the prepare-reply statement bytes.
-  Status validate(const QuorumConfig& config,
-                  const crypto::Keystore& keystore) const;
+  [[nodiscard]] Status validate(const QuorumConfig& config,
+                                const crypto::Keystore& keystore) const;
 
   void encode(Writer& w) const;
   static PrepareCertificate decode(Reader& r);
@@ -83,8 +83,8 @@ class WriteCertificate {
   const Timestamp& ts() const { return ts_; }
   const SignatureSet& signatures() const { return signatures_; }
 
-  Status validate(const QuorumConfig& config,
-                  const crypto::Keystore& keystore) const;
+  [[nodiscard]] Status validate(const QuorumConfig& config,
+                                const crypto::Keystore& keystore) const;
 
   void encode(Writer& w) const;
   static WriteCertificate decode(Reader& r);
@@ -112,10 +112,10 @@ const crypto::Digest& genesis_value_hash();
 // node must not be able to poison an honest quorum by appending garbage.
 // Verification is memoized through Keystore::verify_cached, and the scan
 // stops as soon as q signatures are confirmed.
-Status validate_signature_quorum(const SignatureSet& signatures,
-                                 BytesView statement,
-                                 const QuorumConfig& config,
-                                 const crypto::Keystore& keystore);
+[[nodiscard]] Status validate_signature_quorum(const SignatureSet& signatures,
+                                               BytesView statement,
+                                               const QuorumConfig& config,
+                                               const crypto::Keystore& keystore);
 
 // Hard upper bound on entries in an encoded signature set; exceeding it
 // marks the Reader failed (the message is rejected, not truncated).

@@ -63,7 +63,7 @@ class Reader {
   Bytes get_raw(std::size_t n);
 
   // True iff no read so far ran past the end or hit malformed data.
-  bool ok() const { return ok_; }
+  [[nodiscard]] bool ok() const { return ok_; }
   // Lets decoders flag semantic violations the primitive reads cannot see
   // (e.g. a length field exceeding a hard cap). Sticky, like read errors.
   void fail() { ok_ = false; }
@@ -71,7 +71,7 @@ class Reader {
   // signed statement must be rejected, or signatures would not be unique).
   bool at_end() const { return pos_ == data_.size(); }
   // Convenience: fully parsed and well formed.
-  bool done() const { return ok_ && at_end(); }
+  [[nodiscard]] bool done() const { return ok_ && at_end(); }
 
   std::size_t remaining() const { return data_.size() - pos_; }
 

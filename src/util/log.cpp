@@ -1,15 +1,18 @@
 #include "util/log.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <mutex>
 
+#include "util/thread_annotations.h"
+
 namespace bftbc {
 
 namespace {
 
-LogLevel g_level = [] {
+LogLevel env_log_level() {
   const char* env = std::getenv("BFTBC_LOG");
   if (env == nullptr) return LogLevel::kWarn;
   if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
@@ -18,10 +21,16 @@ LogLevel g_level = [] {
   if (std::strcmp(env, "error") == 0) return LogLevel::kError;
   if (std::strcmp(env, "off") == 0) return LogLevel::kOff;
   return LogLevel::kWarn;
-}();
+}
 
-LogTimeSource g_time_source;
+// Read on every LOG() call-site from any thread; atomic so a level
+// change never races with the hot-path check.
+std::atomic<LogLevel> g_level{env_log_level()};
+
 std::mutex g_mu;
+// g_mu serializes sink access: the time source swap and the actual
+// emission (so interleaved lines never shear).
+LogTimeSource g_time_source BFTBC_GUARDED_BY(g_mu);
 
 const char* level_tag(LogLevel lvl) {
   switch (lvl) {
@@ -36,8 +45,10 @@ const char* level_tag(LogLevel lvl) {
 
 }  // namespace
 
-LogLevel log_level() { return g_level; }
-void set_log_level(LogLevel lvl) { g_level = lvl; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+void set_log_level(LogLevel lvl) {
+  g_level.store(lvl, std::memory_order_relaxed);
+}
 
 void set_log_time_source(LogTimeSource src) {
   std::lock_guard<std::mutex> lock(g_mu);

@@ -41,7 +41,12 @@ inline const char* status_code_name(StatusCode c) {
   return "UNKNOWN";
 }
 
-class Status {
+// [[nodiscard]] at class scope: every function returning a Status by
+// value warns (and errors under -Werror=unused-result) if the caller
+// drops it. In a protocol whose safety is the sum of its checks, an
+// ignored Status is a hole, not a nit; intentional drops must be spelled
+// `(void)` with a comment.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -49,8 +54,8 @@ class Status {
 
   static Status ok() { return Status(); }
 
-  bool is_ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
+  [[nodiscard]] bool is_ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
   std::string to_string() const {
@@ -97,16 +102,17 @@ inline Status internal_error(std::string m) {
   return Status(StatusCode::kInternal, std::move(m));
 }
 
-// Result<T>: either a T or a non-OK Status.
+// Result<T>: either a T or a non-OK Status. Class-scope [[nodiscard]]
+// for the same reason as Status: a dropped Result is a dropped check.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : v_(std::move(value)) {}            // NOLINT(implicit)
   Result(Status status) : v_(std::move(status)) {      // NOLINT(implicit)
     assert(!std::get<Status>(v_).is_ok() && "Result from OK status");
   }
 
-  bool is_ok() const { return std::holds_alternative<T>(v_); }
+  [[nodiscard]] bool is_ok() const { return std::holds_alternative<T>(v_); }
   explicit operator bool() const { return is_ok(); }
 
   const T& value() const& {

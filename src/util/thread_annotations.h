@@ -1,0 +1,59 @@
+// Clang thread-safety annotation macros (GUARDED_BY, REQUIRES, ...).
+//
+// The simulator core is single-threaded by design, but a handful of
+// components are shared across real threads: the logger sink, the
+// metrics registry's resolve/fold/merge surface, and the keystore's
+// signature-verification cache. Those annotate their locking contracts
+// with these macros so (a) the contract is machine-readable
+// documentation, and (b) clang's -Wthread-safety analysis can enforce it
+// when the tree is built with clang against an annotated mutex.
+//
+// On compilers without the attribute (gcc) every macro expands to
+// nothing; the TSan preset (BFTBC_TSAN) is the dynamic complement that
+// checks the same contracts on real interleavings.
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define BFTBC_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define BFTBC_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op
+#endif
+
+#define BFTBC_CAPABILITY(x) \
+  BFTBC_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+#define BFTBC_SCOPED_CAPABILITY \
+  BFTBC_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+#define BFTBC_GUARDED_BY(x) \
+  BFTBC_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+#define BFTBC_PT_GUARDED_BY(x) \
+  BFTBC_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+#define BFTBC_ACQUIRED_BEFORE(...) \
+  BFTBC_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+
+#define BFTBC_ACQUIRED_AFTER(...) \
+  BFTBC_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+#define BFTBC_REQUIRES(...) \
+  BFTBC_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+#define BFTBC_REQUIRES_SHARED(...) \
+  BFTBC_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+#define BFTBC_ACQUIRE(...) \
+  BFTBC_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+#define BFTBC_RELEASE(...) \
+  BFTBC_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+#define BFTBC_EXCLUDES(...) \
+  BFTBC_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+#define BFTBC_RETURN_CAPABILITY(x) \
+  BFTBC_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+#define BFTBC_NO_THREAD_SAFETY_ANALYSIS \
+  BFTBC_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)

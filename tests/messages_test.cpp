@@ -326,5 +326,67 @@ TEST(MessagesTest, RandomBytesNeverDecodeToValidEnvelope) {
   SUCCEED();
 }
 
+// Regression for the [[nodiscard]] sweep: get_cert decoded the embedded
+// certificate from an inner Reader but dropped that reader's verdict, so
+// a WRITE whose certificate blob was truncated (half-decoded cert) or
+// carried trailing garbage still parsed as a well-formed message.
+Bytes write_request_with_cert_blob(const Bytes& cert_blob) {
+  Writer w;
+  w.put_u64(7);                 // object
+  w.put_bytes(to_bytes("v"));   // value
+  w.put_bytes(cert_blob);       // put_cert's length-prefixed blob
+  w.put_u32(4);                 // client
+  w.put_bytes(to_bytes("sig"));
+  return std::move(w).take();
+}
+
+TEST(MessagesTest, WriteRequestRejectsCertBlobTrailingGarbage) {
+  Writer inner;
+  prep_cert().encode(inner);
+  Bytes blob = std::move(inner).take();
+  ASSERT_TRUE(WriteRequest::decode(write_request_with_cert_blob(blob))
+                  .has_value());  // control: the clean blob decodes
+
+  Bytes tampered = blob;
+  tampered.push_back(0xab);
+  EXPECT_FALSE(WriteRequest::decode(write_request_with_cert_blob(tampered))
+                   .has_value());
+}
+
+TEST(MessagesTest, WriteRequestRejectsTruncatedCertBlob) {
+  Writer inner;
+  prep_cert().encode(inner);
+  Bytes blob = std::move(inner).take();
+  for (std::size_t cut = 1; cut <= 4; ++cut) {
+    Bytes truncated(blob.begin(),
+                    blob.end() - static_cast<std::ptrdiff_t>(cut));
+    EXPECT_FALSE(
+        WriteRequest::decode(write_request_with_cert_blob(truncated))
+            .has_value())
+        << "cut " << cut;
+  }
+}
+
+TEST(MessagesTest, PrepareRequestRejectsTamperedOptionalWriteCert) {
+  // Same hole via the optional-wcert path: present flag + tampered blob.
+  Writer inner;
+  write_cert().encode(inner);
+  Bytes blob = std::move(inner).take();
+  blob.push_back(0xcd);
+
+  Writer w;
+  w.put_u64(7);  // object
+  Timestamp{4, 2}.encode(w);
+  w.put_raw(crypto::digest_view(crypto::sha256(as_bytes_view("v"))));
+  Writer cert;
+  prep_cert().encode(cert);
+  w.put_bytes(std::move(cert).take());  // valid prepare cert
+  w.put_bool(true);                     // optional write cert present...
+  w.put_bytes(blob);                    // ...but its blob is tampered
+  w.put_u32(4);
+  w.put_bytes(to_bytes("sig"));
+  EXPECT_FALSE(PrepareRequest::decode(std::move(w).take()).has_value());
+}
+
 }  // namespace
 }  // namespace bftbc::core
