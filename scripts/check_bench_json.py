@@ -28,6 +28,11 @@ Usage:
   check_bench_json.py --committed      # validate every BENCH_*.json
                                        # committed at the repo root (the
                                        # lint CI job runs this mode)
+  check_bench_json.py --compare OLD NEW [--threshold PCT]
+      Validate both reports, then print per-counter deltas and per-op
+      derived ratios (bytes_sent/write, msgs_sent/op, sig_verify_calls/op,
+      encode_calls/op). Exits 1 when any watched ratio in NEW regressed
+      (grew) more than PCT percent over OLD (default 10).
 Exit status: 0 if every file passes, 1 otherwise, 2 on usage error.
 """
 
@@ -142,10 +147,107 @@ def check_file(path):
     return errors
 
 
+# ----------------------------------------------------------- --compare mode
+
+# Derived per-op ratios watched for regressions. Each entry maps a label
+# to (counter, divisor) where divisor is "write" (sum of client/*/writes)
+# or "op" (writes + reads). Lower is better for all of them.
+WATCHED_RATIOS = (
+    ("bytes_sent/write", "net/bytes_sent", "write"),
+    ("msgs_sent/op", "net/msgs_sent", "op"),
+    ("sig_verify_calls/op", "sig_verify_calls", "op"),
+    ("encode_calls/op", "net/encode_calls", "op"),
+)
+
+
+def client_op_counts(counters):
+    """Returns (writes, ops) summed over every client/*/ counter."""
+    writes = reads = 0
+    for name, v in counters.items():
+        parts = name.split("/")
+        if len(parts) == 3 and parts[0] == "client":
+            if parts[2] == "writes":
+                writes += v
+            elif parts[2] == "reads":
+                reads += v
+    return writes, writes + reads
+
+
+def derived_ratios(counters):
+    writes, ops = client_op_counts(counters)
+    ratios = {}
+    for label, counter, basis in WATCHED_RATIOS:
+        denom = writes if basis == "write" else ops
+        if denom > 0 and counter in counters:
+            ratios[label] = counters[counter] / denom
+    return ratios
+
+
+def compare_reports(old_path, new_path, threshold_pct):
+    """Prints counter deltas + ratio deltas; returns exit status."""
+    for path in (old_path, new_path):
+        errs = check_file(path)
+        if errs:
+            for e in errs:
+                print(f"FAIL {e}", file=sys.stderr)
+            return 1
+    with open(old_path, encoding="utf-8") as f:
+        old = json.load(f)
+    with open(new_path, encoding="utf-8") as f:
+        new = json.load(f)
+    old_c, new_c = old["counters"], new["counters"]
+
+    print(f"compare: OLD={old_path} NEW={new_path}")
+    print(f"{'counter':<40} {'old':>12} {'new':>12} {'delta':>12}")
+    for name in sorted(set(old_c) | set(new_c)):
+        ov, nv = old_c.get(name), new_c.get(name)
+        if ov is None:
+            print(f"{name:<40} {'-':>12} {nv:>12} {'(added)':>12}")
+        elif nv is None:
+            print(f"{name:<40} {ov:>12} {'-':>12} {'(removed)':>12}")
+        elif ov != nv:
+            print(f"{name:<40} {ov:>12} {nv:>12} {nv - ov:>+12}")
+
+    old_r, new_r = derived_ratios(old_c), derived_ratios(new_c)
+    regressions = []
+    print(f"\n{'ratio':<40} {'old':>12} {'new':>12} {'change':>9}")
+    for label, _, _ in WATCHED_RATIOS:
+        if label not in old_r or label not in new_r:
+            print(f"{label:<40} missing counters in one report, skipped")
+            continue
+        ov, nv = old_r[label], new_r[label]
+        pct = 0.0 if ov == 0 else (nv - ov) / ov * 100.0
+        print(f"{label:<40} {ov:>12.3f} {nv:>12.3f} {pct:>+8.2f}%")
+        if ov > 0 and pct > threshold_pct:
+            regressions.append((label, pct))
+    for label, pct in regressions:
+        print(
+            f"FAIL ratio {label!r} regressed {pct:+.2f}% "
+            f"(threshold {threshold_pct:g}%)",
+            file=sys.stderr,
+        )
+    return 1 if regressions else 0
+
+
 def main(argv):
     if len(argv) < 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2
+    if argv[1] == "--compare":
+        rest = argv[2:]
+        threshold = 10.0
+        if "--threshold" in rest:
+            i = rest.index("--threshold")
+            try:
+                threshold = float(rest[i + 1])
+            except (IndexError, ValueError):
+                print("--threshold needs a numeric argument", file=sys.stderr)
+                return 2
+            del rest[i : i + 2]
+        if len(rest) != 2:
+            print("--compare takes exactly OLD and NEW", file=sys.stderr)
+            return 2
+        return compare_reports(rest[0], rest[1], threshold)
     if argv[1] == "--committed":
         if len(argv) > 2:
             print("--committed takes no extra arguments", file=sys.stderr)

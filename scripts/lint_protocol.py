@@ -10,7 +10,11 @@ generic tool can express:
       Keystore::verify_cached (certificates are transferable proofs whose
       2f+1 signatures are re-checked at every hop — the memo is the whole
       §3.3.2 cost story). Raw Keystore::verify / rsa_verify / hmac_verify
-      calls are allowed only inside src/crypto/ itself.
+      calls are allowed only inside src/crypto/ itself. The same applies
+      to the batch path: multi-item verification goes through
+      Keystore::verify_batch; touching VerifyCache (or the keystore's
+      verify_cache() accessor) directly skips the verify lock and the
+      sig_cache_hit/miss counters the perf trajectory tracks.
       Scope: src/ except src/crypto/.
 
   nondeterminism
@@ -90,6 +94,8 @@ RAW_VERIFY_RE = re.compile(
           (?:\bkeystore\s*\(\s*\)|\w*[Kk]eystore\w*|\bks_?\b)\s*(?:\.|->)\s*verify\s*\(
         | \brsa_verify\s*\(
         | \bhmac_verify\s*\(
+        | \bVerifyCache\b
+        | (?:\.|->)\s*verify_cache\s*\(\s*\)
         )""",
     re.VERBOSE,
 )

@@ -25,6 +25,7 @@ FIXTURES = os.path.join(SCRIPTS_DIR, "tests", "fixtures")
 CASES = {
     "raw_verify_fail.cpp": ("src/bftbc/fixture.cpp", "raw-verify"),
     "raw_verify_primitive_fail.cpp": ("src/quorum/fixture.cpp", "raw-verify"),
+    "raw_verify_cache_fail.cpp": ("src/bftbc/fixture.cpp", "raw-verify"),
     "raw_verify_pass.cpp": ("src/bftbc/fixture.cpp", None),
     "nondet_fail.cpp": ("src/sim/fixture.cpp", "nondeterminism"),
     "nondet_pass.cpp": ("src/sim/fixture.cpp", None),

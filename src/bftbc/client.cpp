@@ -1,5 +1,7 @@
 #include "bftbc/client.h"
 
+#include <algorithm>
+
 #include "quorum/statements.h"
 #include "util/log.h"
 
@@ -96,6 +98,7 @@ Client::Client(const quorum::QuorumConfig& config, quorum::ClientId id,
     lat_.read_total = &r.summary("client.read.total_ms");
     lat_.read_read = &r.summary("client.read.read_ms");
     lat_.read_writeback = &r.summary("client.read.writeback_ms");
+    inflight_hist_ = &r.histogram("client.inflight");
   }
 }
 
@@ -158,9 +161,46 @@ void Client::begin_call(OpBase& op, rpc::Envelope request,
 void Client::on_envelope(sim::NodeId from, const rpc::Envelope& env) {
   // No QuorumCall frame is active here, so parked calls can die now.
   retired_calls_.clear();
+  if (env.type == rpc::MsgType::kReplyBatch) {
+    handle_reply_batch(from, env);
+    return;
+  }
+  dispatch_reply(from, env);
+}
+
+void Client::dispatch_reply(sim::NodeId from, const rpc::Envelope& env) {
   for (auto& [op_id, op] : ops_) {
     if (op->call && op->call->on_reply(from, env)) return;
   }
+}
+
+// A replica that answered several of our same-tick requests bundles the
+// replies under one authenticator (reply-signing amortization). Verify
+// the batch MAC against the sending replica once, then dispatch each
+// sub-reply; validators accept an empty per-reply `auth` only while this
+// verified-batch frame is open, so a reply that skipped its own MAC is
+// never accepted outside a batch that covered it.
+void Client::handle_reply_batch(sim::NodeId from, const rpc::Envelope& env) {
+  auto m = ReplyBatch::decode(env.body);
+  if (!m.has_value()) return;
+  const auto it =
+      std::find(replica_nodes_.begin(), replica_nodes_.end(), from);
+  if (it == replica_nodes_.end()) return;
+  const auto idx =
+      static_cast<ReplicaId>(it - replica_nodes_.begin());
+  if (m->replica != idx) return;
+  if (!keystore_.verify_cached(quorum::replica_principal(idx),
+                               m->signing_payload(), m->auth)) {
+    return;
+  }
+  metrics_.inc("reply_batches");
+  batch_authed_ = true;
+  for (const Bytes& b : m->replies) {
+    auto sub = rpc::Envelope::decode(b);
+    if (!sub.has_value() || sub->type == rpc::MsgType::kReplyBatch) continue;
+    dispatch_reply(from, *sub);
+  }
+  batch_authed_ = false;
 }
 
 void Client::fail_op(std::uint64_t op_id, Status status) {
@@ -217,6 +257,71 @@ void Client::write(ObjectId object, Bytes value, WriteCallback cb) {
   }
 }
 
+// ------------------------------------------------------ pipelined writes
+
+void Client::submit_write(ObjectId object, Bytes value, WriteCallback cb) {
+  metrics_.inc("pipelined_writes");
+  PendingWrite pending;
+  pending.object = object;
+  pending.value = std::move(value);
+  pending.cb = std::move(cb);
+  write_queue_.push_back(std::move(pending));
+  pump_pipeline();
+}
+
+// Fills free window slots FIFO, skipping (but never reordering within)
+// objects that already have an op in flight: independent objects' phases
+// overlap while each object's writes stay strictly sequential — exactly
+// the ordering the per-object certificate chain requires.
+void Client::pump_pipeline() {
+  if (pumping_) {
+    // A synchronous completion inside write() landed here; the active
+    // pump below re-scans before it returns.
+    repump_ = true;
+    return;
+  }
+  pumping_ = true;
+  do {
+    repump_ = false;
+    std::set<ObjectId> blocked;
+    for (auto it = write_queue_.begin(); it != write_queue_.end();) {
+      if (options_.max_inflight != 0 &&
+          inflight_writes_ >= options_.max_inflight) {
+        break;
+      }
+      if (blocked.count(it->object) != 0 || has_pending_op(it->object)) {
+        blocked.insert(it->object);
+        ++it;
+        continue;
+      }
+      PendingWrite pending = std::move(*it);
+      it = write_queue_.erase(it);
+
+      ++inflight_writes_;
+      if (inflight_writes_ > inflight_peak_) {
+        metrics_.inc("inflight_peak", inflight_writes_ - inflight_peak_);
+        inflight_peak_ = inflight_writes_;
+      }
+      if (inflight_hist_ != nullptr) {
+        inflight_hist_->add(static_cast<std::int64_t>(inflight_writes_));
+      }
+      write(pending.object, std::move(pending.value),
+            [this, cb = std::move(pending.cb)](Result<WriteResult> r) {
+              --inflight_writes_;
+              if (cb) cb(std::move(r));
+              pump_pipeline();
+            });
+    }
+  } while (repump_);
+  for (PendingWrite& waiting : write_queue_) {
+    if (!waiting.counted_queued) {
+      waiting.counted_queued = true;
+      metrics_.inc("queued_writes");
+    }
+  }
+  pumping_ = false;
+}
+
 // Figure 1, phase 1: 〈READ-TS, nonce〉 to all replicas; wait for a quorum
 // of valid replies carrying correct prepare certificates.
 void Client::start_write_phase1(WriteOp& op) {
@@ -237,7 +342,8 @@ void Client::start_write_phase1(WriteOp& op) {
             m->replica != idx) {
           return false;
         }
-        if (!keystore_.verify_cached(quorum::replica_principal(idx),
+        if (!(batch_authed_ && m->auth.empty()) &&
+            !keystore_.verify_cached(quorum::replica_principal(idx),
                               m->signing_payload(), m->auth)) {
           return false;
         }
@@ -450,7 +556,8 @@ void Client::start_write_phase1_opt(WriteOp& op) {
             m->replica != idx) {
           return false;
         }
-        if (!keystore_.verify_cached(quorum::replica_principal(idx),
+        if (!(batch_authed_ && m->auth.empty()) &&
+            !keystore_.verify_cached(quorum::replica_principal(idx),
                               m->signing_payload(), m->auth)) {
           return false;
         }
@@ -557,7 +664,8 @@ void Client::start_read(ReadOp& op) {
             m->replica != idx) {
           return false;
         }
-        if (!keystore_.verify_cached(quorum::replica_principal(idx),
+        if (!(batch_authed_ && m->auth.empty()) &&
+            !keystore_.verify_cached(quorum::replica_principal(idx),
                               m->signing_payload(), m->auth)) {
           return false;
         }

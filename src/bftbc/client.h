@@ -14,6 +14,7 @@
 // The per-op result reports the count; benches E1–E3 aggregate them.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -41,6 +42,13 @@ struct ClientOptions {
   bool gc_in_reads = false;
   rpc::QuorumCallOptions rpc;
   sim::Time op_deadline = 0;  // 0 = rely on protocol liveness (no timeout)
+  // Pipelined writes (submit_write): bound on concurrently in-flight
+  // write operations; 0 = unlimited. Independent objects' phases overlap
+  // up to this window; writes to an object that already has an op in
+  // flight queue FIFO behind it, so per-object ordering — the property
+  // the certificate chain and BFT-linearizability rest on — always
+  // holds regardless of the window size.
+  std::uint32_t max_inflight = 0;
   // Optional observability hooks. When `registry` is set the client
   // records per-phase and whole-op latencies (milliseconds of virtual
   // time) into shared summaries: "client.write.{total,read_ts,prepare,
@@ -87,6 +95,18 @@ class Client {
   // quorum's answers disagree.
   void read(ObjectId object, ReadCallback cb);
 
+  // Pipelined write: like write(), but bounded by options.max_inflight
+  // and safe to call with an operation already outstanding — writes to a
+  // busy object (or past the window) queue FIFO and dispatch as slots
+  // free up. Counters: "pipelined_writes", "queued_writes",
+  // "inflight_peak"; with a registry, the "client.inflight" histogram
+  // samples window occupancy at every dispatch.
+  void submit_write(ObjectId object, Bytes value, WriteCallback cb);
+
+  // Writes waiting for a pipeline slot (tests/benches drain on this).
+  std::size_t queued_writes() const { return write_queue_.size(); }
+  std::uint32_t inflight_writes() const { return inflight_writes_; }
+
   bool has_pending_op(ObjectId object) const;
 
   // The write certificate retained from the last completed write on this
@@ -126,6 +146,12 @@ class Client {
 
   // --- plumbing ---------------------------------------------------------
   void on_envelope(sim::NodeId from, const rpc::Envelope& env);
+  // Routes one reply envelope into whichever op's QuorumCall claims it.
+  void dispatch_reply(sim::NodeId from, const rpc::Envelope& env);
+  // Verifies a ReplyBatch's single authenticator, then dispatches the
+  // bundled sub-replies with `batch_authed_` open (reply-signing
+  // amortization: sub-replies carry no per-reply auth of their own).
+  void handle_reply_batch(sim::NodeId from, const rpc::Envelope& env);
   // `phase_lat` (may be null) receives this round's latency when the
   // quorum call completes; `phase_name` labels the kPhase trace event.
   void begin_call(OpBase& op, rpc::Envelope request,
@@ -136,6 +162,10 @@ class Client {
   void fail_op(std::uint64_t op_id, Status status);
   rpc::Envelope make_request(rpc::MsgType type, Bytes body);
   OpBase* find_op(std::uint64_t id);
+
+  // Dispatches queued pipelined writes into free window slots (FIFO,
+  // skipping objects that still have an op in flight).
+  void pump_pipeline();
 
   quorum::QuorumConfig config_;
   quorum::ClientId id_;
@@ -157,6 +187,24 @@ class Client {
   std::uint64_t next_rpc_id_ = 1;
   Counters metrics_;
 
+  // Pipelined-write state (submit_write).
+  struct PendingWrite {
+    ObjectId object = 0;
+    Bytes value;
+    WriteCallback cb;
+    bool counted_queued = false;  // "queued_writes" counts each once
+  };
+  std::deque<PendingWrite> write_queue_;
+  std::uint32_t inflight_writes_ = 0;
+  std::uint64_t inflight_peak_ = 0;
+  bool pumping_ = false;
+  bool repump_ = false;
+
+  // True only while dispatching sub-replies of a ReplyBatch whose batch
+  // authenticator verified; validators then accept an empty per-reply
+  // auth (it is covered by the batch MAC, nonces included).
+  bool batch_authed_ = false;
+
   // Pre-resolved latency summaries (all null without options.registry).
   struct LatencyHandles {
     Summary* write_total = nullptr;
@@ -168,6 +216,7 @@ class Client {
     Summary* read_writeback = nullptr;
   };
   LatencyHandles lat_;
+  Histogram* inflight_hist_ = nullptr;
   metrics::Tracer* tracer_ = nullptr;
 };
 

@@ -354,4 +354,37 @@ std::optional<ReadTsPrepReply> ReadTsPrepReply::decode(BytesView b) {
   return m;
 }
 
+// -------------------------------------------------------- REPLY-BATCH
+
+Bytes ReplyBatch::signing_payload() const {
+  Writer w;
+  w.put_u8(static_cast<std::uint8_t>(AuthTag::kReplyBatch));
+  w.put_u32(replica);
+  w.put_u32(static_cast<std::uint32_t>(replies.size()));
+  for (const Bytes& b : replies) w.put_bytes(b);
+  return std::move(w).take();
+}
+
+Bytes ReplyBatch::encode() const {
+  Writer w;
+  w.put_u32(replica);
+  w.put_u32(static_cast<std::uint32_t>(replies.size()));
+  for (const Bytes& b : replies) w.put_bytes(b);
+  w.put_bytes(auth);
+  return std::move(w).take();
+}
+
+std::optional<ReplyBatch> ReplyBatch::decode(BytesView b) {
+  Reader r(b);
+  ReplyBatch m;
+  m.replica = r.get_u32();
+  const std::uint32_t count = r.get_u32();
+  for (std::uint32_t i = 0; i < count && r.ok(); ++i) {
+    m.replies.push_back(r.get_bytes());
+  }
+  m.auth = r.get_bytes();
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
 }  // namespace bftbc::core

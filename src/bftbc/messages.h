@@ -18,6 +18,7 @@
 #pragma once
 
 #include <optional>
+#include <vector>
 
 #include "crypto/nonce.h"
 #include "crypto/sha256.h"
@@ -40,6 +41,7 @@ enum class AuthTag : std::uint8_t {
   kReadReply = 0x13,
   kReadTsPrep = 0x14,
   kReadTsPrepReply = 0x15,
+  kReplyBatch = 0x16,
 };
 
 // ---------------------------------------------------------------------
@@ -195,6 +197,28 @@ struct ReadTsPrepReply {
   Bytes signing_payload() const;
   Bytes encode() const;
   static std::optional<ReadTsPrepReply> decode(BytesView b);
+};
+
+// ---------------------------------------------------------------------
+// Reply batch: 〈REPLY-BATCH, replies…〉σr
+//
+// When a replica's same-tick batch holds several point-to-point
+// authenticated requests from one client (READ-TS / READ /
+// READ-TS-PREP), it amortizes reply signing: the per-reply `auth`
+// fields stay empty and the bundled replies ship under a single
+// authenticator covering every reply — including each echoed nonce, so
+// freshness is exactly what the per-reply MACs gave. Certificate-
+// component signatures (PREPARE-REPLY / WRITE-REPLY statements) are
+// shown to third parties and are never amortized this way.
+
+struct ReplyBatch {
+  ReplicaId replica = 0;
+  std::vector<Bytes> replies;  // encoded rpc::Envelopes
+  Bytes auth;                  // point-to-point authenticator by the replica
+
+  Bytes signing_payload() const;
+  Bytes encode() const;
+  static std::optional<ReplyBatch> decode(BytesView b);
 };
 
 // ---------------------------------------------------------------------

@@ -1,5 +1,7 @@
 #include "bftbc/replica.h"
 
+#include <algorithm>
+
 #include "quorum/statements.h"
 #include "util/log.h"
 
@@ -16,7 +18,7 @@ Replica::Replica(const quorum::QuorumConfig& config, ReplicaId id,
       sim_(simulator),
       options_(options) {
   transport_.set_receiver([this](sim::NodeId from, const rpc::Envelope& env) {
-    on_envelope(from, env);
+    deliver(from, env);
   });
   if (options_.registry != nullptr) {
     metrics::MetricsRegistry& r = *options_.registry;
@@ -26,6 +28,178 @@ Replica::Replica(const quorum::QuorumConfig& config, ReplicaId id,
     rejects_ = &scope.counter("rejects");
     plist_size_ = &r.histogram("replica.plist_size");
     optlist_size_ = &r.histogram("replica.optlist_size");
+  }
+}
+
+Replica::~Replica() {
+  // A pending flush captures `this`; never let it fire into a dead
+  // replica if the simulator outlives us.
+  if (flush_scheduled_) sim_.cancel(flush_timer_);
+}
+
+void Replica::deliver(sim::NodeId from, const rpc::Envelope& env) {
+  if (!options_.batch_verify) {
+    on_envelope(from, env);
+    return;
+  }
+  pending_batch_.push_back(PendingEnvelope{from, env});
+  if (!flush_scheduled_) {
+    flush_scheduled_ = true;
+    // Delay 0 fires after every delivery already queued for this instant
+    // (the simulator breaks timestamp ties FIFO), so one flush drains
+    // the whole tick's arrivals — deterministically, keyed to sim time.
+    flush_timer_ = sim_.schedule(0, [this] { flush_batch(); });
+  }
+}
+
+void Replica::flush_batch() {
+  flush_scheduled_ = false;
+  std::vector<PendingEnvelope> batch;
+  batch.swap(pending_batch_);
+  if (batch.empty()) return;
+
+  metrics_.inc("batch_flushes");
+  metrics_.inc("batch_verify_msgs", batch.size());
+
+  // Pre-verification: one sorted, cache-aware keystore pass over every
+  // signature the batch will need. The handlers below still route their
+  // checks through verify_cached and now hit the warmed cache — the
+  // accept/reject decisions are bit-identical to per-message processing.
+  std::vector<crypto::Keystore::VerifyItem> items;
+  for (const PendingEnvelope& p : batch) collect_verify_items(p.env, items);
+  if (!items.empty()) {
+    metrics_.inc("batch_verify_sigs", keystore_.verify_batch(items));
+  }
+
+  // Reply-signing amortization: when one node contributed two or more
+  // point-to-point-authenticated requests to this batch, the replies to
+  // it are captured and shipped as a single ReplyBatch under one
+  // authenticator (handlers skip the per-reply MAC for those).
+  batch_auth_counts_.clear();
+  for (const PendingEnvelope& p : batch) {
+    switch (p.env.type) {
+      case rpc::MsgType::kReadTs:
+      case rpc::MsgType::kRead:
+        ++batch_auth_counts_[p.from];
+        break;
+      case rpc::MsgType::kReadTsPrep:
+        if (options_.optimized) ++batch_auth_counts_[p.from];
+        break;
+      default:
+        break;
+    }
+  }
+
+  collecting_replies_ = true;
+  current_batch_size_ = batch.size();
+  for (const PendingEnvelope& p : batch) on_envelope(p.from, p.env);
+  current_batch_size_ = 0;
+  collecting_replies_ = false;
+  flush_replies();
+  batch_auth_counts_.clear();
+}
+
+bool Replica::amortized_auth_for(sim::NodeId to) const {
+  if (!collecting_replies_) return false;
+  auto it = batch_auth_counts_.find(to);
+  return it != batch_auth_counts_.end() && it->second >= 2;
+}
+
+void Replica::flush_replies() {
+  if (pending_replies_.empty()) return;
+  std::map<sim::NodeId, std::vector<PendingReply>> by_dest;
+  for (PendingReply& p : pending_replies_) {
+    by_dest[p.to].push_back(std::move(p));
+  }
+  pending_replies_.clear();
+  for (auto& [to, group] : by_dest) {
+    ReplyBatch rb;
+    rb.replica = id_;
+    sim::Time cost = 0;
+    for (const PendingReply& p : group) {
+      rb.replies.push_back(p.env.encode());
+      cost = std::max(cost, p.cost);
+    }
+    rb.auth = p2p_auth(rb.signing_payload(), cost);
+    metrics_.inc("reply_batches");
+    rpc::Envelope env;
+    env.type = rpc::MsgType::kReplyBatch;
+    env.sender = quorum::replica_principal(id_);
+    env.body = rb.encode();
+    if (cost == 0) {
+      transport_.send(to, env);
+    } else {
+      sim_.schedule(cost,
+                    [this, to, env = std::move(env)] { transport_.send(to, env); });
+    }
+  }
+}
+
+void Replica::collect_verify_items(
+    const rpc::Envelope& env,
+    std::vector<crypto::Keystore::VerifyItem>& items) const {
+  auto add = [&items](crypto::PrincipalId principal, Bytes stmt, Bytes sig) {
+    crypto::Keystore::VerifyItem item;
+    item.principal = principal;
+    item.statement = std::move(stmt);
+    item.sig = std::move(sig);
+    items.push_back(std::move(item));
+  };
+  auto add_client_sig = [&](quorum::ClientId client, Bytes payload,
+                            const Bytes& sig) {
+    if (quorum::is_replica_principal(client)) return;
+    add(quorum::client_principal(client), std::move(payload), sig);
+  };
+  auto add_prep_cert = [&](const PrepareCertificate& cert) {
+    if (cert.is_genesis()) return;
+    const Bytes stmt =
+        quorum::prepare_reply_statement(cert.object(), cert.ts(), cert.hash());
+    for (const auto& [replica, sig] : cert.signatures()) {
+      if (!config_.valid_replica(replica)) continue;
+      add(quorum::replica_principal(replica), stmt, sig);
+    }
+  };
+  auto add_write_cert = [&](const WriteCertificate& cert) {
+    const Bytes stmt = quorum::write_reply_statement(cert.object(), cert.ts());
+    for (const auto& [replica, sig] : cert.signatures()) {
+      if (!config_.valid_replica(replica)) continue;
+      add(quorum::replica_principal(replica), stmt, sig);
+    }
+  };
+
+  switch (env.type) {
+    case rpc::MsgType::kPrepare: {
+      auto req = PrepareRequest::decode(env.body);
+      if (!req.has_value()) return;
+      add_client_sig(req->client, req->signing_payload(), req->sig);
+      add_prep_cert(req->prep_cert);
+      if (req->write_cert.has_value()) add_write_cert(*req->write_cert);
+      break;
+    }
+    case rpc::MsgType::kWrite: {
+      auto req = WriteRequest::decode(env.body);
+      if (!req.has_value()) return;
+      add_client_sig(req->client, req->signing_payload(), req->sig);
+      add_prep_cert(req->prep_cert);
+      break;
+    }
+    case rpc::MsgType::kRead: {
+      auto req = ReadRequest::decode(env.body);
+      if (!req.has_value()) return;
+      if (req->write_cert.has_value()) add_write_cert(*req->write_cert);
+      break;
+    }
+    case rpc::MsgType::kReadTsPrep: {
+      if (!options_.optimized) return;
+      auto req = ReadTsPrepRequest::decode(env.body);
+      if (!req.has_value()) return;
+      add_client_sig(req->client, req->signing_payload(), req->sig);
+      if (req->write_cert.has_value()) add_write_cert(*req->write_cert);
+      break;
+    }
+    default:
+      // READ-TS and unknown types verify nothing up front.
+      break;
   }
 }
 
@@ -86,11 +260,23 @@ void Replica::on_envelope(sim::NodeId from, const rpc::Envelope& env) {
 
 void Replica::reply(sim::NodeId to, rpc::MsgType type, std::uint64_t rpc_id,
                     Bytes body, sim::Time processing_cost) {
+  // Replies emitted while dispatching a multi-message batch shared one
+  // verification pass; "batched_replies" measures that amortization.
+  if (current_batch_size_ >= 2) metrics_.inc("batched_replies");
   rpc::Envelope env;
   env.type = type;
   env.rpc_id = rpc_id;
   env.sender = quorum::replica_principal(id_);
   env.body = std::move(body);
+  // Replies whose per-reply authenticator was amortized away travel in
+  // the batch's single ReplyBatch instead of as individual messages.
+  if (amortized_auth_for(to) && (type == rpc::MsgType::kReadTsReply ||
+                                 type == rpc::MsgType::kReadReply ||
+                                 type == rpc::MsgType::kReadTsPrepReply)) {
+    pending_replies_.push_back(
+        PendingReply{to, std::move(env), processing_cost});
+    return;
+  }
   if (processing_cost == 0) {
     transport_.send(to, env);
   } else {
@@ -174,7 +360,11 @@ void Replica::handle_read_ts(sim::NodeId from, const rpc::Envelope& env) {
         quorum::write_reply_statement(req->object, state.pcert().ts()), cost);
   }
   rep.replica = id_;
-  rep.auth = p2p_auth(rep.signing_payload(), cost);
+  if (amortized_auth_for(from)) {
+    metrics_.inc("auth_p2p_amortized");
+  } else {
+    rep.auth = p2p_auth(rep.signing_payload(), cost);
+  }
 
   granted("reply_read_ts");
   reply(from, rpc::MsgType::kReadTsReply, env.rpc_id, rep.encode(), cost);
@@ -343,7 +533,11 @@ void Replica::handle_read(sim::NodeId from, const rpc::Envelope& env) {
   rep.pcert = state.pcert();
   rep.nonce = req->nonce;
   rep.replica = id_;
-  rep.auth = p2p_auth(rep.signing_payload(), cost);
+  if (amortized_auth_for(from)) {
+    metrics_.inc("auth_p2p_amortized");
+  } else {
+    rep.auth = p2p_auth(rep.signing_payload(), cost);
+  }
 
   granted("reply_read");
   reply(from, rpc::MsgType::kReadReply, env.rpc_id, rep.encode(), cost);
@@ -423,7 +617,11 @@ void Replica::handle_read_ts_prep(sim::NodeId from, const rpc::Envelope& env) {
     rep.strong_write_sig = sign_statement_foreground(
         quorum::write_reply_statement(req->object, state.pcert().ts()), cost);
   }
-  rep.auth = p2p_auth(rep.signing_payload(), cost);
+  if (amortized_auth_for(from)) {
+    metrics_.inc("auth_p2p_amortized");
+  } else {
+    rep.auth = p2p_auth(rep.signing_payload(), cost);
+  }
   reply(from, rpc::MsgType::kReadTsPrepReply, env.rpc_id, rep.encode(), cost);
 }
 

@@ -46,6 +46,14 @@ struct ReplicaOptions {
   // §3.1); when false, any client with a valid signature may write.
   // Reads are answered unconditionally either way.
   bool enforce_acl = false;
+  // Same-tick batch verification: all messages delivered to the replica
+  // at one virtual-time instant are drained into a single batch whose
+  // signature checks run through one sorted, cache-aware
+  // Keystore::verify_batch pass before the messages dispatch. Semantics
+  // are identical to per-message processing (handlers still re-check via
+  // the warmed verify cache); only the crypto schedule changes, and it
+  // stays deterministic because the flush is keyed to sim time.
+  bool batch_verify = true;
   // Optional observability hook. When set, the replica keeps scoped
   // grant/reject totals ("replica/<id>/grants", "replica/<id>/rejects")
   // plus shared list-size histograms ("replica.plist_size",
@@ -59,7 +67,7 @@ class Replica {
           crypto::Keystore& keystore, rpc::Transport& transport,
           sim::Simulator& simulator, ReplicaOptions options = ReplicaOptions());
 
-  virtual ~Replica() = default;
+  virtual ~Replica();
   Replica(const Replica&) = delete;
   Replica& operator=(const Replica&) = delete;
 
@@ -90,6 +98,34 @@ class Replica {
   }
 
  protected:
+  // Transport entry point: enqueues into the current tick's batch (or
+  // dispatches immediately when batching is off).
+  void deliver(sim::NodeId from, const rpc::Envelope& env);
+
+  // Drains the tick's batch: one verify_batch pass over every signature
+  // the batch needs, then per-message dispatch through on_envelope (so
+  // Byzantine subclass interceptors still see every message).
+  void flush_batch();
+
+  // Collects the signature checks `env` will perform into `items`
+  // (client signature + certificate signatures, by message type).
+  void collect_verify_items(
+      const rpc::Envelope& env,
+      std::vector<crypto::Keystore::VerifyItem>& items) const;
+
+  // True while the current flush amortizes point-to-point reply
+  // authentication toward `to`: at least two auth-bearing requests from
+  // that node share this batch, so handlers leave the per-reply `auth`
+  // empty and flush_replies() ships one ReplyBatch under a single
+  // authenticator instead.
+  [[nodiscard]] bool amortized_auth_for(sim::NodeId to) const;
+
+  // Sends the replies captured during batch dispatch: one authenticated
+  // ReplyBatch per destination, scheduled at the group's largest
+  // per-reply processing cost (replies of one batch are produced by the
+  // same verification pass, so they leave together).
+  void flush_replies();
+
   // Virtual so Byzantine replica behaviors (src/faults) can intercept.
   virtual void on_envelope(sim::NodeId from, const rpc::Envelope& env);
 
@@ -144,6 +180,28 @@ class Replica {
       write_sig_cache_;
   std::set<quorum::ClientId> acl_;
   Counters metrics_;
+
+  // Same-tick batching state. `current_batch_size_` is nonzero only
+  // while flush_batch is dispatching, so reply() can attribute replies
+  // to a multi-message batch ("batched_replies").
+  struct PendingEnvelope {
+    sim::NodeId from;
+    rpc::Envelope env;
+  };
+  std::vector<PendingEnvelope> pending_batch_;
+  sim::TimerId flush_timer_ = 0;
+  bool flush_scheduled_ = false;
+  std::size_t current_batch_size_ = 0;
+
+  // Reply-signing amortization state (valid only inside flush_batch).
+  struct PendingReply {
+    sim::NodeId to;
+    rpc::Envelope env;
+    sim::Time cost;
+  };
+  std::vector<PendingReply> pending_replies_;
+  std::map<sim::NodeId, std::size_t> batch_auth_counts_;
+  bool collecting_replies_ = false;
 
   // Pre-resolved registry handles (all null without options.registry).
   metrics::Counter* grants_ = nullptr;

@@ -1,5 +1,8 @@
 #include "crypto/signature.h"
 
+#include <algorithm>
+#include <numeric>
+
 #include "crypto/hmac.h"
 #include "util/codec.h"
 
@@ -100,6 +103,106 @@ bool Keystore::verify_cached(PrincipalId signer, BytesView msg,
   std::lock_guard<std::mutex> lock(verify_mu_);
   verify_cache_.insert(key, valid);
   return valid;
+}
+
+std::size_t Keystore::verify_batch(std::vector<VerifyItem>& items) const {
+  if (items.empty()) return 0;
+
+  // Hash every key outside the lock, then order item indices so that
+  // identical (principal, statement, signature) triples sit adjacent:
+  // each distinct triple costs one cache lookup and at most one real
+  // cryptographic check, no matter how often the batch repeats it. The
+  // grouping also keeps same-principal lookups together (cache-aware:
+  // their entries share hot index/LRU neighborhoods).
+  std::vector<VerifyCache::Key> keys;
+  keys.reserve(items.size());
+  for (const VerifyItem& item : items) {
+    keys.push_back(
+        VerifyCache::make_key(item.principal, item.statement, item.sig));
+  }
+  std::vector<std::size_t> order(items.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&keys](std::size_t a, std::size_t b) {
+              if (keys[a].principal != keys[b].principal)
+                return keys[a].principal < keys[b].principal;
+              if (keys[a].statement != keys[b].statement)
+                return keys[a].statement < keys[b].statement;
+              return keys[a].signature < keys[b].signature;
+            });
+
+  // Group leaders: the first index of every run of identical keys.
+  std::vector<std::size_t> leaders;
+  leaders.reserve(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (i == 0 || !(keys[order[i]] == keys[order[i - 1]])) {
+      leaders.push_back(i);
+    }
+  }
+
+  // Pass 1 (one lock acquisition): resolve every distinct triple against
+  // the cache. -1 marks a miss to be computed.
+  std::vector<int> verdicts(leaders.size(), -1);
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  {
+    std::lock_guard<std::mutex> lock(verify_mu_);
+    for (std::size_t g = 0; g < leaders.size(); ++g) {
+      verdicts[g] = verify_cache_.lookup(keys[order[leaders[g]]]);
+      if (verdicts[g] >= 0) ++hits;
+    }
+  }
+
+  // Pass 2 (no lock): real cryptography for the misses. Unknown
+  // principals are rejected without caching or counting, exactly like
+  // verify()/verify_cached().
+  std::size_t crypto_checks = 0;
+  std::vector<bool> cacheable(leaders.size(), false);
+  for (std::size_t g = 0; g < leaders.size(); ++g) {
+    if (verdicts[g] >= 0) continue;
+    const VerifyItem& item = items[order[leaders[g]]];
+    auto it = principals_.find(item.principal);
+    if (it == principals_.end()) {
+      verdicts[g] = 0;
+      continue;
+    }
+    ++misses;
+    ++crypto_checks;
+    cacheable[g] = true;
+    const Bytes bound = bind_principal(item.principal, item.statement);
+    const bool valid =
+        scheme_ == SignatureScheme::kHmacSim
+            ? hmac_verify(it->second.hmac_secret, bound, item.sig)
+            : rsa_verify(it->second.rsa->pub, bound, item.sig);
+    verdicts[g] = valid ? 1 : 0;
+  }
+
+  // Pass 3 (one lock acquisition): memoize fresh verdicts and account.
+  // Duplicates beyond each group leader are served from the batch's own
+  // resolution, which is a hit for accounting purposes.
+  {
+    std::lock_guard<std::mutex> lock(verify_mu_);
+    for (std::size_t g = 0; g < leaders.size(); ++g) {
+      if (cacheable[g]) {
+        verify_cache_.insert(keys[order[leaders[g]]], verdicts[g] == 1);
+      }
+    }
+    const std::uint64_t dup_hits = items.size() - leaders.size();
+    counters_.inc("sig_cache_hit", hits + dup_hits);
+    counters_.inc("sig_cache_miss", misses);
+    counters_.inc("verify", crypto_checks);
+    counters_.inc("sig_verify_calls", crypto_checks);
+  }
+
+  // Scatter verdicts back to every item in the group.
+  for (std::size_t g = 0; g < leaders.size(); ++g) {
+    const std::size_t end =
+        g + 1 < leaders.size() ? leaders[g + 1] : order.size();
+    for (std::size_t i = leaders[g]; i < end; ++i) {
+      items[order[i]].valid = verdicts[g] == 1;
+    }
+  }
+  return crypto_checks;
 }
 
 void Keystore::set_verify_cache_capacity(std::size_t entries) {

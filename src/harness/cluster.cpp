@@ -19,7 +19,8 @@ Cluster::Cluster(ClusterOptions options)
   if (ropts.registry == nullptr) ropts.registry = &metrics_;
 
   for (quorum::ReplicaId r = 0; r < config_.n; ++r) {
-    auto transport = std::make_unique<rpc::SimTransport>(net_, r);
+    auto transport = std::make_unique<rpc::SimTransport>(
+        net_, r, options_.coalesce_sends ? &sim_ : nullptr);
     std::unique_ptr<core::Replica> replica;
     auto factory = options_.replica_factories.find(r);
     if (factory != options_.replica_factories.end() && factory->second) {
@@ -56,7 +57,8 @@ core::Client& Cluster::add_client(quorum::ClientId id,
 
   if (copts.registry == nullptr) copts.registry = &metrics_;
   if (copts.tracer == nullptr && tracer_.enabled()) copts.tracer = &tracer_;
-  auto transport = std::make_unique<rpc::SimTransport>(net_, client_node(id));
+  auto transport = std::make_unique<rpc::SimTransport>(
+      net_, client_node(id), options_.coalesce_sends ? &sim_ : nullptr);
   auto client = std::make_unique<core::Client>(config_, id, keystore_,
                                                *transport, sim_,
                                                replica_nodes(), rng_.split(),
@@ -85,7 +87,8 @@ metrics::MetricsRegistry& Cluster::snapshot_metrics() {
 }
 
 std::unique_ptr<rpc::Transport> Cluster::make_transport(sim::NodeId node) {
-  return std::make_unique<rpc::SimTransport>(net_, node);
+  return std::make_unique<rpc::SimTransport>(
+      net_, node, options_.coalesce_sends ? &sim_ : nullptr);
 }
 
 Result<core::Client::WriteResult> Cluster::write(core::Client& c,

@@ -10,6 +10,7 @@
 
 #include "crypto/signature.h"
 #include "util/codec.h"
+#include "util/encoded_message.h"
 #include "util/status.h"
 
 namespace bftbc::rpc {
@@ -28,6 +29,12 @@ enum class MsgType : std::uint16_t {
   kReadReply = 8,     // 〈READ-REPLY, val, Pcert, nonce〉σr
   kReadTsPrep = 9,    // optimized phase 1: 〈READ-TS-PREP, h, Wcert〉σc
   kReadTsPrepReply = 10,  // 〈Pcert, optional PREPARE-REPLY stmt〉σr
+  kReplyBatch = 11,   // replica→client bundle of replies, one batch MAC
+
+  // Transport-level bundle of same-tick envelopes to one destination
+  // (SimTransport coalescing). Unwrapped by the receiving transport, so
+  // protocol code never sees this type on the wire.
+  kBatch = 120,
 
   // Classic BQS baseline (Malkhi-Reiter 3f+1, no Byzantine-client defense)
   kBqsReadTs = 32,
@@ -71,6 +78,21 @@ struct Envelope {
     return std::move(w).take();
   }
 
+  // Encode-once fan-out: the first call serializes and caches; every
+  // later call (other targets, retransmits) returns the same shared
+  // buffer. Callers that mutate the envelope after encoding are on the
+  // hot path's one sharp edge — protocol code treats envelopes as
+  // immutable once handed to a transport.
+  [[nodiscard]] bool has_cached_encoding() const {
+    return cached_encoding_.valid();
+  }
+  const EncodedMessage& shared_encoding() const {
+    if (!cached_encoding_.valid()) {
+      cached_encoding_ = EncodedMessage::wrap(encode());
+    }
+    return cached_encoding_;
+  }
+
   // Returns nullopt on malformed input (truncated, trailing garbage).
   static std::optional<Envelope> decode(BytesView data) {
     Reader r(data);
@@ -82,6 +104,9 @@ struct Envelope {
     if (!r.done()) return std::nullopt;
     return env;
   }
+
+ private:
+  mutable EncodedMessage cached_encoding_;
 };
 
 }  // namespace bftbc::rpc

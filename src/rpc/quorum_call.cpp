@@ -36,7 +36,20 @@ QuorumCall::~QuorumCall() {
 }
 
 void QuorumCall::transmit() {
+  const bool first = sends_ == 0;
   ++sends_;
+  if (first && options_.initial_fanout > 0 &&
+      options_.initial_fanout < targets_.size()) {
+    // Preferred quorum: contact only `initial_fanout` replicas up front,
+    // rotating the starting index by rpc_id so successive calls spread
+    // load. Retransmissions (below) expand to everyone.
+    const std::size_t n = targets_.size();
+    const std::size_t start = static_cast<std::size_t>(request_.rpc_id % n);
+    for (std::uint32_t k = 0; k < options_.initial_fanout; ++k) {
+      transport_.send(targets_[(start + k) % n], request_);
+    }
+    return;
+  }
   for (std::uint32_t i = 0; i < targets_.size(); ++i) {
     if (!accepted_[i]) transport_.send(targets_[i], request_);
   }

@@ -24,6 +24,12 @@ struct QuorumCallOptions {
   // 0 = no deadline (paper's protocols are live without timeouts; a
   // deadline is still useful for tests that expect failure).
   sim::Time deadline = 0;
+  // Preferred-quorum fan-out: the FIRST transmission goes to only this
+  // many targets (chosen round-robin from rpc_id so load spreads across
+  // replicas); 0 sends to all. Every retransmission expands to all
+  // not-yet-accepted targets, so liveness is untouched — one retransmit
+  // period is the worst-case price when a preferred replica is down.
+  std::uint32_t initial_fanout = 0;
 };
 
 class QuorumCall {

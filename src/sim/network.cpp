@@ -20,6 +20,12 @@ void Network::bind_metrics(metrics::MetricsRegistry& registry,
   reg_.msgs_corrupted = &s.counter("msgs_corrupted");
   reg_.bytes_sent = &s.counter("bytes_sent");
   reg_.bytes_delivered = &s.counter("bytes_delivered");
+  reg_.encode_calls = &s.counter("encode_calls");
+}
+
+void Network::note_encode() {
+  counters_.inc("encode_calls");
+  if (reg_.encode_calls) reg_.encode_calls->inc();
 }
 
 const LinkConfig& Network::link_for(NodeId from, NodeId to) const {
@@ -36,7 +42,10 @@ Time Network::draw_delay(const LinkConfig& cfg) {
   return d;
 }
 
-void Network::deliver_later(NodeId from, NodeId to, Bytes payload, Time delay) {
+void Network::deliver_later(NodeId from, NodeId to, EncodedMessage payload,
+                            Time delay) {
+  // Capturing the EncodedMessage bumps the refcount on the shared wire
+  // buffer; the bytes themselves are never copied into the event queue.
   sim_.schedule(delay, [this, from, to, payload = std::move(payload)]() {
     if (crashed_.count(to) != 0 || handlers_.find(to) == handlers_.end()) {
       counters_.inc("msgs_dropped");
@@ -60,7 +69,7 @@ void Network::deliver_later(NodeId from, NodeId to, Bytes payload, Time delay) {
   });
 }
 
-void Network::send(NodeId from, NodeId to, Bytes payload) {
+void Network::send(NodeId from, NodeId to, const EncodedMessage& payload) {
   counters_.inc("msgs_sent");
   counters_.inc("bytes_sent", payload.size());
   if (reg_.msgs_sent) {
@@ -93,12 +102,15 @@ void Network::send(NodeId from, NodeId to, Bytes payload) {
     return;
   }
 
-  Bytes to_deliver = payload;
-  if (rng_.next_bool(cfg.corrupt_probability) && !to_deliver.empty()) {
-    // Flip one random byte; receivers must treat this as garbage.
+  EncodedMessage to_deliver = payload;  // refcount bump, not a byte copy
+  if (rng_.next_bool(cfg.corrupt_probability) && to_deliver.size() > 0) {
+    // Flip one random byte in a *private* copy; receivers must treat it
+    // as garbage, and other holders of the shared buffer must not see it.
+    Bytes mutated = to_deliver.copy();
     const std::size_t idx =
-        static_cast<std::size_t>(rng_.next_below(to_deliver.size()));
-    to_deliver[idx] ^= static_cast<std::uint8_t>(1 + rng_.next_below(255));
+        static_cast<std::size_t>(rng_.next_below(mutated.size()));
+    mutated[idx] ^= static_cast<std::uint8_t>(1 + rng_.next_below(255));
+    to_deliver = EncodedMessage::wrap(std::move(mutated));
     counters_.inc("msgs_corrupted");
     if (reg_.msgs_corrupted) reg_.msgs_corrupted->inc();
   }
@@ -106,6 +118,7 @@ void Network::send(NodeId from, NodeId to, Bytes payload) {
   if (rng_.next_bool(cfg.duplicate_probability)) {
     counters_.inc("msgs_duplicated");
     if (reg_.msgs_duplicated) reg_.msgs_duplicated->inc();
+    // The duplicate shares the same buffer as the original delivery.
     deliver_later(from, to, to_deliver, draw_delay(cfg));
   }
   deliver_later(from, to, std::move(to_deliver), draw_delay(cfg));

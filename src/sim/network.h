@@ -26,6 +26,7 @@
 #include "metrics/trace.h"
 #include "sim/simulator.h"
 #include "util/bytes.h"
+#include "util/encoded_message.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
@@ -46,7 +47,9 @@ class Network {
   Network(Simulator& simulator, Rng rng, LinkConfig default_link = {})
       : sim_(simulator), rng_(rng), default_link_(default_link) {}
 
-  using Handler = std::function<void(NodeId from, Bytes payload)>;
+  // Handlers receive the shared immutable wire buffer: retaining it past
+  // the callback is one refcount bump, never a copy.
+  using Handler = std::function<void(NodeId from, const EncodedMessage& payload)>;
 
   // Register a node; messages addressed to `id` invoke `handler` at
   // delivery (virtual) time. Re-registering replaces the handler.
@@ -54,8 +57,18 @@ class Network {
   void unregister_node(NodeId id);
 
   // Queue a message. Applies the link's loss/duplication/corruption/delay
-  // model; delivery happens via simulator events.
-  void send(NodeId from, NodeId to, Bytes payload);
+  // model; delivery happens via simulator events. The payload buffer is
+  // shared (refcounted) across queueing and duplicate delivery; only the
+  // corruption model copies, into a private buffer.
+  void send(NodeId from, NodeId to, const EncodedMessage& payload);
+  void send(NodeId from, NodeId to, Bytes payload) {
+    send(from, to, EncodedMessage::wrap(std::move(payload)));
+  }
+
+  // Serialization accounting for the encode-once fan-out: the transport
+  // calls this once per fresh Envelope::encode() (cache misses only), so
+  // "encode_calls" vs "msgs_sent" measures buffer reuse.
+  void note_encode();
 
   // Per-directed-link override (from → to).
   void set_link(NodeId from, NodeId to, LinkConfig cfg);
@@ -97,7 +110,8 @@ class Network {
  private:
   const LinkConfig& link_for(NodeId from, NodeId to) const;
   Time draw_delay(const LinkConfig& cfg);
-  void deliver_later(NodeId from, NodeId to, Bytes payload, Time delay);
+  void deliver_later(NodeId from, NodeId to, EncodedMessage payload,
+                     Time delay);
 
   Simulator& sim_;
   Rng rng_;
@@ -117,6 +131,7 @@ class Network {
     metrics::Counter* msgs_corrupted = nullptr;
     metrics::Counter* bytes_sent = nullptr;
     metrics::Counter* bytes_delivered = nullptr;
+    metrics::Counter* encode_calls = nullptr;
   };
   RegistryHandles reg_;
   metrics::Tracer* tracer_ = nullptr;

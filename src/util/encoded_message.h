@@ -1,0 +1,59 @@
+// EncodedMessage: an immutable, refcounted wire buffer.
+//
+// The hot fan-out path serializes a protocol message once and then hands
+// the same underlying buffer to every target, to the delivery queue, and
+// to duplicate deliveries — sharing is by refcount, never by deep copy.
+// Immutability is what makes the sharing sound: once wrapped, the bytes
+// can never change underneath a concurrent holder. The one mutator on
+// the path — the network's corruption model — must call copy() and wrap
+// a private buffer, so a flipped byte is visible only to that delivery.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "util/bytes.h"
+
+namespace bftbc {
+
+class EncodedMessage {
+ public:
+  EncodedMessage() = default;
+
+  // Takes ownership of `buffer`; the contents are frozen from here on.
+  [[nodiscard]] static EncodedMessage wrap(Bytes buffer) {
+    return EncodedMessage(
+        std::make_shared<const Bytes>(std::move(buffer)));
+  }
+
+  [[nodiscard]] bool valid() const { return buffer_ != nullptr; }
+  [[nodiscard]] std::size_t size() const {
+    return buffer_ == nullptr ? 0 : buffer_->size();
+  }
+  [[nodiscard]] BytesView view() const {
+    return buffer_ == nullptr ? BytesView{} : BytesView(*buffer_);
+  }
+
+  // Deep copy for the rare holder that must mutate (corruption model).
+  [[nodiscard]] Bytes copy() const {
+    return buffer_ == nullptr ? Bytes{} : *buffer_;
+  }
+
+  // Number of live references to the shared buffer (tests pin the
+  // zero-copy property through this).
+  [[nodiscard]] long use_count() const { return buffer_.use_count(); }
+
+  friend bool operator==(const EncodedMessage& a, const EncodedMessage& b) {
+    if (a.buffer_ == b.buffer_) return true;
+    if (a.buffer_ == nullptr || b.buffer_ == nullptr) return false;
+    return *a.buffer_ == *b.buffer_;
+  }
+
+ private:
+  explicit EncodedMessage(std::shared_ptr<const Bytes> buffer)
+      : buffer_(std::move(buffer)) {}
+
+  std::shared_ptr<const Bytes> buffer_;
+};
+
+}  // namespace bftbc

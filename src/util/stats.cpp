@@ -9,10 +9,24 @@ void Summary::add(double x) {
   samples_.push_back(x);
   sum_ += x;
   sum_sq_ += x * x;
+  if (samples_.size() == 1) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
   sorted_valid_ = false;
 }
 
 void Summary::merge(const Summary& other) {
+  if (other.samples_.empty()) return;
+  if (samples_.empty()) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
   samples_.insert(samples_.end(), other.samples_.begin(),
                   other.samples_.end());
   sum_ += other.sum_;
@@ -24,15 +38,9 @@ double Summary::mean() const {
   return samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size());
 }
 
-double Summary::min() const {
-  ensure_sorted();
-  return sorted_.empty() ? 0.0 : sorted_.front();
-}
+double Summary::min() const { return samples_.empty() ? 0.0 : min_; }
 
-double Summary::max() const {
-  ensure_sorted();
-  return sorted_.empty() ? 0.0 : sorted_.back();
-}
+double Summary::max() const { return samples_.empty() ? 0.0 : max_; }
 
 double Summary::stddev() const {
   const auto n = static_cast<double>(samples_.size());

@@ -26,6 +26,8 @@ class Summary {
 
   std::size_t count() const { return samples_.size(); }
   double mean() const;
+  // min()/max() are O(1): tracked as running values in add()/merge(),
+  // independent of the sorted-percentile cache.
   double min() const;
   double max() const;
   double stddev() const;
@@ -58,6 +60,9 @@ class Summary {
   mutable bool sorted_valid_ = false;
   double sum_ = 0;
   double sum_sq_ = 0;
+  // Running extrema (meaningful only while samples_ is non-empty).
+  double min_ = 0;
+  double max_ = 0;
 };
 
 // Integer-valued histogram (e.g. "number of phases a write took").

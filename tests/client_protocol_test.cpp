@@ -25,8 +25,8 @@ class ClientProtocolTest : public ::testing::Test {
     for (quorum::ReplicaId r = 0; r < config_.n; ++r) {
       replica_signers_.push_back(
           keystore_.register_principal(quorum::replica_principal(r)));
-      net_.register_node(r, [this, r](sim::NodeId, Bytes payload) {
-        auto env = rpc::Envelope::decode(payload);
+      net_.register_node(r, [this, r](sim::NodeId, const EncodedMessage& payload) {
+        auto env = rpc::Envelope::decode(payload.view());
         if (env.has_value()) requests_[r].push_back(*env);
       });
     }
@@ -410,6 +410,111 @@ TEST_F(ClientProtocolTest, ReplyClaimingWrongReplicaIdRejected) {
     reply_from(0, rpc::MsgType::kReadReply, env->rpc_id, rep.encode());
   }
   EXPECT_FALSE(result.has_value());
+}
+
+// --------------------------------------------- reply-batch amortization
+
+// Wraps already-encoded reply envelopes in a ReplyBatch from replica r
+// (one batch MAC, no per-reply auth) and delivers it to the client.
+class ReplyBatchTest : public ClientProtocolTest {
+ protected:
+  void batch_from(quorum::ReplicaId sender_node, quorum::ReplicaId claimed,
+                  std::vector<Bytes> encoded_replies, bool corrupt = false) {
+    ReplyBatch rb;
+    rb.replica = claimed;
+    rb.replies = std::move(encoded_replies);
+    rb.auth = replica_signers_[claimed].sign(rb.signing_payload()).value();
+    if (corrupt) rb.auth[0] ^= 0x80;
+    rpc::Envelope env;
+    env.type = rpc::MsgType::kReplyBatch;
+    env.sender = quorum::replica_principal(claimed);
+    env.body = rb.encode();
+    net_.send(sender_node, 100, env.encode());
+    sim_.run_until(sim_.now() + sim::kMillisecond);
+  }
+
+  // A correct but auth-less read reply to replica r's latest request,
+  // wrapped in a reply envelope ready for bundling.
+  Bytes authless_read_reply(quorum::ReplicaId r, const Bytes& value,
+                            const PrepareCertificate& cert) {
+    const auto* env = last_request(r, rpc::MsgType::kRead);
+    auto req = ReadRequest::decode(env->body);
+    ReadReply rep = correct_read_reply(r, *req, value, cert);
+    rep.auth.clear();  // covered by the batch MAC instead
+    rpc::Envelope reply;
+    reply.type = rpc::MsgType::kReadReply;
+    reply.rpc_id = env->rpc_id;
+    reply.sender = quorum::replica_principal(r);
+    reply.body = rep.encode();
+    return reply.encode();
+  }
+};
+
+TEST_F(ReplyBatchTest, AcceptsAuthlessRepliesUnderBatchMac) {
+  std::optional<Result<Client::ReadResult>> result;
+  client_->read(kObj, [&](Result<Client::ReadResult> r) { result = std::move(r); });
+  ASSERT_TRUE(wait_requests(rpc::MsgType::kRead));
+
+  const Bytes value = to_bytes("stored");
+  const auto cert = mint_prep_cert({1, 2}, crypto::sha256(value));
+  for (quorum::ReplicaId r = 0; r < config_.q; ++r) {
+    batch_from(r, r, {authless_read_reply(r, value, cert)});
+  }
+  ASSERT_TRUE(result.has_value());
+  ASSERT_TRUE(result->is_ok());
+  EXPECT_EQ(to_string(result->value().value), "stored");
+  EXPECT_EQ(client_->metrics().get("reply_batches"), 3u);
+}
+
+TEST_F(ReplyBatchTest, RejectsAuthlessReplyOutsideBatch) {
+  std::optional<Result<Client::ReadResult>> result;
+  client_->read(kObj, [&](Result<Client::ReadResult> r) { result = std::move(r); });
+  ASSERT_TRUE(wait_requests(rpc::MsgType::kRead));
+
+  const Bytes value = to_bytes("v");
+  const auto cert = mint_prep_cert({1, 2}, crypto::sha256(value));
+  // The same auth-less replies delivered bare (no batch frame): the
+  // empty authenticator must never be accepted.
+  for (quorum::ReplicaId r = 0; r < config_.n; ++r) {
+    const auto* env = last_request(r, rpc::MsgType::kRead);
+    auto req = ReadRequest::decode(env->body);
+    ReadReply rep = correct_read_reply(r, *req, value, cert);
+    rep.auth.clear();
+    reply_from(r, rpc::MsgType::kReadReply, env->rpc_id, rep.encode());
+  }
+  EXPECT_FALSE(result.has_value());
+}
+
+TEST_F(ReplyBatchTest, RejectsBatchWithBadMac) {
+  std::optional<Result<Client::ReadResult>> result;
+  client_->read(kObj, [&](Result<Client::ReadResult> r) { result = std::move(r); });
+  ASSERT_TRUE(wait_requests(rpc::MsgType::kRead));
+
+  const Bytes value = to_bytes("v");
+  const auto cert = mint_prep_cert({1, 2}, crypto::sha256(value));
+  for (quorum::ReplicaId r = 0; r < config_.q; ++r) {
+    batch_from(r, r, {authless_read_reply(r, value, cert)},
+               /*corrupt=*/true);
+  }
+  EXPECT_FALSE(result.has_value());
+  EXPECT_EQ(client_->metrics().get("reply_batches"), 0u);
+}
+
+TEST_F(ReplyBatchTest, RejectsBatchClaimingAnotherReplica) {
+  std::optional<Result<Client::ReadResult>> result;
+  client_->read(kObj, [&](Result<Client::ReadResult> r) { result = std::move(r); });
+  ASSERT_TRUE(wait_requests(rpc::MsgType::kRead));
+
+  const Bytes value = to_bytes("v");
+  const auto cert = mint_prep_cert({1, 2}, crypto::sha256(value));
+  // Byzantine replica 0 ships batches claiming (and correctly signed as)
+  // replicas 1..3 — but they arrive from node 0, so the claimed identity
+  // does not match the wire sender and the whole batch is dropped.
+  for (quorum::ReplicaId claimed = 1; claimed < config_.n; ++claimed) {
+    batch_from(0, claimed, {authless_read_reply(claimed, value, cert)});
+  }
+  EXPECT_FALSE(result.has_value());
+  EXPECT_EQ(client_->metrics().get("reply_batches"), 0u);
 }
 
 }  // namespace

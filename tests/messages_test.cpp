@@ -388,5 +388,40 @@ TEST(MessagesTest, PrepareRequestRejectsTamperedOptionalWriteCert) {
   EXPECT_FALSE(PrepareRequest::decode(std::move(w).take()).has_value());
 }
 
+TEST(MessagesTest, ReplyBatchRoundtrip) {
+  ReplyBatch rb;
+  rb.replica = 2;
+  rb.replies = {to_bytes("encoded-env-1"), to_bytes("encoded-env-2")};
+  rb.auth = to_bytes("mac");
+  auto d = ReplyBatch::decode(rb.encode());
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->replica, 2u);
+  ASSERT_EQ(d->replies.size(), 2u);
+  EXPECT_EQ(to_string(d->replies[1]), "encoded-env-2");
+  EXPECT_EQ(to_string(d->auth), "mac");
+  // The signing payload covers the replica id and every bundled reply.
+  ReplyBatch other = rb;
+  other.replies[0] = to_bytes("encoded-env-X");
+  EXPECT_NE(to_string(rb.signing_payload()),
+            to_string(other.signing_payload()));
+  other = rb;
+  other.replica = 3;
+  EXPECT_NE(to_string(rb.signing_payload()),
+            to_string(other.signing_payload()));
+}
+
+TEST(MessagesTest, ReplyBatchRejectsTruncationAndTrailingGarbage) {
+  ReplyBatch rb;
+  rb.replica = 1;
+  rb.replies = {to_bytes("r")};
+  rb.auth = to_bytes("mac");
+  Bytes wire = rb.encode();
+  Bytes truncated(wire.begin(), wire.end() - 1);
+  EXPECT_FALSE(ReplyBatch::decode(truncated).has_value());
+  Bytes padded = wire;
+  padded.push_back(0x00);
+  EXPECT_FALSE(ReplyBatch::decode(padded).has_value());
+}
+
 }  // namespace
 }  // namespace bftbc::core

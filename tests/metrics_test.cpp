@@ -202,6 +202,53 @@ TEST(SummaryTest, AddAfterReadInvalidatesSortCache) {
   EXPECT_DOUBLE_EQ(s.percentile(1.0), 100.0);
 }
 
+// min()/max() are O(1) running values; interleaving reads with further
+// record()s must keep them — and the percentiles — coherent at every
+// step (a stale sorted cache or stale extrema would diverge here).
+TEST(SummaryTest, MinMaxPercentileAfterInterleavedRecordRead) {
+  Summary s;
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);  // empty sentinel
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+
+  s.add(4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 4.0);
+
+  s.add(-2.0);  // record after a read: new minimum
+  EXPECT_DOUBLE_EQ(s.min(), -2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+
+  s.add(10.0);  // and a new maximum
+  EXPECT_DOUBLE_EQ(s.max(), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), -2.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.median(), 4.0);
+
+  s.add(3.0);  // interior sample: extrema unchanged, median moves
+  EXPECT_DOUBLE_EQ(s.min(), -2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 10.0);
+  EXPECT_DOUBLE_EQ(s.median(), 4.0);  // nearest-rank of {-2,3,4,10}
+
+  Summary other;
+  other.add(-7.0);
+  other.add(1.0);
+  s.merge(other);  // merge folds the other summary's extrema in
+  EXPECT_DOUBLE_EQ(s.min(), -7.0);
+  EXPECT_DOUBLE_EQ(s.max(), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), -7.0);
+
+  Summary into_empty;
+  into_empty.merge(s);  // merge into an empty summary adopts extrema
+  EXPECT_DOUBLE_EQ(into_empty.min(), -7.0);
+  EXPECT_DOUBLE_EQ(into_empty.max(), 10.0);
+
+  s.merge(Summary{});  // merging an empty summary is a no-op
+  EXPECT_DOUBLE_EQ(s.min(), -7.0);
+  EXPECT_DOUBLE_EQ(s.max(), 10.0);
+  EXPECT_EQ(s.count(), 6u);
+}
+
 TEST(SummaryTest, SnapshotMatchesDirectReads) {
   Summary s;
   for (int i = 1; i <= 100; ++i) s.add(i);

@@ -14,8 +14,8 @@ class QuorumCallTest : public ::testing::Test {
         transport_(net_, 99) {
     // Four fake replicas recording what they receive.
     for (sim::NodeId n = 0; n < 4; ++n) {
-      net_.register_node(n, [this, n](sim::NodeId, Bytes payload) {
-        auto env = Envelope::decode(payload);
+      net_.register_node(n, [this, n](sim::NodeId, const EncodedMessage& payload) {
+        auto env = Envelope::decode(payload.view());
         if (env.has_value()) received_[n].push_back(*env);
       });
     }
@@ -204,6 +204,59 @@ TEST_F(QuorumCallTest, DestructionCancelsTimers) {
   for (sim::NodeId n = 0; n < 4; ++n) {
     EXPECT_EQ(received_[n].size(), 1u);
   }
+}
+
+// Encode-once accounting: one QuorumCall fan-out serializes the request
+// exactly once and ships the shared buffer to every target — N sends,
+// N × wire-size bytes, one encode_calls tick.
+TEST_F(QuorumCallTest, EncodeOnceFanOutAccounting) {
+  const Envelope req = request();
+  const std::size_t wire_size = req.encode().size();
+  QuorumCall call(
+      sim_, transport_, {0, 1, 2, 3}, 3, req,
+      [](std::uint32_t, const Envelope&) { return true; }, [] {});
+  sim_.run_until(200);
+  EXPECT_EQ(net_.counters().get("msgs_sent"), 4u);
+  EXPECT_EQ(net_.counters().get("encode_calls"), 1u);
+  EXPECT_EQ(net_.counters().get("bytes_sent"), 4u * wire_size);
+}
+
+TEST_F(QuorumCallTest, InitialFanoutRestrictsFirstTransmit) {
+  QuorumCallOptions opts;
+  opts.initial_fanout = 3;
+  QuorumCall call(
+      sim_, transport_, {0, 1, 2, 3}, 3, request(),  // rpc_id 7 % 4 = 3
+      [](std::uint32_t, const Envelope&) { return true; }, [] {}, nullptr,
+      opts);
+  sim_.run_until(200);
+  // Rotation starts at rpc_id % n = 3: replicas 3, 0, 1 are contacted,
+  // replica 2 is spared.
+  EXPECT_EQ(received_[3].size(), 1u);
+  EXPECT_EQ(received_[0].size(), 1u);
+  EXPECT_EQ(received_[1].size(), 1u);
+  EXPECT_EQ(received_[2].size(), 0u);
+  EXPECT_EQ(net_.counters().get("msgs_sent"), 3u);
+}
+
+TEST_F(QuorumCallTest, RetransmitExpandsPastInitialFanout) {
+  QuorumCallOptions opts;
+  opts.initial_fanout = 3;
+  opts.retransmit_period = 1000;
+  QuorumCall call(
+      sim_, transport_, {0, 1, 2, 3}, 3, request(),
+      [](std::uint32_t, const Envelope&) { return true; }, [] {}, nullptr,
+      opts);
+  sim_.run_until(150);
+  ASSERT_EQ(received_[2].size(), 0u);  // spared on the first transmit
+  // Two preferred replicas answer, one stays silent: the retransmit goes
+  // to every not-yet-accepted replica, reaching the spared one too.
+  call.on_reply(3, reply_env(7, "a"));
+  call.on_reply(0, reply_env(7, "b"));
+  sim_.run_until(1500);
+  EXPECT_EQ(received_[2].size(), 1u);  // now contacted
+  EXPECT_EQ(received_[1].size(), 2u);  // initial + retransmit
+  EXPECT_EQ(received_[3].size(), 1u);  // responders are not re-contacted
+  EXPECT_EQ(received_[0].size(), 1u);
 }
 
 TEST_F(QuorumCallTest, AcceptedBitmapTracksRepliers) {

@@ -114,9 +114,9 @@ class NetworkTest : public ::testing::Test {
 
 TEST_F(NetworkTest, DeliversRegisteredNode) {
   std::vector<std::string> got;
-  net_.register_node(1, [&](NodeId from, Bytes payload) {
+  net_.register_node(1, [&](NodeId from, const EncodedMessage& payload) {
     EXPECT_EQ(from, 0u);
-    got.push_back(to_string(payload));
+    got.push_back(to_string(payload.view()));
   });
   net_.send(0, 1, to_bytes("hi"));
   sim_.run();
@@ -136,7 +136,8 @@ TEST_F(NetworkTest, DelayRespectsBaseFloor) {
   cfg.jitter_mean = 0;
   net_.set_default_link(cfg);
   Time delivered_at = 0;
-  net_.register_node(1, [&](NodeId, Bytes) { delivered_at = sim_.now(); });
+  net_.register_node(
+      1, [&](NodeId, const EncodedMessage&) { delivered_at = sim_.now(); });
   net_.send(0, 1, to_bytes("x"));
   sim_.run();
   EXPECT_EQ(delivered_at, 1000u);
@@ -147,7 +148,7 @@ TEST_F(NetworkTest, TotalLossDropsEverything) {
   cfg.loss_probability = 1.0;
   net_.set_default_link(cfg);
   int got = 0;
-  net_.register_node(1, [&](NodeId, Bytes) { ++got; });
+  net_.register_node(1, [&](NodeId, const EncodedMessage&) { ++got; });
   for (int i = 0; i < 20; ++i) net_.send(0, 1, to_bytes("x"));
   sim_.run();
   EXPECT_EQ(got, 0);
@@ -159,7 +160,7 @@ TEST_F(NetworkTest, PartialLossApproximatesProbability) {
   cfg.loss_probability = 0.3;
   net_.set_default_link(cfg);
   int got = 0;
-  net_.register_node(1, [&](NodeId, Bytes) { ++got; });
+  net_.register_node(1, [&](NodeId, const EncodedMessage&) { ++got; });
   for (int i = 0; i < 2000; ++i) net_.send(0, 1, to_bytes("x"));
   sim_.run();
   EXPECT_GT(got, 1250);
@@ -171,7 +172,7 @@ TEST_F(NetworkTest, DuplicationDeliversTwice) {
   cfg.duplicate_probability = 1.0;
   net_.set_default_link(cfg);
   int got = 0;
-  net_.register_node(1, [&](NodeId, Bytes) { ++got; });
+  net_.register_node(1, [&](NodeId, const EncodedMessage&) { ++got; });
   net_.send(0, 1, to_bytes("x"));
   sim_.run();
   EXPECT_EQ(got, 2);
@@ -182,7 +183,8 @@ TEST_F(NetworkTest, CorruptionFlipsBytes) {
   cfg.corrupt_probability = 1.0;
   net_.set_default_link(cfg);
   Bytes got;
-  net_.register_node(1, [&](NodeId, Bytes payload) { got = payload; });
+  net_.register_node(
+      1, [&](NodeId, const EncodedMessage& payload) { got = payload.copy(); });
   net_.send(0, 1, to_bytes("AAAA"));
   sim_.run();
   ASSERT_EQ(got.size(), 4u);
@@ -195,8 +197,8 @@ TEST_F(NetworkTest, JitterReordersMessages) {
   cfg.jitter_mean = 10000;
   net_.set_default_link(cfg);
   std::vector<int> arrival;
-  net_.register_node(1, [&](NodeId, Bytes payload) {
-    arrival.push_back(payload[0]);
+  net_.register_node(1, [&](NodeId, const EncodedMessage& payload) {
+    arrival.push_back(payload.view()[0]);
   });
   for (int i = 0; i < 50; ++i) net_.send(0, 1, Bytes{std::uint8_t(i)});
   sim_.run();
@@ -206,8 +208,8 @@ TEST_F(NetworkTest, JitterReordersMessages) {
 
 TEST_F(NetworkTest, PartitionBlocksBothDirections) {
   int got = 0;
-  net_.register_node(1, [&](NodeId, Bytes) { ++got; });
-  net_.register_node(2, [&](NodeId, Bytes) { ++got; });
+  net_.register_node(1, [&](NodeId, const EncodedMessage&) { ++got; });
+  net_.register_node(2, [&](NodeId, const EncodedMessage&) { ++got; });
   net_.partition(1, 2);
   EXPECT_TRUE(net_.is_partitioned(1, 2));
   EXPECT_TRUE(net_.is_partitioned(2, 1));
@@ -225,7 +227,7 @@ TEST_F(NetworkTest, PartitionBlocksBothDirections) {
 TEST_F(NetworkTest, PartitionGroupAndHealAll) {
   int got = 0;
   for (NodeId n : {1u, 2u, 3u, 4u}) {
-    net_.register_node(n, [&](NodeId, Bytes) { ++got; });
+    net_.register_node(n, [&](NodeId, const EncodedMessage&) { ++got; });
   }
   net_.partition_group({1, 2}, {3, 4});
   net_.send(1, 3, to_bytes("x"));
@@ -241,7 +243,7 @@ TEST_F(NetworkTest, PartitionGroupAndHealAll) {
 
 TEST_F(NetworkTest, CrashedNodeDropsDeliveries) {
   int got = 0;
-  net_.register_node(1, [&](NodeId, Bytes) { ++got; });
+  net_.register_node(1, [&](NodeId, const EncodedMessage&) { ++got; });
   net_.crash(1);
   net_.send(0, 1, to_bytes("x"));
   sim_.run();
@@ -259,7 +261,7 @@ TEST_F(NetworkTest, CrashMidFlightDropsAtDelivery) {
   cfg.jitter_mean = 0;
   net_.set_default_link(cfg);
   int got = 0;
-  net_.register_node(1, [&](NodeId, Bytes) { ++got; });
+  net_.register_node(1, [&](NodeId, const EncodedMessage&) { ++got; });
   net_.send(0, 1, to_bytes("x"));
   net_.crash(1);
   sim_.run();
@@ -267,7 +269,7 @@ TEST_F(NetworkTest, CrashMidFlightDropsAtDelivery) {
 }
 
 TEST_F(NetworkTest, CountersTrackTraffic) {
-  net_.register_node(1, [](NodeId, Bytes) {});
+  net_.register_node(1, [](NodeId, const EncodedMessage&) {});
   net_.send(0, 1, to_bytes("abcde"));
   sim_.run();
   EXPECT_EQ(net_.counters().get("msgs_sent"), 1u);
@@ -284,8 +286,8 @@ TEST_F(NetworkTest, DeterministicAcrossRuns) {
     cfg.duplicate_probability = 0.1;
     Network net(sim, Rng(seed), cfg);
     std::vector<std::pair<Time, std::uint8_t>> log;
-    net.register_node(1, [&](NodeId, Bytes p) {
-      log.emplace_back(sim.now(), p[0]);
+    net.register_node(1, [&](NodeId, const EncodedMessage& p) {
+      log.emplace_back(sim.now(), p.view()[0]);
     });
     for (int i = 0; i < 100; ++i) net.send(0, 1, Bytes{std::uint8_t(i)});
     sim.run();
