@@ -132,7 +132,7 @@ CheckResult check_bft_linearizability(const History& history,
       }
     }
 
-    sim::Time last_surface_inv = 0;
+    std::vector<std::pair<ObjectId, Version>> lurkers;
     for (const auto& [object, versions] : candidates) {
       for (const Version& v : versions) {
         if (surfaced_before[object].count(v) != 0) continue;  // pre-stop
@@ -144,19 +144,26 @@ CheckResult check_bft_linearizability(const History& history,
         }
         ++info.count;
         info.versions.push_back(v);
-        last_surface_inv =
-            std::max(last_surface_inv, first_after[object][v]);
+        lurkers.emplace_back(object, v);
       }
     }
 
-    // §7 metric: correct-client writes completed in (stop, last surface).
-    if (info.count > 0) {
+    // §7 metric, per object: overwrite masking only works through writes
+    // to the SAME object (a write to another object cannot invalidate a
+    // prepared lurking write). For each lurking version, count the
+    // correct-client writes to its object completed in (stop, first
+    // surface); report the worst case.
+    for (const auto& [object, v] : lurkers) {
+      const sim::Time surfaced_at = first_after[object][v];
+      int overwrites = 0;
       for (const auto& op : ops) {
-        if (op.kind == OpKind::kWrite && op.responded >= stop.at &&
-            op.responded < last_surface_inv) {
-          ++info.overwrites_before_last_surface;
+        if (op.kind == OpKind::kWrite && op.object == object &&
+            op.responded >= stop.at && op.responded < surfaced_at) {
+          ++overwrites;
         }
       }
+      info.overwrites_before_last_surface =
+          std::max(info.overwrites_before_last_surface, overwrites);
     }
 
     // Merge if the same client somehow stopped twice.

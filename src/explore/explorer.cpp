@@ -1,0 +1,587 @@
+#include "explore/explorer.h"
+
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <set>
+#include <utility>
+
+#include "checker/bft_linearizability.h"
+#include "checker/history.h"
+#include "faults/byzantine_client.h"
+#include "faults/byzantine_replica.h"
+#include "harness/cluster.h"
+#include "harness/recording.h"
+#include "metrics/json.h"
+
+namespace bftbc::explore {
+
+namespace {
+
+template <typename T>
+harness::ReplicaFactory byz_factory() {
+  return [](const quorum::QuorumConfig& config, quorum::ReplicaId id,
+            crypto::Keystore& keystore, rpc::Transport& transport,
+            sim::Simulator& simulator,
+            const core::ReplicaOptions& opts) -> std::unique_ptr<core::Replica> {
+    return std::make_unique<T>(config, id, keystore, transport, simulator,
+                               opts);
+  };
+}
+
+harness::ReplicaFactory make_factory(ByzSpecies species) {
+  switch (species) {
+    case ByzSpecies::kSilent:
+      return byz_factory<faults::SilentReplica>();
+    case ByzSpecies::kStale:
+      return byz_factory<faults::StaleReplica>();
+    case ByzSpecies::kGarbageSig:
+      return byz_factory<faults::GarbageSigReplica>();
+    case ByzSpecies::kEquivocSign:
+      return byz_factory<faults::EquivocSignReplica>();
+    case ByzSpecies::kFlipValue:
+      return byz_factory<faults::FlipValueReplica>();
+  }
+  return byz_factory<faults::SilentReplica>();
+}
+
+// One workload client mid-flight: its plan, harness client, private rng,
+// and the number of ops it will actually issue (shorter when the plan
+// stops it mid-run).
+struct WorkloadClient {
+  const ClientPlan* plan = nullptr;
+  core::Client* client = nullptr;
+  Rng rng;
+  std::uint32_t target = 0;
+  // An op of this client timed out: its write may still be in flight, so
+  // the client cannot be certified quiescent and must not be stopped.
+  bool aborted = false;
+};
+
+}  // namespace
+
+std::string Explorer::failure_class(const std::string& failure) {
+  const std::size_t colon = failure.find(':');
+  return colon == std::string::npos ? failure : failure.substr(0, colon);
+}
+
+RunOutcome Explorer::run_scenario(const Scenario& s, std::ostream* trace_out) {
+  RunOutcome out;
+
+  harness::ClusterOptions copts;
+  copts.f = s.f;
+  copts.optimized = s.mode == Mode::kOptimized;
+  copts.strong = s.mode == Mode::kStrong;
+  copts.seed = s.seed;
+  copts.link.loss_probability = s.loss;
+  copts.link.duplicate_probability = s.dup;
+  copts.link.corrupt_probability = s.corrupt;
+  copts.link.base_delay = s.base_delay;
+  copts.link.jitter_mean = s.jitter_mean;
+  // Install Byzantine replicas. Within the fault budget at most f slots
+  // are filled; enforce_fault_budget=false is the deliberately-weakened
+  // configuration (the explorer's own canary) and installs them all.
+  std::set<std::uint32_t> byz_slots;
+  for (const ByzReplicaSlot& b : s.byz_replicas) {
+    if (s.enforce_fault_budget && byz_slots.size() >= s.f) break;
+    if (b.slot >= s.n()) continue;
+    copts.replica_factories[b.slot] = make_factory(b.species);
+    byz_slots.insert(b.slot);
+  }
+
+  harness::Cluster cluster(copts);
+  checker::History history;
+  harness::Recorder rec(cluster, history);
+
+  // Liveness failures accumulate first-wins; a safety failure recorded at
+  // the end overrides (it is the headline, and the class shrinking must
+  // preserve).
+  auto fail = [&out](std::string msg) {
+    if (out.failure.empty()) out.failure = std::move(msg);
+  };
+
+  // --- Phase A: the probe client seeds every object. -------------------
+  core::Client& probe = cluster.add_client(kProbeClient);
+  for (quorum::ObjectId obj = 1; obj <= s.objects; ++obj) {
+    auto seeded = rec.write(probe, obj, to_bytes("seed-" + std::to_string(obj)));
+    if (!seeded.is_ok() && s.within_fault_budget()) {
+      fail("liveness: seed write failed on object " + std::to_string(obj));
+    }
+  }
+
+  // --- Phase B: construct attack actors and schedule their attacks. ----
+  std::vector<std::unique_ptr<rpc::Transport>> attack_transports;
+  std::vector<std::unique_ptr<faults::AttackClientBase>> attackers;
+  std::vector<char> attack_done(s.attacks.size(), 0);
+  std::vector<std::vector<rpc::Envelope>> stashes(s.attacks.size());
+
+  for (std::size_t i = 0; i < s.attacks.size(); ++i) {
+    const AttackPlan plan = s.attacks[i];
+    attack_transports.push_back(
+        cluster.make_transport(harness::client_node(plan.id)));
+    rpc::Transport& transport = *attack_transports.back();
+    const sim::Time start = (10 + 15 * static_cast<sim::Time>(i)) *
+                            sim::kMillisecond;
+    switch (plan.kind) {
+      case AttackKind::kEquivocate: {
+        auto actor = std::make_unique<faults::EquivocatorClient>(
+            cluster.config(), plan.id, cluster.keystore(), transport,
+            cluster.sim(), cluster.replica_nodes(), cluster.rng().split());
+        faults::EquivocatorClient* ap = actor.get();
+        attackers.push_back(std::move(actor));
+        cluster.sim().schedule(start, [ap, plan, i, &attack_done] {
+          ap->attack(plan.object, to_bytes("equiv-a"), to_bytes("equiv-b"),
+                     [i, &attack_done](faults::EquivocatorClient::Outcome) {
+                       attack_done[i] = 1;
+                     });
+        });
+        break;
+      }
+      case AttackKind::kPartialWrite: {
+        auto actor = std::make_unique<faults::PartialWriter>(
+            cluster.config(), plan.id, cluster.keystore(), transport,
+            cluster.sim(), cluster.replica_nodes(), cluster.rng().split());
+        faults::PartialWriter* ap = actor.get();
+        attackers.push_back(std::move(actor));
+        cluster.sim().schedule(start, [ap, plan, i, &attack_done] {
+          ap->attack(plan.object, to_bytes("partial"),
+                     [i, &attack_done](bool) { attack_done[i] = 1; });
+        });
+        break;
+      }
+      case AttackKind::kTimestampHog: {
+        auto actor = std::make_unique<faults::TimestampHog>(
+            cluster.config(), plan.id, cluster.keystore(), transport,
+            cluster.sim(), cluster.replica_nodes(), cluster.rng().split());
+        faults::TimestampHog* ap = actor.get();
+        attackers.push_back(std::move(actor));
+        cluster.sim().schedule(start, [ap, plan, i, &attack_done] {
+          ap->attack(plan.object, 1'000'000,
+                     static_cast<int>(plan.goal),
+                     [i, &attack_done](faults::TimestampHog::Outcome) {
+                       attack_done[i] = 1;
+                     });
+        });
+        break;
+      }
+      case AttackKind::kLurkingStash: {
+        auto actor = std::make_unique<faults::LurkingWriteStasher>(
+            cluster.config(), plan.id, cluster.keystore(), transport,
+            cluster.sim(), cluster.replica_nodes(), cluster.rng().split());
+        faults::LurkingWriteStasher* ap = actor.get();
+        attackers.push_back(std::move(actor));
+        auto on_done = [i, plan, &attack_done, &stashes,
+                        &rec](faults::LurkingWriteStasher::Outcome o) {
+          stashes[i] = std::move(o.stashed);
+          // The paper's stop: key revoked, event in the history. Whatever
+          // was stashed before this instant may legally lurk — but only
+          // up to the mode bound.
+          rec.stop_client(plan.id);
+          attack_done[i] = 1;
+        };
+        if (s.mode == Mode::kStrong) {
+          // Strong-mode prepares must justify against the predecessor's
+          // write certificate; anchor on the probe's seed write. Resolve
+          // the certificates at fire time, not scheduling time.
+          quorum::ReplicaId correct = 0;
+          for (quorum::ReplicaId r = 0; r < s.n(); ++r) {
+            if (byz_slots.count(r) == 0) {
+              correct = r;
+              break;
+            }
+          }
+          cluster.sim().schedule(start, [ap, plan, correct, &cluster, &probe,
+                                         on_done] {
+            core::PrepareCertificate just =
+                core::PrepareCertificate::genesis(plan.object);
+            const auto* state = cluster.replica(correct).find_object(plan.object);
+            if (state != nullptr) just = state->pcert();
+            std::optional<core::WriteCertificate> wcert =
+                probe.last_write_cert(plan.object);
+            ap->attack_chained(plan.object, std::move(just), std::move(wcert),
+                               on_done);
+          });
+        } else {
+          const bool optlist = s.mode == Mode::kOptimized;
+          cluster.sim().schedule(start, [ap, plan, optlist, on_done] {
+            ap->attack(plan.object, static_cast<int>(plan.goal), optlist,
+                       on_done);
+          });
+        }
+        break;
+      }
+    }
+  }
+
+  // --- Phase C: correct-client workload. --------------------------------
+  std::vector<WorkloadClient> workload;
+  workload.reserve(s.clients.size());
+  int completed_ops = 0;
+  int failed_ops = 0;
+  int expected_ops = 0;
+  for (const ClientPlan& plan : s.clients) {
+    core::ClientOptions client_opts;
+    // The two-argument add_client does NOT inherit the cluster's mode
+    // flags; set them explicitly or the client would speak base protocol
+    // at optimized/strong replicas.
+    client_opts.optimized = copts.optimized;
+    client_opts.strong = copts.strong;
+    if (plan.pipelined) client_opts.max_inflight = plan.window;
+    core::Client& c = cluster.add_client(plan.id, client_opts);
+    std::uint32_t target = plan.ops;
+    if (!plan.pipelined && plan.stop_after_ops > 0 &&
+        plan.stop_after_ops < plan.ops) {
+      target = plan.stop_after_ops;
+    }
+    workload.push_back({&plan, &c, cluster.rng().split(), target});
+    expected_ops += static_cast<int>(target);
+  }
+
+  // Sequential clients run op k+1 from op k's completion callback, so a
+  // mid-run stop always lands between operations — never across one.
+  std::function<void(std::size_t, std::uint32_t)> step =
+      [&](std::size_t ci, std::uint32_t op) {
+        WorkloadClient& wc = workload[ci];
+        if (op >= wc.target) {
+          // The administrator's stop is a distinct later event, not part
+          // of the final op's completion instant: defer it one tick so
+          // the checker's frontier (strict responded < stop.at) includes
+          // everything this client completed. A client with a timed-out
+          // op is skipped — its write may still be in flight, which is a
+          // legal lurking write, not the quiescent stop being modeled.
+          if (wc.target < wc.plan->ops && !wc.aborted) {
+            const quorum::ClientId id = wc.plan->id;
+            cluster.sim().schedule(sim::kMillisecond,
+                                   [&rec, id] { rec.stop_client(id); });
+          }
+          return;
+        }
+        const quorum::ObjectId object =
+            1 + static_cast<quorum::ObjectId>(wc.rng.next_below(s.objects));
+        if (wc.rng.next_bool(wc.plan->write_ratio)) {
+          const Bytes value = to_bytes("c" + std::to_string(wc.plan->id) +
+                                       "-w" + std::to_string(op));
+          const std::size_t token = history.begin_write(
+              wc.plan->id, object, cluster.sim().now(), value);
+          wc.client->write(object, value,
+                           [&, ci, op, token](Result<core::Client::WriteResult> r) {
+                             if (r.is_ok()) {
+                               history.end_write(token, cluster.sim().now(),
+                                                 r.value().ts);
+                               ++completed_ops;
+                             } else {
+                               history.abort(token);
+                               ++failed_ops;
+                               workload[ci].aborted = true;
+                             }
+                             step(ci, op + 1);
+                           });
+        } else {
+          const std::size_t token =
+              history.begin_read(wc.plan->id, object, cluster.sim().now());
+          wc.client->read(object,
+                          [&, ci, op, token](Result<core::Client::ReadResult> r) {
+                            if (r.is_ok()) {
+                              history.end_read(token, cluster.sim().now(),
+                                               r.value().ts, r.value().hash,
+                                               r.value().value);
+                              ++completed_ops;
+                            } else {
+                              history.abort(token);
+                              ++failed_ops;
+                              workload[ci].aborted = true;
+                            }
+                            step(ci, op + 1);
+                          });
+        }
+      };
+
+  for (std::size_t ci = 0; ci < workload.size(); ++ci) {
+    WorkloadClient& wc = workload[ci];
+    if (!wc.plan->pipelined) {
+      step(ci, 0);
+      continue;
+    }
+    // Pipelined clients queue their whole write burst up front; the
+    // client's FIFO per-object pipeline bounds the in-flight window.
+    for (std::uint32_t op = 0; op < wc.target; ++op) {
+      const quorum::ObjectId object =
+          1 + static_cast<quorum::ObjectId>(wc.rng.next_below(s.objects));
+      const Bytes value = to_bytes("c" + std::to_string(wc.plan->id) + "-p" +
+                                   std::to_string(op));
+      const std::size_t token =
+          history.begin_write(wc.plan->id, object, cluster.sim().now(), value);
+      wc.client->submit_write(object, value,
+                              [&, token](Result<core::Client::WriteResult> r) {
+                                if (r.is_ok()) {
+                                  history.end_write(token, cluster.sim().now(),
+                                                    r.value().ts);
+                                  ++completed_ops;
+                                } else {
+                                  history.abort(token);
+                                  ++failed_ops;
+                                }
+                              });
+    }
+  }
+
+  // --- Phase D: partition windows (delays relative to workload start). --
+  std::vector<sim::NodeId> party_nodes;
+  party_nodes.push_back(harness::client_node(kProbeClient));
+  for (const ClientPlan& plan : s.clients)
+    party_nodes.push_back(harness::client_node(plan.id));
+  for (const AttackPlan& plan : s.attacks)
+    party_nodes.push_back(harness::client_node(plan.id));
+  for (const PartitionPlan& p : s.partitions) {
+    if (p.replica >= s.n()) continue;
+    cluster.sim().schedule(p.at, [&cluster, &party_nodes, p] {
+      for (sim::NodeId node : party_nodes) cluster.net().partition(p.replica, node);
+    });
+    cluster.sim().schedule(p.heal_at, [&cluster, &party_nodes, p] {
+      for (sim::NodeId node : party_nodes) cluster.net().heal(p.replica, node);
+    });
+  }
+
+  // --- Phase E: run to quiescence (bounded). ----------------------------
+  const bool finished = cluster.run_until(
+      [&] {
+        if (completed_ops + failed_ops < expected_ops) return false;
+        for (char done : attack_done) {
+          if (!done) return false;
+        }
+        return true;
+      },
+      20'000'000);
+  out.completed = finished;
+  if (!finished && s.within_fault_budget()) {
+    fail("liveness: workload/attacks did not quiesce within the event budget");
+  }
+  if (failed_ops > 0 && s.within_fault_budget() && s.partitions.empty()) {
+    fail("liveness: " + std::to_string(failed_ops) +
+         " correct-client operation(s) failed");
+  }
+
+  if (finished) {
+    cluster.net().heal_all();
+    // Drain deferred stop events (and any message tails) before the
+    // replay/read phases, so every stop is recorded ahead of the reads
+    // that probe for lurking writes.
+    cluster.settle();
+
+    // --- Phase F: staged colluder replay after the stop. ----------------
+    // Each stashed envelope is unleashed separately with a probe read in
+    // between: every lurking write the replay manages to land must
+    // surface as a distinct post-stop version, which is exactly what the
+    // checker's Theorem-1 frontier counts.
+    for (std::size_t i = 0; i < s.attacks.size(); ++i) {
+      const AttackPlan plan = s.attacks[i];
+      if (plan.kind != AttackKind::kLurkingStash || !plan.collude_replay)
+        continue;
+      auto colluder_transport = cluster.make_transport(
+          harness::client_node(kColluderNodeBase + static_cast<quorum::ClientId>(i)));
+      for (rpc::Envelope& env : stashes[i]) {
+        faults::Colluder colluder(*colluder_transport,
+                                  cluster.replica_nodes());
+        colluder.stash(env);
+        colluder.unleash(2);
+        cluster.settle();
+        auto probed = rec.read(probe, plan.object);
+        if (!probed.is_ok() && s.within_fault_budget()) {
+          fail("liveness: probe read failed during colluder replay");
+        }
+      }
+    }
+
+    // --- Phase G: final quiescent reads over every object. --------------
+    for (quorum::ObjectId obj = 1; obj <= s.objects; ++obj) {
+      auto final_read = rec.read(probe, obj);
+      if (!final_read.is_ok() && s.within_fault_budget()) {
+        fail("liveness: final read failed on object " + std::to_string(obj));
+      }
+    }
+  }
+
+  // --- Verdict. ---------------------------------------------------------
+  std::set<checker::ClientId> bad_clients;
+  for (const AttackPlan& plan : s.attacks) bad_clients.insert(plan.id);
+  const checker::CheckResult check =
+      checker::check_bft_linearizability(history, bad_clients);
+  out.max_lurking = check.max_lurking();
+  out.safety_ok = s.mode == Mode::kStrong ? check.ok_plus(s.max_b(), 2)
+                                          : check.ok(s.max_b());
+  if (!out.safety_ok) out.failure = "safety: " + check.summary();
+
+  out.events = cluster.sim().executed_events();
+  out.history_ops = history.completed_count();
+  if (trace_out != nullptr) cluster.dump_trace(*trace_out);
+  return out;
+}
+
+Scenario Explorer::shrink(const Scenario& scenario, const std::string& failure,
+                          std::uint32_t* runs_used) {
+  Scenario best = scenario;
+  const std::string cls = failure_class(failure);
+  std::uint32_t used = 0;
+
+  auto reproduces = [&](const Scenario& candidate) {
+    if (used >= options_.shrink_budget) return false;
+    ++used;
+    const RunOutcome outcome = run_scenario(candidate);
+    return outcome.failed() && failure_class(outcome.failure) == cls;
+  };
+
+  // Single greedy pass, most-structural first. Each accepted edit keeps
+  // the failure class reproducing; each rejected edit is rolled back.
+  for (std::size_t i = best.clients.size(); i-- > 0;) {
+    Scenario candidate = best;
+    candidate.clients.erase(candidate.clients.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+    if (reproduces(candidate)) best = std::move(candidate);
+  }
+  for (std::size_t i = best.attacks.size(); i-- > 0;) {
+    Scenario candidate = best;
+    candidate.attacks.erase(candidate.attacks.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+    if (reproduces(candidate)) best = std::move(candidate);
+  }
+  for (std::size_t i = best.byz_replicas.size(); i-- > 0;) {
+    Scenario candidate = best;
+    candidate.byz_replicas.erase(candidate.byz_replicas.begin() +
+                                 static_cast<std::ptrdiff_t>(i));
+    if (reproduces(candidate)) best = std::move(candidate);
+  }
+  for (std::size_t i = best.partitions.size(); i-- > 0;) {
+    Scenario candidate = best;
+    candidate.partitions.erase(candidate.partitions.begin() +
+                               static_cast<std::ptrdiff_t>(i));
+    if (reproduces(candidate)) best = std::move(candidate);
+  }
+  // Halve durations (op counts, stash goals) while it still reproduces.
+  while (true) {
+    Scenario candidate = best;
+    bool any = false;
+    for (ClientPlan& plan : candidate.clients) {
+      if (plan.ops > 1) {
+        plan.ops /= 2;
+        if (plan.stop_after_ops >= plan.ops) plan.stop_after_ops = 0;
+        any = true;
+      }
+    }
+    for (AttackPlan& plan : candidate.attacks) {
+      if (plan.goal > 2) {
+        plan.goal /= 2;
+        any = true;
+      }
+    }
+    if (!any || !reproduces(candidate)) break;
+    best = std::move(candidate);
+  }
+  // Quiet the link once — noise is rarely load-bearing for a violation.
+  if (best.loss > 0 || best.dup > 0 || best.corrupt > 0) {
+    Scenario candidate = best;
+    candidate.loss = candidate.dup = candidate.corrupt = 0;
+    if (reproduces(candidate)) best = std::move(candidate);
+  }
+
+  if (runs_used != nullptr) *runs_used = used;
+  return best;
+}
+
+Report Explorer::explore() {
+  Report report;
+  report.seed = options_.seed;
+  report.runs = options_.runs;
+  Rng meta(options_.seed);
+  for (std::uint32_t i = 0; i < options_.runs; ++i) {
+    const std::uint64_t run_seed = meta.next_u64();
+    const Scenario scenario = Scenario::sample(run_seed);
+    RunRecord record;
+    record.run = i;
+    record.seed = run_seed;
+    record.scenario = scenario.name();
+    record.outcome = run_scenario(scenario);
+    if (record.outcome.failed()) {
+      ++report.failures;
+      std::uint32_t used = 0;
+      const Scenario minimal =
+          shrink(scenario, record.outcome.failure, &used);
+      record.minimal_json = minimal.to_json();
+      record.shrink_runs = used;
+      if (!options_.artifacts_dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(options_.artifacts_dir, ec);
+        const std::string base = options_.artifacts_dir + "/scenario_seed" +
+                                 std::to_string(run_seed);
+        {
+          std::ofstream json_out(base + ".json");
+          json_out << record.minimal_json << "\n";
+        }
+        {
+          std::ofstream trace(base + ".trace");
+          const RunOutcome replay = run_scenario(minimal, &trace);
+          trace << "replay failure: "
+                << (replay.failed() ? replay.failure : "(did not reproduce)")
+                << "\n";
+        }
+        report.artifact_files.push_back(base + ".json");
+        report.artifact_files.push_back(base + ".trace");
+      }
+    }
+    report.records.push_back(std::move(record));
+  }
+  return report;
+}
+
+std::string Report::to_json() const {
+  metrics::JsonWriter w;
+  w.begin_object();
+  w.key("explorer");
+  w.begin_object();
+  w.key("seed");
+  w.value(seed);
+  w.key("runs");
+  w.value(static_cast<std::uint64_t>(runs));
+  w.key("failures");
+  w.value(static_cast<std::uint64_t>(failures));
+  w.end_object();
+  w.key("runs_detail");
+  w.begin_array();
+  for (const RunRecord& r : records) {
+    w.begin_object();
+    w.key("run");
+    w.value(static_cast<std::uint64_t>(r.run));
+    w.key("seed");
+    w.value(r.seed);
+    w.key("scenario");
+    w.value(r.scenario);
+    w.key("ok");
+    w.value(!r.outcome.failed());
+    w.key("completed");
+    w.value(r.outcome.completed);
+    w.key("events");
+    w.value(static_cast<std::uint64_t>(r.outcome.events));
+    w.key("ops");
+    w.value(static_cast<std::uint64_t>(r.outcome.history_ops));
+    w.key("max_lurking");
+    w.value(static_cast<std::int64_t>(r.outcome.max_lurking));
+    if (r.outcome.failed()) {
+      w.key("failure");
+      w.value(r.outcome.failure);
+      w.key("shrink_runs");
+      w.value(static_cast<std::uint64_t>(r.shrink_runs));
+      w.key("minimal");
+      w.value(r.minimal_json);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.key("artifacts");
+  w.begin_array();
+  for (const std::string& file : artifact_files) w.value(file);
+  w.end_array();
+  w.end_object();
+  return std::move(w).take();
+}
+
+}  // namespace bftbc::explore

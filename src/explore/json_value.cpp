@@ -1,0 +1,249 @@
+#include "explore/json_value.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace bftbc::explore {
+
+namespace {
+
+// Nesting cap: scenario documents are ~4 levels deep; anything deeper is
+// garbage (or an attack on the replay path) and is rejected, not recursed.
+constexpr int kMaxDepth = 64;
+
+}  // namespace
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> run() {
+    JsonValue v;
+    if (!parse_value(v, 0)) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool eat(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool parse_value(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) return false;
+    skip_ws();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return parse_object(out, depth);
+      case '[':
+        return parse_array(out, depth);
+      case '"':
+        out.kind_ = JsonValue::Kind::kString;
+        return parse_string(out.str_);
+      case 't':
+        out.kind_ = JsonValue::Kind::kBool;
+        out.bool_ = true;
+        return literal("true");
+      case 'f':
+        out.kind_ = JsonValue::Kind::kBool;
+        out.bool_ = false;
+        return literal("false");
+      case 'n':
+        out.kind_ = JsonValue::Kind::kNull;
+        return literal("null");
+      default:
+        return parse_number(out);
+    }
+  }
+
+  bool parse_object(JsonValue& out, int depth) {
+    out.kind_ = JsonValue::Kind::kObject;
+    if (!eat('{')) return false;
+    skip_ws();
+    if (eat('}')) return true;
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      if (!eat(':')) return false;
+      JsonValue v;
+      if (!parse_value(v, depth + 1)) return false;
+      out.obj_.emplace_back(std::move(key), std::move(v));
+      if (eat(',')) continue;
+      return eat('}');
+    }
+  }
+
+  bool parse_array(JsonValue& out, int depth) {
+    out.kind_ = JsonValue::Kind::kArray;
+    if (!eat('[')) return false;
+    skip_ws();
+    if (eat(']')) return true;
+    while (true) {
+      JsonValue v;
+      if (!parse_value(v, depth + 1)) return false;
+      out.arr_.push_back(std::move(v));
+      if (eat(',')) continue;
+      return eat(']');
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return false;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return false;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              return false;
+          }
+          // The emitter only escapes control characters (< 0x20); decode
+          // those exactly and pass anything else through as UTF-8 is not
+          // needed for the scenario schema.
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else {
+            return false;
+          }
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool integral = true;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return false;
+    const std::string token(text_.substr(start, pos_ - start));
+    out.kind_ = JsonValue::Kind::kNumber;
+    char* end = nullptr;
+    out.num_ = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return false;
+    if (integral && token[0] != '-') {
+      // Exact u64 channel: seeds and virtual-time values must survive
+      // the round trip bit-for-bit.
+      errno = 0;
+      out.u64_ = std::strtoull(token.c_str(), &end, 10);
+      out.integral_ =
+          errno == 0 && end == token.c_str() + token.size();
+    }
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+std::optional<JsonValue> JsonValue::parse(std::string_view text) {
+  return JsonParser(text).run();
+}
+
+bool JsonValue::as_bool(bool fallback) const {
+  return kind_ == Kind::kBool ? bool_ : fallback;
+}
+
+double JsonValue::as_double(double fallback) const {
+  return kind_ == Kind::kNumber ? num_ : fallback;
+}
+
+std::uint64_t JsonValue::as_u64(std::uint64_t fallback) const {
+  if (kind_ != Kind::kNumber) return fallback;
+  if (integral_) return u64_;
+  return num_ < 0 ? fallback : static_cast<std::uint64_t>(num_);
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::uint64_t JsonValue::u64(std::string_view key,
+                             std::uint64_t fallback) const {
+  const JsonValue* v = find(key);
+  return v ? v->as_u64(fallback) : fallback;
+}
+
+double JsonValue::num(std::string_view key, double fallback) const {
+  const JsonValue* v = find(key);
+  return v ? v->as_double(fallback) : fallback;
+}
+
+bool JsonValue::boolean(std::string_view key, bool fallback) const {
+  const JsonValue* v = find(key);
+  return v ? v->as_bool(fallback) : fallback;
+}
+
+std::string JsonValue::string(std::string_view key,
+                              std::string fallback) const {
+  const JsonValue* v = find(key);
+  if (!v || v->kind() != Kind::kString) return fallback;
+  return v->as_string();
+}
+
+}  // namespace bftbc::explore

@@ -1,0 +1,67 @@
+// Minimal JSON reader for scenario replay.
+//
+// metrics/json.h is write-only (benches emit, CI scripts consume); the
+// explorer additionally needs to *load* a scenario back from the JSON it
+// dumped (`bftbc_explore --replay scenario.json`). This is a small
+// recursive-descent parser producing an immutable value tree — enough
+// for the scenario schema, not a general-purpose library. Integers are
+// kept in a separate u64 channel so 64-bit seeds and virtual-time
+// nanoseconds round-trip exactly (a double would silently lose precision
+// above 2^53 and break replay determinism).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace bftbc::explore {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  // Parses one JSON document (trailing whitespace allowed, trailing
+  // garbage rejected). Returns nullopt on any syntax error; never throws.
+  static std::optional<JsonValue> parse(std::string_view text);
+
+  Kind kind() const { return kind_; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+
+  // Scalar accessors return the fallback when the kind does not match.
+  bool as_bool(bool fallback = false) const;
+  double as_double(double fallback = 0.0) const;
+  std::uint64_t as_u64(std::uint64_t fallback = 0) const;
+  const std::string& as_string() const { return str_; }
+
+  const std::vector<JsonValue>& items() const { return arr_; }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return obj_;
+  }
+
+  // Object lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+
+  // Convenience: member scalar with fallback.
+  std::uint64_t u64(std::string_view key, std::uint64_t fallback = 0) const;
+  double num(std::string_view key, double fallback = 0.0) const;
+  bool boolean(std::string_view key, bool fallback = false) const;
+  std::string string(std::string_view key, std::string fallback = "") const;
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::uint64_t u64_ = 0;
+  bool integral_ = false;  // u64_ holds the exact value
+  std::string str_;
+  std::vector<JsonValue> arr_;
+  std::vector<std::pair<std::string, JsonValue>> obj_;
+};
+
+}  // namespace bftbc::explore

@@ -1,0 +1,334 @@
+#include "explore/scenario.h"
+
+#include "explore/json_value.h"
+#include "metrics/json.h"
+#include "util/rng.h"
+
+namespace bftbc::explore {
+
+std::string_view mode_name(Mode m) {
+  switch (m) {
+    case Mode::kBase: return "base";
+    case Mode::kOptimized: return "optimized";
+    case Mode::kStrong: return "strong";
+  }
+  return "base";
+}
+
+std::string_view species_name(ByzSpecies s) {
+  switch (s) {
+    case ByzSpecies::kSilent: return "silent";
+    case ByzSpecies::kStale: return "stale";
+    case ByzSpecies::kGarbageSig: return "garbage_sig";
+    case ByzSpecies::kEquivocSign: return "equivoc_sign";
+    case ByzSpecies::kFlipValue: return "flip_value";
+  }
+  return "silent";
+}
+
+std::string_view attack_name(AttackKind k) {
+  switch (k) {
+    case AttackKind::kEquivocate: return "equivocate";
+    case AttackKind::kPartialWrite: return "partial_write";
+    case AttackKind::kTimestampHog: return "timestamp_hog";
+    case AttackKind::kLurkingStash: return "lurking_stash";
+  }
+  return "lurking_stash";
+}
+
+namespace {
+
+std::optional<Mode> mode_from(const std::string& s) {
+  if (s == "base") return Mode::kBase;
+  if (s == "optimized") return Mode::kOptimized;
+  if (s == "strong") return Mode::kStrong;
+  return std::nullopt;
+}
+
+std::optional<ByzSpecies> species_from(const std::string& s) {
+  if (s == "silent") return ByzSpecies::kSilent;
+  if (s == "stale") return ByzSpecies::kStale;
+  if (s == "garbage_sig") return ByzSpecies::kGarbageSig;
+  if (s == "equivoc_sign") return ByzSpecies::kEquivocSign;
+  if (s == "flip_value") return ByzSpecies::kFlipValue;
+  return std::nullopt;
+}
+
+std::optional<AttackKind> attack_from(const std::string& s) {
+  if (s == "equivocate") return AttackKind::kEquivocate;
+  if (s == "partial_write") return AttackKind::kPartialWrite;
+  if (s == "timestamp_hog") return AttackKind::kTimestampHog;
+  if (s == "lurking_stash") return AttackKind::kLurkingStash;
+  return std::nullopt;
+}
+
+}  // namespace
+
+Scenario Scenario::sample(std::uint64_t run_seed) {
+  Rng rng(run_seed ^ 0x5ce9a710u);  // decorrelate from the cluster rng
+  Scenario s;
+  s.seed = run_seed;
+  s.f = rng.next_bool(0.2) ? 2 : 1;
+  switch (rng.next_below(3)) {
+    case 0: s.mode = Mode::kBase; break;
+    case 1: s.mode = Mode::kOptimized; break;
+    default: s.mode = Mode::kStrong; break;
+  }
+  s.objects = 1 + static_cast<std::uint32_t>(rng.next_below(2));
+
+  // Link adversity profile: quiet / noisy / harsh. Loss and duplication
+  // are retried through; corruption is caught by auth checks.
+  const std::uint64_t profile = rng.next_below(100);
+  if (profile < 50) {
+    s.loss = 0.0;
+    s.dup = 0.0;
+    s.corrupt = 0.0;
+  } else if (profile < 85) {
+    s.loss = 0.03;
+    s.dup = 0.03;
+    s.corrupt = 0.01;
+  } else {
+    s.loss = 0.08;
+    s.dup = 0.05;
+    s.corrupt = 0.02;
+  }
+  s.jitter_mean = rng.next_bool(0.3) ? sim::kMillisecond
+                                     : 200 * sim::kMicrosecond;
+
+  // Byzantine replica slots, always within the f budget when sampling.
+  if (rng.next_bool(0.5)) {
+    const std::uint32_t count =
+        s.f == 2 && rng.next_bool(0.4) ? 2 : 1;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      ByzReplicaSlot slot;
+      // Distinct slots from the top of the id range.
+      slot.slot = s.n() - 1 - i;
+      slot.species = static_cast<ByzSpecies>(rng.next_below(5));
+      s.byz_replicas.push_back(slot);
+    }
+  }
+
+  // Correct-client workload.
+  const std::uint32_t n_clients =
+      1 + static_cast<std::uint32_t>(rng.next_below(3));
+  for (std::uint32_t c = 0; c < n_clients; ++c) {
+    ClientPlan plan;
+    plan.id = static_cast<quorum::ClientId>(1 + c);
+    plan.ops = 3 + static_cast<std::uint32_t>(rng.next_below(4));
+    plan.write_ratio = 0.3 + 0.2 * static_cast<double>(rng.next_below(3));
+    plan.pipelined = rng.next_bool(0.25);
+    if (plan.pipelined) {
+      plan.window = 2 + static_cast<std::uint32_t>(rng.next_below(2));
+    } else if (rng.next_bool(0.2) && plan.ops >= 2) {
+      // Mid-run stop of a correct client: the checker must stay happy
+      // with its pre-stop ops in the history.
+      plan.stop_after_ops = plan.ops / 2;
+    }
+    s.clients.push_back(plan);
+  }
+
+  // §3.2 attack clients.
+  const std::uint32_t n_attacks =
+      static_cast<std::uint32_t>(rng.next_below(3));
+  for (std::uint32_t a = 0; a < n_attacks; ++a) {
+    AttackPlan plan;
+    plan.kind = static_cast<AttackKind>(rng.next_below(4));
+    plan.id = static_cast<quorum::ClientId>(60 + a);
+    plan.object =
+        1 + static_cast<quorum::ObjectId>(rng.next_below(s.objects));
+    if (plan.kind == AttackKind::kLurkingStash) {
+      plan.goal = 2 + static_cast<std::uint32_t>(rng.next_below(2));
+      plan.collude_replay = rng.next_bool(0.6);
+    } else if (plan.kind == AttackKind::kTimestampHog) {
+      plan.goal = 3;
+    }
+    s.attacks.push_back(plan);
+  }
+
+  // One replica partition window; only without Byzantine replicas so a
+  // quorum stays reachable throughout (liveness is asserted, not hoped).
+  if (s.byz_replicas.empty() && rng.next_bool(0.25)) {
+    PartitionPlan p;
+    p.replica = static_cast<std::uint32_t>(rng.next_below(s.n()));
+    p.at = 30 * sim::kMillisecond;
+    p.heal_at = 70 * sim::kMillisecond;
+    s.partitions.push_back(p);
+  }
+
+  return s;
+}
+
+std::string Scenario::to_json() const {
+  metrics::JsonWriter w;
+  w.begin_object();
+  w.key("seed"); w.value(seed);
+  w.key("f"); w.value(static_cast<std::uint64_t>(f));
+  w.key("mode"); w.value(mode_name(mode));
+  w.key("enforce_fault_budget"); w.value(enforce_fault_budget);
+  w.key("objects"); w.value(static_cast<std::uint64_t>(objects));
+  w.key("link");
+  w.begin_object();
+  w.key("loss"); w.value(loss);
+  w.key("dup"); w.value(dup);
+  w.key("corrupt"); w.value(corrupt);
+  w.key("base_delay_ns"); w.value(static_cast<std::uint64_t>(base_delay));
+  w.key("jitter_mean_ns"); w.value(static_cast<std::uint64_t>(jitter_mean));
+  w.end_object();
+  w.key("byz_replicas");
+  w.begin_array();
+  for (const ByzReplicaSlot& b : byz_replicas) {
+    w.begin_object();
+    w.key("slot"); w.value(static_cast<std::uint64_t>(b.slot));
+    w.key("species"); w.value(species_name(b.species));
+    w.end_object();
+  }
+  w.end_array();
+  w.key("clients");
+  w.begin_array();
+  for (const ClientPlan& c : clients) {
+    w.begin_object();
+    w.key("id"); w.value(static_cast<std::uint64_t>(c.id));
+    w.key("ops"); w.value(static_cast<std::uint64_t>(c.ops));
+    w.key("write_ratio"); w.value(c.write_ratio);
+    w.key("pipelined"); w.value(c.pipelined);
+    w.key("window"); w.value(static_cast<std::uint64_t>(c.window));
+    w.key("stop_after_ops");
+    w.value(static_cast<std::uint64_t>(c.stop_after_ops));
+    w.end_object();
+  }
+  w.end_array();
+  w.key("attacks");
+  w.begin_array();
+  for (const AttackPlan& a : attacks) {
+    w.begin_object();
+    w.key("kind"); w.value(attack_name(a.kind));
+    w.key("id"); w.value(static_cast<std::uint64_t>(a.id));
+    w.key("object"); w.value(static_cast<std::uint64_t>(a.object));
+    w.key("goal"); w.value(static_cast<std::uint64_t>(a.goal));
+    w.key("collude_replay"); w.value(a.collude_replay);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("partitions");
+  w.begin_array();
+  for (const PartitionPlan& p : partitions) {
+    w.begin_object();
+    w.key("replica"); w.value(static_cast<std::uint64_t>(p.replica));
+    w.key("at_ns"); w.value(static_cast<std::uint64_t>(p.at));
+    w.key("heal_at_ns"); w.value(static_cast<std::uint64_t>(p.heal_at));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return std::move(w).take();
+}
+
+std::optional<Scenario> Scenario::from_json(std::string_view text) {
+  const std::optional<JsonValue> doc = JsonValue::parse(text);
+  if (!doc.has_value() || !doc->is_object()) return std::nullopt;
+
+  Scenario s;
+  s.seed = doc->u64("seed", 1);
+  s.f = static_cast<std::uint32_t>(doc->u64("f", 1));
+  if (s.f < 1 || s.f > 3) return std::nullopt;
+  const std::optional<Mode> mode = mode_from(doc->string("mode", "base"));
+  if (!mode.has_value()) return std::nullopt;
+  s.mode = *mode;
+  s.enforce_fault_budget = doc->boolean("enforce_fault_budget", true);
+  s.objects = static_cast<std::uint32_t>(doc->u64("objects", 1));
+  if (s.objects < 1 || s.objects > 16) return std::nullopt;
+
+  if (const JsonValue* link = doc->find("link")) {
+    s.loss = link->num("loss", 0.0);
+    s.dup = link->num("dup", 0.0);
+    s.corrupt = link->num("corrupt", 0.0);
+    s.base_delay = link->u64("base_delay_ns", s.base_delay);
+    s.jitter_mean = link->u64("jitter_mean_ns", s.jitter_mean);
+    if (s.loss < 0 || s.loss >= 1 || s.dup < 0 || s.dup > 1 ||
+        s.corrupt < 0 || s.corrupt > 1) {
+      return std::nullopt;
+    }
+  }
+
+  if (const JsonValue* arr = doc->find("byz_replicas")) {
+    for (const JsonValue& e : arr->items()) {
+      ByzReplicaSlot b;
+      b.slot = static_cast<std::uint32_t>(e.u64("slot", 0));
+      const std::optional<ByzSpecies> sp =
+          species_from(e.string("species", "silent"));
+      if (!sp.has_value() || b.slot >= s.n()) return std::nullopt;
+      b.species = *sp;
+      s.byz_replicas.push_back(b);
+    }
+  }
+
+  if (const JsonValue* arr = doc->find("clients")) {
+    for (const JsonValue& e : arr->items()) {
+      ClientPlan c;
+      c.id = static_cast<quorum::ClientId>(e.u64("id", 1));
+      c.ops = static_cast<std::uint32_t>(e.u64("ops", 4));
+      c.write_ratio = e.num("write_ratio", 0.5);
+      c.pipelined = e.boolean("pipelined", false);
+      c.window = static_cast<std::uint32_t>(e.u64("window", 2));
+      c.stop_after_ops =
+          static_cast<std::uint32_t>(e.u64("stop_after_ops", 0));
+      if (c.id == 0 || c.ops == 0 || c.ops > 1000) return std::nullopt;
+      s.clients.push_back(c);
+    }
+  }
+
+  if (const JsonValue* arr = doc->find("attacks")) {
+    for (const JsonValue& e : arr->items()) {
+      AttackPlan a;
+      const std::optional<AttackKind> k =
+          attack_from(e.string("kind", "lurking_stash"));
+      if (!k.has_value()) return std::nullopt;
+      a.kind = *k;
+      a.id = static_cast<quorum::ClientId>(e.u64("id", 66));
+      a.object = e.u64("object", 1);
+      a.goal = static_cast<std::uint32_t>(e.u64("goal", 2));
+      a.collude_replay = e.boolean("collude_replay", false);
+      if (a.id == 0 || a.object == 0 || a.object > s.objects ||
+          a.goal > 100) {
+        return std::nullopt;
+      }
+      s.attacks.push_back(a);
+    }
+  }
+
+  if (const JsonValue* arr = doc->find("partitions")) {
+    for (const JsonValue& e : arr->items()) {
+      PartitionPlan p;
+      p.replica = static_cast<std::uint32_t>(e.u64("replica", 0));
+      p.at = e.u64("at_ns", 0);
+      p.heal_at = e.u64("heal_at_ns", 0);
+      if (p.replica >= s.n() || p.heal_at <= p.at) return std::nullopt;
+      s.partitions.push_back(p);
+    }
+  }
+
+  return s;
+}
+
+std::string Scenario::name() const {
+  std::string out = "f" + std::to_string(f) + "-";
+  out += mode_name(mode);
+  if (!byz_replicas.empty()) {
+    out += "-byz" + std::to_string(byz_replicas.size());
+  }
+  if (!attacks.empty()) {
+    out += "-atk" + std::to_string(attacks.size());
+  }
+  if (!partitions.empty()) out += "-part";
+  for (const ClientPlan& c : clients) {
+    if (c.pipelined) {
+      out += "-pipe";
+      break;
+    }
+  }
+  if (loss > 0) out += "-lossy";
+  if (!enforce_fault_budget) out += "-WEAKENED";
+  return out;
+}
+
+}  // namespace bftbc::explore

@@ -289,5 +289,110 @@ TEST(CheckerTest, OptimizedTieBreakVersionsDistinct) {
   EXPECT_FALSE(flagged.linearizable);
 }
 
+// ------------------------------------------------------------------
+// Mutation corpus: a table of deliberately violating histories, each a
+// minimal mutation of a legal run. Every entry MUST be rejected at the
+// stated bound — if the checker ever accepts one, it has gone blind to
+// that violation class and the whole explorer pipeline silently loses
+// its teeth.
+
+struct CorpusEntry {
+  const char* name;
+  void (*build)(History&);
+  int max_b;  // bound the history must fail at
+};
+
+void build_stale_read(History& hist) {
+  // v2 completed strictly before the read began, yet the read returns v1.
+  add_write(hist, 1, 1, 0, 10, {1, 1}, "v1");
+  add_write(hist, 1, 1, 20, 30, {2, 1}, "v2");
+  add_read(hist, 2, 1, 50, 60, {1, 1}, "v1");
+}
+
+void build_forged_version(History& hist) {
+  // Version attributed to client 9 — which never wrote and was never
+  // declared Byzantine. Must trip the integrity clause.
+  add_write(hist, 1, 1, 0, 10, {1, 1}, "v1");
+  add_read(hist, 2, 1, 20, 30, {2, 9}, "forged");
+}
+
+void build_forged_value(History& hist) {
+  // Right timestamp, wrong bytes: the read's value does not match what
+  // client 1 wrote under {1,1}.
+  add_write(hist, 1, 1, 0, 10, {1, 1}, "real");
+  add_read(hist, 2, 1, 20, 30, {1, 1}, "tampered");
+}
+
+void build_two_lurking_base(History& hist) {
+  // Base protocol bound is 1 lurking write; two distinct versions of the
+  // stopped client surface only after its stop.
+  add_write(hist, 1, 1, 0, 10, {1, 1}, "good");
+  hist.record_stop(66, 100);
+  add_read(hist, 2, 1, 200, 210, {2, 66}, "lurk-a");
+  add_read(hist, 2, 1, 220, 230, {3, 66}, "lurk-b");
+}
+
+void build_non_monotonic_pair(History& hist) {
+  // Two non-overlapping reads by different clients going backwards.
+  add_write(hist, 1, 1, 0, 10, {1, 1}, "v1");
+  add_write(hist, 1, 1, 20, 100, {2, 1}, "v2");
+  add_read(hist, 2, 1, 30, 40, {2, 1}, "v2");
+  add_read(hist, 3, 1, 50, 60, {1, 1}, "v1");
+}
+
+void build_write_below_frontier(History& hist) {
+  // A write completing with a version at/below an already-completed
+  // write's version: timestamps went backwards.
+  add_write(hist, 1, 1, 0, 10, {5, 1}, "high");
+  add_write(hist, 2, 1, 20, 30, {3, 2}, "low");
+}
+
+TEST(CheckerTest, MutationCorpusAllRejected) {
+  const CorpusEntry corpus[] = {
+      {"stale-read", build_stale_read, 1},
+      {"forged-version", build_forged_version, 1},
+      {"forged-value", build_forged_value, 1},
+      {"two-lurking-base", build_two_lurking_base, 1},
+      {"non-monotonic-pair", build_non_monotonic_pair, 1},
+      {"write-below-frontier", build_write_below_frontier, 1},
+  };
+  for (const CorpusEntry& entry : corpus) {
+    History hist;
+    entry.build(hist);
+    auto r = check_bft_linearizability(hist, {66});
+    EXPECT_FALSE(r.ok(entry.max_b))
+        << entry.name << " was accepted: " << r.summary();
+  }
+}
+
+TEST(CheckerTest, OverwriteMaskingIsPerObject) {
+  // Writes to a DIFFERENT object cannot mask a lurking write: the §7
+  // metric must ignore them. Two post-stop writes land on object 2; the
+  // lurking write on object 1 surfaces with zero object-1 overwrites, so
+  // ok_plus(1, 2) holds.
+  History hist;
+  add_write(hist, 1, 1, 0, 10, {1, 1}, "obj1");
+  hist.record_stop(66, 100);
+  add_write(hist, 1, 2, 110, 120, {1, 1}, "obj2-a");
+  add_write(hist, 1, 2, 130, 140, {2, 1}, "obj2-b");
+  add_read(hist, 2, 1, 300, 310, {2, 66}, "lurker");
+  auto r = check_bft_linearizability(hist, {66});
+  ASSERT_EQ(r.lurking.count(66), 1u);
+  EXPECT_EQ(r.lurking.at(66).count, 1);
+  EXPECT_EQ(r.lurking.at(66).overwrites_before_last_surface, 0);
+  EXPECT_TRUE(r.ok_plus(1, 2)) << r.summary();
+
+  // Same shape but the overwrites hit object 1 itself: now they count.
+  History masked;
+  add_write(masked, 1, 1, 0, 10, {1, 1}, "obj1");
+  masked.record_stop(66, 100);
+  add_write(masked, 1, 1, 110, 120, {2, 1}, "over-a");
+  add_write(masked, 1, 1, 130, 140, {3, 1}, "over-b");
+  add_read(masked, 2, 1, 300, 310, {4, 66}, "lurker");
+  auto r2 = check_bft_linearizability(masked, {66});
+  EXPECT_EQ(r2.lurking.at(66).overwrites_before_last_surface, 2);
+  EXPECT_FALSE(r2.ok_plus(1, 2));
+}
+
 }  // namespace
 }  // namespace bftbc::checker

@@ -1,0 +1,27 @@
+// Nightly-labeled long explorer run: a few hundred sampled scenarios
+// across the full cross product must pass the BFT-linearizability bound
+// for their mode. Kept out of tier-1 for time; the nightly CI workflow
+// runs it (plus the bftbc_explore CLI at --runs 500).
+#include <gtest/gtest.h>
+
+#include "explore/explorer.h"
+
+namespace bftbc::explore {
+namespace {
+
+class ExplorerSoakTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExplorerSoakTest, SampledScenariosStayClean) {
+  ExplorerOptions options;
+  options.seed = GetParam();
+  options.runs = 120;
+  Explorer explorer(options);
+  const Report report = explorer.explore();
+  EXPECT_EQ(report.failures, 0u) << report.to_json();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExplorerSoakTest,
+                         ::testing::Values(1, 271828, 31337));
+
+}  // namespace
+}  // namespace bftbc::explore

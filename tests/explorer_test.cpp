@@ -1,0 +1,237 @@
+// Tier-1 coverage for the randomized scenario explorer (src/explore):
+// JSON parsing, scenario serialization round-trips, sampled-scenario
+// cleanliness, cross-process-grade determinism, and the end-to-end
+// canary — a deliberately weakened replica configuration must produce a
+// checker violation that shrinks to a small replayable scenario within
+// the acceptance budget.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "explore/explorer.h"
+#include "explore/json_value.h"
+
+namespace bftbc::explore {
+namespace {
+
+// ------------------------------------------------------------------
+// JsonValue
+
+TEST(JsonValueTest, ParsesScalars) {
+  auto v = JsonValue::parse("{\"a\": 1, \"b\": true, \"c\": \"hi\", "
+                            "\"d\": 2.5, \"e\": null}");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->u64("a"), 1u);
+  EXPECT_TRUE(v->boolean("b"));
+  EXPECT_EQ(v->string("c"), "hi");
+  EXPECT_DOUBLE_EQ(v->num("d"), 2.5);
+  ASSERT_NE(v->find("e"), nullptr);
+  EXPECT_EQ(v->find("e")->kind(), JsonValue::Kind::kNull);
+  EXPECT_EQ(v->find("missing"), nullptr);
+}
+
+TEST(JsonValueTest, U64RoundTripsExactly) {
+  // 2^63 + 1 is not representable in a double; the integral channel must
+  // preserve it bit-for-bit (seeds above 2^53 are common).
+  auto v = JsonValue::parse("{\"seed\": 9223372036854775809}");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->u64("seed"), 9223372036854775809ull);
+}
+
+TEST(JsonValueTest, ParsesNestedArraysAndEscapes) {
+  auto v = JsonValue::parse(
+      "{\"xs\": [1, [2, 3], {\"k\": \"a\\nb\\\"c\\u0041\"}]}");
+  ASSERT_TRUE(v.has_value());
+  const JsonValue* xs = v->find("xs");
+  ASSERT_NE(xs, nullptr);
+  ASSERT_TRUE(xs->is_array());
+  ASSERT_EQ(xs->items().size(), 3u);
+  EXPECT_EQ(xs->items()[1].items()[1].as_u64(), 3u);
+  EXPECT_EQ(xs->items()[2].string("k"), "a\nb\"cA");
+}
+
+TEST(JsonValueTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(JsonValue::parse("").has_value());
+  EXPECT_FALSE(JsonValue::parse("{").has_value());
+  EXPECT_FALSE(JsonValue::parse("{\"a\": }").has_value());
+  EXPECT_FALSE(JsonValue::parse("[1, 2,]").has_value());
+  EXPECT_FALSE(JsonValue::parse("\"unterminated").has_value());
+  EXPECT_FALSE(JsonValue::parse("{} trailing").has_value());
+  EXPECT_FALSE(JsonValue::parse("truth").has_value());
+}
+
+TEST(JsonValueTest, RejectsAbsurdNesting) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += "[";
+  for (int i = 0; i < 200; ++i) deep += "]";
+  EXPECT_FALSE(JsonValue::parse(deep).has_value());
+}
+
+TEST(JsonValueTest, TruncationNeverParses) {
+  const Scenario s = Scenario::sample(77);
+  const std::string full = s.to_json();
+  for (std::size_t cut = 0; cut + 1 < full.size(); cut += 7) {
+    EXPECT_FALSE(JsonValue::parse(full.substr(0, cut)).has_value())
+        << "prefix of length " << cut << " parsed";
+  }
+}
+
+// ------------------------------------------------------------------
+// Scenario serialization
+
+TEST(ScenarioTest, JsonRoundTripIsExact) {
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    const Scenario s = Scenario::sample(seed * 1297);
+    const std::string rendered = s.to_json();
+    const auto back = Scenario::from_json(rendered);
+    ASSERT_TRUE(back.has_value()) << rendered;
+    EXPECT_EQ(back->to_json(), rendered) << "seed " << seed;
+    EXPECT_EQ(back->name(), s.name());
+  }
+}
+
+TEST(ScenarioTest, SampleIsDeterministic) {
+  for (std::uint64_t seed : {1ull, 42ull, 0xdeadbeefull}) {
+    EXPECT_EQ(Scenario::sample(seed).to_json(),
+              Scenario::sample(seed).to_json());
+  }
+}
+
+TEST(ScenarioTest, SampleStaysWithinFaultBudget) {
+  for (std::uint64_t seed = 1; seed <= 300; ++seed) {
+    const Scenario s = Scenario::sample(seed);
+    EXPECT_TRUE(s.within_fault_budget());
+    EXPECT_TRUE(s.enforce_fault_budget);
+    for (const ClientPlan& c : s.clients) EXPECT_LT(c.id, kProbeClient);
+    for (const AttackPlan& a : s.attacks) {
+      EXPECT_GT(a.id, kProbeClient);
+      EXPECT_LT(a.id, kColluderNodeBase);
+    }
+  }
+}
+
+TEST(ScenarioTest, FromJsonRejectsOutOfRangeConfigs) {
+  const std::string base = Scenario::sample(5).to_json();
+  EXPECT_TRUE(Scenario::from_json(base).has_value());
+  EXPECT_FALSE(Scenario::from_json("{\"f\": 9}").has_value());
+  EXPECT_FALSE(Scenario::from_json("{\"f\": 1, \"objects\": 0}").has_value());
+  EXPECT_FALSE(Scenario::from_json("not json at all").has_value());
+  // A byz slot beyond n() must be rejected, not silently dropped.
+  EXPECT_FALSE(
+      Scenario::from_json(
+          "{\"f\": 1, \"objects\": 1, \"byz_replicas\": [{\"slot\": 7, "
+          "\"species\": \"silent\"}]}")
+          .has_value());
+}
+
+// ------------------------------------------------------------------
+// Explorer
+
+TEST(ExplorerTest, SampledScenariosPassTheChecker) {
+  ExplorerOptions options;
+  options.seed = 20260806;
+  options.runs = 25;
+  Explorer explorer(options);
+  const Report report = explorer.explore();
+  EXPECT_EQ(report.failures, 0u) << report.to_json();
+  ASSERT_EQ(report.records.size(), 25u);
+  for (const RunRecord& r : report.records) {
+    EXPECT_TRUE(r.outcome.completed) << r.scenario;
+    EXPECT_GT(r.outcome.history_ops, 0u);
+  }
+}
+
+TEST(ExplorerTest, ReportIsByteIdenticalAcrossRepeats) {
+  ExplorerOptions options;
+  options.seed = 99;
+  options.runs = 15;
+  const Report a = Explorer(options).explore();
+  const Report b = Explorer(options).explore();
+  EXPECT_EQ(a.to_json(), b.to_json());
+}
+
+TEST(ExplorerTest, FailureClassSplitsOnColon) {
+  EXPECT_EQ(Explorer::failure_class("safety: lurking[66]=2"), "safety");
+  EXPECT_EQ(Explorer::failure_class("liveness: stalled"), "liveness");
+  EXPECT_EQ(Explorer::failure_class("odd"), "odd");
+}
+
+// The deliberately weakened configuration: three EquivocSignReplica
+// accomplices at f=1 (fault budget off) sign any prepare, so a
+// LurkingWriteStasher can chain multiple lurking writes past the base
+// protocol's bound of 1. The explorer must flag it, shrink it within the
+// acceptance budget (< 10 candidate runs), and the minimal scenario must
+// replay from its JSON.
+Scenario weakened_scenario() {
+  Scenario s;
+  s.seed = 4242;
+  s.f = 1;
+  s.mode = Mode::kBase;
+  s.enforce_fault_budget = false;
+  s.objects = 1;
+  s.byz_replicas = {{0, ByzSpecies::kEquivocSign},
+                    {1, ByzSpecies::kEquivocSign},
+                    {2, ByzSpecies::kEquivocSign}};
+  ClientPlan client;
+  client.id = 1;
+  client.ops = 3;
+  s.clients = {client};
+  AttackPlan attack;
+  attack.kind = AttackKind::kLurkingStash;
+  attack.id = 66;
+  attack.object = 1;
+  attack.goal = 2;
+  attack.collude_replay = true;
+  s.attacks = {attack};
+  return s;
+}
+
+TEST(ExplorerTest, WeakenedReplicasYieldCheckerViolation) {
+  Explorer explorer(ExplorerOptions{});
+  const RunOutcome outcome = explorer.run_scenario(weakened_scenario());
+  EXPECT_TRUE(outcome.completed);
+  ASSERT_TRUE(outcome.failed());
+  EXPECT_EQ(Explorer::failure_class(outcome.failure), "safety");
+  EXPECT_GE(outcome.max_lurking, 2);
+}
+
+TEST(ExplorerTest, ViolationShrinksToReplayableScenarioWithinBudget) {
+  Explorer explorer(ExplorerOptions{});
+  const Scenario original = weakened_scenario();
+  const RunOutcome outcome = explorer.run_scenario(original);
+  ASSERT_TRUE(outcome.failed());
+
+  std::uint32_t used = 0;
+  const Scenario minimal = explorer.shrink(original, outcome.failure, &used);
+  EXPECT_LT(used, 10u);  // acceptance: under 10 runs' worth of work
+  // The violation needs the attacker and all three accomplices; the
+  // correct workload client is noise and must have been dropped.
+  EXPECT_TRUE(minimal.clients.empty());
+  EXPECT_EQ(minimal.attacks.size(), 1u);
+  EXPECT_EQ(minimal.byz_replicas.size(), 3u);
+
+  // One-command replay: the dumped JSON must parse back and reproduce
+  // the same failure class.
+  const auto reloaded = Scenario::from_json(minimal.to_json());
+  ASSERT_TRUE(reloaded.has_value());
+  const RunOutcome replayed = explorer.run_scenario(*reloaded);
+  ASSERT_TRUE(replayed.failed());
+  EXPECT_EQ(Explorer::failure_class(replayed.failure), "safety");
+}
+
+TEST(ExplorerTest, ModeBoundsAreEnforcedPerMode) {
+  // The same weakened cartel under optimized mode: bound is 2, so two
+  // lurking writes are LEGAL there — the checker must not over-flag.
+  Scenario s = weakened_scenario();
+  s.mode = Mode::kOptimized;
+  s.attacks[0].goal = 2;
+  Explorer explorer(ExplorerOptions{});
+  const RunOutcome outcome = explorer.run_scenario(s);
+  EXPECT_LE(outcome.max_lurking, 2);
+  if (outcome.max_lurking <= 2) {
+    EXPECT_FALSE(outcome.failed()) << outcome.failure;
+  }
+}
+
+}  // namespace
+}  // namespace bftbc::explore

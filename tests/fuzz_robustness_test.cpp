@@ -4,11 +4,20 @@
 // valid (drop counters / quorum counts prove rejection).
 #include <gtest/gtest.h>
 
+#include <string_view>
+#include <vector>
+
 #include "bftbc/replica.h"
 #include "harness/cluster.h"
 #include "quorum/statements.h"
+#include "util/flags.h"
 
 namespace bftbc {
+
+// --seed override: 0 means "run the built-in seed table". Set in main()
+// before InitGoogleTest materializes the parameter generators.
+std::uint64_t g_seed_override = 0;
+
 namespace {
 
 using harness::Cluster;
@@ -49,6 +58,8 @@ Bytes mutate(Bytes b, Rng& rng) {
 class FuzzRobustnessTest : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(FuzzRobustnessTest, MutatedClientTrafficNeverAccepted) {
+  SCOPED_TRACE(::testing::Message()
+               << "reproduce with: --seed " << GetParam());
   ClusterOptions o;
   o.seed = GetParam();
   o.optimized = true;
@@ -126,6 +137,8 @@ TEST_P(FuzzRobustnessTest, MutatedClientTrafficNeverAccepted) {
 }
 
 TEST_P(FuzzRobustnessTest, MutatedReplicaRepliesNeverAccepted) {
+  SCOPED_TRACE(::testing::Message()
+               << "reproduce with: --seed " << GetParam());
   // A man-in-the-middle mutates replica replies in flight (via the
   // corruption knob at 30%); the client must reject every damaged reply
   // and still finish (retransmissions reach it intact eventually).
@@ -143,8 +156,41 @@ TEST_P(FuzzRobustnessTest, MutatedReplicaRepliesNeverAccepted) {
   EXPECT_EQ(to_string(r.value().value), "v4");
 }
 
+std::vector<std::uint64_t> fuzz_seeds() {
+  if (g_seed_override != 0) return {g_seed_override};
+  return {1, 2, 3, 4, 5};
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzRobustnessTest,
-                         ::testing::Values(1, 2, 3, 4, 5));
+                         ::testing::ValuesIn(fuzz_seeds()));
 
 }  // namespace
 }  // namespace bftbc
+
+// Custom main: gtest materializes parameterized suites inside
+// InitGoogleTest, so --seed must be pulled out of argv FIRST; the
+// remaining (gtest) flags are then handed to gtest untouched.
+int main(int argc, char** argv) {
+  std::vector<char*> ours{argv[0]};
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg.rfind("--seed", 0) == 0) {
+      ours.push_back(argv[i]);
+      if (arg == "--seed" && i + 1 < argc) ours.push_back(argv[++i]);
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+
+  bftbc::FlagSet flags;
+  auto& seed =
+      flags.add_u64("seed", 0, "run only this fuzz seed (0 = full table)");
+  int ours_argc = static_cast<int>(ours.size());
+  flags.parse(ours_argc, ours.data());
+  bftbc::g_seed_override = *seed;
+
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -9,12 +9,22 @@
 #include <functional>
 #include <gtest/gtest.h>
 
+#include <string_view>
+#include <vector>
+
 #include "checker/bft_linearizability.h"
 #include "faults/byzantine_client.h"
 #include "faults/byzantine_replica.h"
 #include "harness/cluster.h"
+#include "util/flags.h"
 
 namespace bftbc {
+
+// --seed override: 0 means "run the built-in seed table". Set in main()
+// before InitGoogleTest materializes the parameter generators; a single
+// seed runs in both base and optimized modes.
+std::uint64_t g_seed_override = 0;
+
 namespace {
 
 using checker::History;
@@ -30,6 +40,8 @@ class StressTest : public ::testing::TestWithParam<StressParam> {};
 
 TEST_P(StressTest, ChaosRunStaysBftLinearizable) {
   const StressParam param = GetParam();
+  SCOPED_TRACE(::testing::Message()
+               << "reproduce with: --seed " << param.seed);
   Rng meta(param.seed);
 
   ClusterOptions o;
@@ -190,6 +202,11 @@ TEST_P(StressTest, ChaosRunStaysBftLinearizable) {
 
 std::vector<StressParam> make_params() {
   std::vector<StressParam> params;
+  if (g_seed_override != 0) {
+    params.push_back({g_seed_override, false});
+    params.push_back({g_seed_override, true});
+    return params;
+  }
   for (std::uint64_t seed = 1; seed <= 8; ++seed) {
     params.push_back({seed * 7919, seed % 2 == 0});
   }
@@ -204,3 +221,31 @@ INSTANTIATE_TEST_SUITE_P(Seeds, StressTest, ::testing::ValuesIn(make_params()),
 
 }  // namespace
 }  // namespace bftbc
+
+// Custom main: gtest materializes parameterized suites inside
+// InitGoogleTest, so --seed must be pulled out of argv FIRST; the
+// remaining (gtest) flags are then handed to gtest untouched.
+int main(int argc, char** argv) {
+  std::vector<char*> ours{argv[0]};
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg.rfind("--seed", 0) == 0) {
+      ours.push_back(argv[i]);
+      if (arg == "--seed" && i + 1 < argc) ours.push_back(argv[++i]);
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+
+  bftbc::FlagSet flags;
+  auto& seed = flags.add_u64(
+      "seed", 0, "run only this stress seed, both modes (0 = full table)");
+  int ours_argc = static_cast<int>(ours.size());
+  flags.parse(ours_argc, ours.data());
+  bftbc::g_seed_override = *seed;
+
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}
