@@ -9,7 +9,7 @@ Schema (schema_version 1, produced by src/metrics/bench_report.cpp):
     "config":  { "<key>": "<string value>", ... },
     "counters":   { "<name>": <non-negative int>, ... },
     "gauges":     { "<name>": <number>, ... },
-    "summaries":  { "<name>": {count, mean, p50, p90, p99,
+    "summaries":  { "<name>": {count, mean, p50, p90, p99, p999,
                                min, max, stddev}, ... },
     "histograms": { "<name>": {total, mean, max,
                                buckets: {"<value>": <count>}}, ... }
@@ -20,7 +20,7 @@ Checks, per file:
   - schema_version == 1 and "bench" is a non-empty string
   - the sig-cache counters the CI perf trajectory tracks are present
   - at least one latency summary (a "*_ms" summary) with count > 0 and
-    internally consistent stats (min <= p50 <= p99 <= max, count > 0)
+    internally consistent stats (min <= p50 <= p99 <= p999 <= max)
   - histogram totals equal the sum of their buckets
 
 Usage:
@@ -52,7 +52,9 @@ REQUIRED_SECTIONS = {
     "histograms": dict,
 }
 REQUIRED_COUNTERS = ("sig_cache_hit", "sig_cache_miss", "sig_verify_calls")
-SUMMARY_FIELDS = ("count", "mean", "p50", "p90", "p99", "min", "max", "stddev")
+SUMMARY_FIELDS = (
+    "count", "mean", "p50", "p90", "p99", "p999", "min", "max", "stddev",
+)
 
 
 def fail(errors, path, msg):
@@ -71,13 +73,14 @@ def check_summary(errors, path, name, s):
             fail(errors, path, f"summary {name!r} field {field!r} not numeric")
             return
     if s["count"] > 0 and not (
-        s["min"] <= s["p50"] <= s["p99"] <= s["max"]
+        s["min"] <= s["p50"] <= s["p99"] <= s["p999"] <= s["max"]
     ):
         fail(
             errors,
             path,
             f"summary {name!r} percentiles out of order: "
-            f"min={s['min']} p50={s['p50']} p99={s['p99']} max={s['max']}",
+            f"min={s['min']} p50={s['p50']} p99={s['p99']} "
+            f"p999={s['p999']} max={s['max']}",
         )
 
 

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Live loopback smoke: start a 4-replica (f=1) bftbcd cluster on
+# 127.0.0.1, run bftbc_bench against it over real UDP, and validate the
+# emitted bench JSON. This is the end-to-end proof that the simulator's
+# protocol state machines also run deployed — CI runs it as the
+# live-smoke job, and it works identically by hand:
+#
+#   scripts/run_live_smoke.sh [build_dir] [out.json]
+#
+# Exit 0 iff the bench completed and its artifact passes
+# scripts/check_bench_json.py.
+set -u
+
+BUILD_DIR="${1:-build}"
+OUT_JSON="${2:-BENCH_live_smoke.json}"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+CONFIG="$REPO_ROOT/bench/cluster_localhost.json"
+BFTBCD="$BUILD_DIR/tools/bftbcd"
+BENCH="$BUILD_DIR/tools/bftbc_bench"
+
+if [[ ! -x "$BFTBCD" || ! -x "$BENCH" ]]; then
+  echo "run_live_smoke: build $BFTBCD and $BENCH first" >&2
+  exit 2
+fi
+
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do
+    kill "$pid" 2>/dev/null
+  done
+  wait 2>/dev/null
+}
+trap cleanup EXIT
+
+LOG_DIR="$(mktemp -d)"
+for r in 0 1 2 3; do
+  "$BFTBCD" --config "$CONFIG" --replica "$r" >"$LOG_DIR/replica$r.log" 2>&1 &
+  PIDS+=($!)
+done
+
+# Readiness: each daemon prints a "listening on" line once bound.
+for i in $(seq 1 50); do
+  ready=$(grep -l "listening on" "$LOG_DIR"/replica*.log 2>/dev/null | wc -l)
+  [[ "$ready" -eq 4 ]] && break
+  sleep 0.1
+done
+if [[ "$ready" -ne 4 ]]; then
+  echo "run_live_smoke: replicas failed to start; logs:" >&2
+  cat "$LOG_DIR"/replica*.log >&2
+  exit 1
+fi
+
+"$BENCH" --config "$CONFIG" --smoke --json "$OUT_JSON"
+status=$?
+if [[ $status -ne 0 ]]; then
+  echo "run_live_smoke: bench failed (exit $status); replica logs:" >&2
+  tail -n 20 "$LOG_DIR"/replica*.log >&2
+  exit 1
+fi
+
+python3 "$REPO_ROOT/scripts/check_bench_json.py" "$OUT_JSON"

@@ -46,6 +46,7 @@ def minimal_report(**counter_overrides):
                 "p50": 2.0,
                 "p90": 3.0,
                 "p99": 3.0,
+                "p999": 3.0,
                 "min": 1.0,
                 "max": 3.0,
                 "stddev": 0.5,
@@ -88,6 +89,22 @@ class CheckBenchJsonTest(unittest.TestCase):
         rc, out = run_checker(path)
         self.assertEqual(rc, 1, out)
         self.assertIn("sig_verify_calls", out)
+
+    def test_missing_p999_fails(self):
+        doc = minimal_report()
+        del doc["summaries"]["op_ms"]["p999"]
+        path = self.write_report("bad.json", doc)
+        rc, out = run_checker(path)
+        self.assertEqual(rc, 1, out)
+        self.assertIn("p999", out)
+
+    def test_p999_below_p99_fails(self):
+        doc = minimal_report()
+        doc["summaries"]["op_ms"]["p999"] = 2.5  # < p99 = 3.0
+        path = self.write_report("bad.json", doc)
+        rc, out = run_checker(path)
+        self.assertEqual(rc, 1, out)
+        self.assertIn("out of order", out)
 
     def test_compare_identical_reports_passes(self):
         old = self.write_report("old.json", minimal_report())

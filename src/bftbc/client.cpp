@@ -73,7 +73,7 @@ struct Client::ReadOp : OpBase {
 
 Client::Client(const quorum::QuorumConfig& config, quorum::ClientId id,
                crypto::Keystore& keystore, rpc::Transport& transport,
-               sim::Simulator& simulator,
+               sim::Scheduler& scheduler,
                std::vector<sim::NodeId> replica_nodes, Rng rng,
                ClientOptions options)
     : config_(config),
@@ -81,7 +81,7 @@ Client::Client(const quorum::QuorumConfig& config, quorum::ClientId id,
       keystore_(keystore),
       signer_(keystore.register_principal(quorum::client_principal(id))),
       transport_(transport),
-      sim_(simulator),
+      sim_(scheduler),
       replica_nodes_(std::move(replica_nodes)),
       nonces_(id, rng),
       options_(options),

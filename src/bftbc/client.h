@@ -61,9 +61,12 @@ struct ClientOptions {
 
 class Client {
  public:
+  // `scheduler` is the node's timer source: the discrete-event Simulator
+  // in tests/benches, a net::EventLoop in a live deployment — the state
+  // machine is identical either way.
   Client(const quorum::QuorumConfig& config, quorum::ClientId id,
          crypto::Keystore& keystore, rpc::Transport& transport,
-         sim::Simulator& simulator, std::vector<sim::NodeId> replica_nodes,
+         sim::Scheduler& scheduler, std::vector<sim::NodeId> replica_nodes,
          Rng rng, ClientOptions options = ClientOptions());
   ~Client();
 
@@ -172,7 +175,7 @@ class Client {
   crypto::Keystore& keystore_;
   crypto::Signer signer_;
   rpc::Transport& transport_;
-  sim::Simulator& sim_;
+  sim::Scheduler& sim_;
   std::vector<sim::NodeId> replica_nodes_;
   crypto::NonceGenerator nonces_;
   ClientOptions options_;

@@ -9,13 +9,13 @@ namespace bftbc::core {
 
 Replica::Replica(const quorum::QuorumConfig& config, ReplicaId id,
                  crypto::Keystore& keystore, rpc::Transport& transport,
-                 sim::Simulator& simulator, ReplicaOptions options)
+                 sim::Scheduler& scheduler, ReplicaOptions options)
     : config_(config),
       id_(id),
       keystore_(keystore),
       signer_(keystore.register_principal(quorum::replica_principal(id))),
       transport_(transport),
-      sim_(simulator),
+      sim_(scheduler),
       options_(options) {
   transport_.set_receiver([this](sim::NodeId from, const rpc::Envelope& env) {
     deliver(from, env);

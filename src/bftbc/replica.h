@@ -63,9 +63,12 @@ struct ReplicaOptions {
 
 class Replica {
  public:
+  // `scheduler` is the node's timer source: the discrete-event Simulator
+  // in tests/benches, a net::EventLoop in a live deployment — the state
+  // machine is identical either way.
   Replica(const quorum::QuorumConfig& config, ReplicaId id,
           crypto::Keystore& keystore, rpc::Transport& transport,
-          sim::Simulator& simulator, ReplicaOptions options = ReplicaOptions());
+          sim::Scheduler& scheduler, ReplicaOptions options = ReplicaOptions());
 
   virtual ~Replica();
   Replica(const Replica&) = delete;
@@ -171,7 +174,7 @@ class Replica {
   crypto::Keystore& keystore_;
   crypto::Signer signer_;
   rpc::Transport& transport_;
-  sim::Simulator& sim_;
+  sim::Scheduler& sim_;
   ReplicaOptions options_;
 
   std::map<ObjectId, ObjectState> objects_;

@@ -1,6 +1,6 @@
 #include "explore/scenario.h"
 
-#include "explore/json_value.h"
+#include "util/json_value.h"
 #include "metrics/json.h"
 #include "util/rng.h"
 

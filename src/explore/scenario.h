@@ -10,7 +10,7 @@
 //
 // Scenarios are JSON-serializable both ways: to_json() via the metrics
 // JsonWriter (the same emitter the bench pipeline uses), from_json() via
-// explore/json_value.h — so a failing run's minimal scenario can be
+// util/json_value.h — so a failing run's minimal scenario can be
 // replayed with `bftbc_explore --replay scenario.json`.
 //
 // Everything is derived deterministically from `seed`: the cluster rng,

@@ -12,7 +12,7 @@
 //     "config":  { "<key>": "<value>", ... },
 //     "counters":   { "<name>": <uint>, ... },    // sig_cache_* always present
 //     "gauges":     { "<name>": <double>, ... },
-//     "summaries":  { "<name>": {count, mean, p50, p90, p99,
+//     "summaries":  { "<name>": {count, mean, p50, p90, p99, p999,
 //                                min, max, stddev}, ... },
 //     "histograms": { "<name>": {total, mean, max,
 //                                buckets: {"<v>": <count>}}, ... }

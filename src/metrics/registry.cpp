@@ -104,6 +104,8 @@ void MetricsRegistry::write_json(JsonWriter& w) const {
     w.value(s.p90);
     w.key("p99");
     w.value(s.p99);
+    w.key("p999");
+    w.value(s.p999);
     w.key("min");
     w.value(s.min);
     w.key("max");

@@ -1,0 +1,115 @@
+#include "net/cluster_config.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/json_value.h"
+
+namespace bftbc::net {
+
+Result<ClusterConfig> ClusterConfig::parse(std::string_view json) {
+  auto root = JsonValue::parse(json);
+  if (!root.has_value() || !root->is_object()) {
+    return Status(StatusCode::kInvalidArgument,
+                  "cluster config: not a JSON object");
+  }
+  ClusterConfig cfg;
+  cfg.f = static_cast<std::uint32_t>(root->u64("f", 1));
+  if (cfg.f == 0) {
+    return Status(StatusCode::kInvalidArgument,
+                  "cluster config: f must be >= 1");
+  }
+  cfg.mode = root->string("mode", "base");
+  if (cfg.mode != "base" && cfg.mode != "optimized" && cfg.mode != "strong") {
+    return Status(StatusCode::kInvalidArgument,
+                  "cluster config: unknown mode '" + cfg.mode + "'");
+  }
+  cfg.scheme = root->string("scheme", "hmac");
+  if (cfg.scheme != "hmac" && cfg.scheme != "rsa") {
+    return Status(StatusCode::kInvalidArgument,
+                  "cluster config: unknown scheme '" + cfg.scheme + "'");
+  }
+  cfg.rsa_bits = static_cast<std::size_t>(root->u64("rsa_bits", 512));
+  cfg.key_seed = root->u64("key_seed", 1);
+  cfg.max_clients = static_cast<std::uint32_t>(root->u64("max_clients", 64));
+  if (cfg.max_clients == 0) {
+    return Status(StatusCode::kInvalidArgument,
+                  "cluster config: max_clients must be >= 1");
+  }
+
+  const JsonValue* replicas = root->find("replicas");
+  if (replicas == nullptr || !replicas->is_array()) {
+    return Status(StatusCode::kInvalidArgument,
+                  "cluster config: missing replicas array");
+  }
+  for (const JsonValue& entry : replicas->items()) {
+    if (!entry.is_object()) {
+      return Status(StatusCode::kInvalidArgument,
+                    "cluster config: replica entry is not an object");
+    }
+    ReplicaEndpoint ep;
+    ep.host = entry.string("host", "");
+    const std::uint64_t port = entry.u64("port", 0);
+    if (port == 0 || port > 65535) {
+      return Status(StatusCode::kInvalidArgument,
+                    "cluster config: replica port out of range");
+    }
+    ep.port = static_cast<std::uint16_t>(port);
+    if (!UdpEndpoint::parse(ep.host, ep.port).has_value()) {
+      return Status(StatusCode::kInvalidArgument,
+                    "cluster config: bad replica host '" + ep.host +
+                        "' (dotted-quad IPv4 required)");
+    }
+    cfg.replicas.push_back(std::move(ep));
+  }
+  const std::uint32_t n = 3 * cfg.f + 1;
+  if (cfg.replicas.size() != n) {
+    return Status(StatusCode::kInvalidArgument,
+                  "cluster config: expected " + std::to_string(n) +
+                      " replicas (3f+1) but found " +
+                      std::to_string(cfg.replicas.size()));
+  }
+  return cfg;
+}
+
+Result<ClusterConfig> ClusterConfig::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status(StatusCode::kNotFound,
+                  "cluster config: cannot open " + path);
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse(text.str());
+}
+
+Result<std::map<sim::NodeId, UdpEndpoint>> replica_endpoints(
+    const ClusterConfig& config) {
+  std::map<sim::NodeId, UdpEndpoint> peers;
+  for (std::size_t r = 0; r < config.replicas.size(); ++r) {
+    const auto& ep = config.replicas[r];
+    auto parsed = UdpEndpoint::parse(ep.host, ep.port);
+    if (!parsed.has_value()) {
+      return Status(StatusCode::kInvalidArgument,
+                    "cluster config: bad replica host '" + ep.host + "'");
+    }
+    peers[static_cast<sim::NodeId>(r)] = *parsed;
+  }
+  return peers;
+}
+
+void register_cluster_principals(const ClusterConfig& config,
+                                 crypto::Keystore& keystore) {
+  // Canonical registration order — replicas then clients — so every
+  // process's deterministic Keystore mints the same key for the same
+  // principal (see file comment in the header).
+  const std::uint32_t n = 3 * config.f + 1;
+  for (std::uint32_t r = 0; r < n; ++r) {
+    (void)keystore.register_principal(quorum::replica_principal(r));
+  }
+  for (std::uint32_t c = 0; c < config.max_clients; ++c) {
+    (void)keystore.register_principal(quorum::client_principal(c));
+  }
+}
+
+}  // namespace bftbc::net

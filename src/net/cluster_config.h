@@ -1,0 +1,88 @@
+// Deployment cluster description, loaded from a JSON file.
+//
+// One file, shared verbatim by every bftbcd replica daemon and every
+// bftbc_bench client process, pins everything the processes must agree
+// on:
+//
+//   {
+//     "f": 1,
+//     "mode": "base" | "optimized" | "strong",
+//     "scheme": "hmac" | "rsa",
+//     "rsa_bits": 512,
+//     "key_seed": 42,
+//     "max_clients": 64,
+//     "replicas": [ {"host": "127.0.0.1", "port": 5500}, ... ]   // 3f+1
+//   }
+//
+// Key distribution: crypto::Keystore derives key material
+// deterministically from (scheme, seed) in *registration order*, so
+// separate processes that register the same principals in the same
+// canonical order hold identical keys — a stand-in for real key
+// provisioning that keeps daemons self-contained.
+// register_cluster_principals() is that canonical order: replicas 0..n-1
+// first, then clients 0..max_clients-1. A client id >= max_clients is a
+// config error, not a protocol error.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "crypto/signature.h"
+#include "net/udp_transport.h"
+#include "quorum/config.h"
+#include "util/status.h"
+
+namespace bftbc::net {
+
+// Node addressing mirrors harness/cluster.h: replica r is NodeId r,
+// client c is NodeId kClientNodeBase + c (kept in sync by net_test).
+inline constexpr sim::NodeId kClientNodeBase = 0x10000;
+
+inline sim::NodeId client_node(quorum::ClientId c) {
+  return kClientNodeBase + c;
+}
+
+struct ClusterConfig {
+  std::uint32_t f = 1;
+  std::string mode = "base";  // "base" | "optimized" | "strong"
+  std::string scheme = "hmac";  // "hmac" | "rsa"
+  std::size_t rsa_bits = 512;
+  std::uint64_t key_seed = 1;
+  std::uint32_t max_clients = 64;
+
+  struct ReplicaEndpoint {
+    std::string host;
+    std::uint16_t port = 0;
+  };
+  std::vector<ReplicaEndpoint> replicas;  // exactly 3f+1 entries
+
+  bool optimized() const { return mode == "optimized" || mode == "strong"; }
+  bool strong() const { return mode == "strong"; }
+  crypto::SignatureScheme signature_scheme() const {
+    return scheme == "rsa" ? crypto::SignatureScheme::kRsa
+                           : crypto::SignatureScheme::kHmacSim;
+  }
+  quorum::QuorumConfig quorum() const {
+    return quorum::QuorumConfig::bft_bc(f);
+  }
+
+  // Parse + validate (n == 3f+1, resolvable hosts, known mode/scheme).
+  static Result<ClusterConfig> parse(std::string_view json);
+  static Result<ClusterConfig> load(const std::string& path);
+};
+
+// The replica endpoint table for UdpTransport, keyed by NodeId.
+Result<std::map<sim::NodeId, UdpEndpoint>> replica_endpoints(
+    const ClusterConfig& config);
+
+// Registers every principal of the cluster in the canonical order that
+// makes independently-seeded Keystores agree (see file comment). The
+// keystore must be freshly constructed from (config.signature_scheme(),
+// config.key_seed, config.rsa_bits).
+void register_cluster_principals(const ClusterConfig& config,
+                                 crypto::Keystore& keystore);
+
+}  // namespace bftbc::net

@@ -2,12 +2,12 @@
 
 namespace bftbc::rpc {
 
-QuorumCall::QuorumCall(sim::Simulator& simulator, Transport& transport,
+QuorumCall::QuorumCall(sim::Scheduler& scheduler, Transport& transport,
                        std::vector<sim::NodeId> targets, std::uint32_t quorum,
                        Envelope request, Validator validator,
                        Completion on_complete,
                        std::function<void()> on_timeout, Options options)
-    : sim_(simulator),
+    : sim_(scheduler),
       transport_(transport),
       targets_(std::move(targets)),
       quorum_(quorum),
@@ -20,9 +20,11 @@ QuorumCall::QuorumCall(sim::Simulator& simulator, Transport& transport,
   for (std::uint32_t i = 0; i < targets_.size(); ++i) index_of_[targets_[i]] = i;
   if (options_.deadline > 0) {
     deadline_timer_ = sim_.schedule(options_.deadline, [this] {
+      deadline_timer_ = 0;  // fired — this id must never be cancelled
       if (complete_) return;
       timed_out_ = true;
       sim_.cancel(retransmit_timer_);
+      retransmit_timer_ = 0;
       if (on_timeout_) on_timeout_();
     });
   }
@@ -57,6 +59,7 @@ void QuorumCall::transmit() {
 
 void QuorumCall::arm_retransmit() {
   retransmit_timer_ = sim_.schedule(options_.retransmit_period, [this] {
+    retransmit_timer_ = 0;  // fired — stale until arm_retransmit rearms
     if (complete_ || timed_out_) return;
     transmit();
     arm_retransmit();
@@ -68,7 +71,15 @@ bool QuorumCall::on_reply(sim::NodeId from, const Envelope& env) {
   auto it = index_of_.find(from);
   if (it == index_of_.end()) return false;
   // The envelope is ours even if we end up rejecting its contents.
-  if (complete_ || timed_out_) return true;
+  if (complete_ || timed_out_) {
+    // A reply straggling in after the deadline is still protocol signal
+    // (the replica is alive and answered); surface it instead of
+    // swallowing it so fallback paths can react.
+    if (timed_out_ && !accepted_[it->second] && on_late_reply_) {
+      on_late_reply_(it->second, env);
+    }
+    return true;
+  }
   const std::uint32_t idx = it->second;
   if (accepted_[idx]) return true;  // duplicate from this replica
   if (!validator_(idx, env)) return true;
@@ -77,7 +88,9 @@ bool QuorumCall::on_reply(sim::NodeId from, const Envelope& env) {
   if (accepted_count_ >= quorum_) {
     complete_ = true;
     sim_.cancel(retransmit_timer_);
+    retransmit_timer_ = 0;
     sim_.cancel(deadline_timer_);
+    deadline_timer_ = 0;
     if (on_complete_) on_complete_();
   }
   return true;

@@ -42,7 +42,7 @@ class QuorumCall {
 
   using Options = QuorumCallOptions;
 
-  QuorumCall(sim::Simulator& simulator, Transport& transport,
+  QuorumCall(sim::Scheduler& scheduler, Transport& transport,
              std::vector<sim::NodeId> targets, std::uint32_t quorum,
              Envelope request, Validator validator, Completion on_complete,
              std::function<void()> on_timeout = nullptr,
@@ -56,6 +56,17 @@ class QuorumCall {
   // to this call (matching rpc id and a known sender node).
   bool on_reply(sim::NodeId from, const Envelope& env);
 
+  // Fallback signal for replies that arrive after the deadline fired
+  // (matching rpc id, known sender, not yet accepted). The call itself
+  // stays timed out — it never completes late — but a caller can use the
+  // signal to write back, update failure detectors, or re-issue the
+  // operation against fresher state.
+  using LateReplyHandler =
+      std::function<void(std::uint32_t replica_index, const Envelope& reply)>;
+  void set_late_reply_handler(LateReplyHandler handler) {
+    on_late_reply_ = std::move(handler);
+  }
+
   bool complete() const { return complete_; }
   std::uint64_t rpc_id() const { return request_.rpc_id; }
   std::uint32_t accepted_count() const { return accepted_count_; }
@@ -65,11 +76,18 @@ class QuorumCall {
   // Replicas (by index) whose replies were accepted.
   const std::vector<bool>& accepted() const { return accepted_; }
 
+  // Timer-id hygiene, exposed so tests can pin the contract: a fired or
+  // cancelled timer's stored id is zeroed and never cancelled again. A
+  // live timer wheel is allowed to recycle ids, so cancelling a stale id
+  // could kill an unrelated timer.
+  sim::TimerId retransmit_timer_id() const { return retransmit_timer_; }
+  sim::TimerId deadline_timer_id() const { return deadline_timer_; }
+
  private:
   void transmit();
   void arm_retransmit();
 
-  sim::Simulator& sim_;
+  sim::Scheduler& sim_;
   Transport& transport_;
   std::vector<sim::NodeId> targets_;
   std::map<sim::NodeId, std::uint32_t> index_of_;
@@ -78,6 +96,7 @@ class QuorumCall {
   Validator validator_;
   Completion on_complete_;
   std::function<void()> on_timeout_;
+  LateReplyHandler on_late_reply_;
   Options options_;
 
   std::vector<bool> accepted_;

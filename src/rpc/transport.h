@@ -58,7 +58,14 @@ class SimTransport final : public Transport {
   }
 
   ~SimTransport() override {
-    if (flush_scheduled_) coalesce_sim_->cancel(flush_timer_);
+    if (flush_scheduled_) {
+      coalesce_sim_->cancel(flush_timer_);
+      // Teardown must not silently lose envelopes the caller already
+      // handed over: ship the coalescing remainder exactly as the
+      // cancelled flush timer would have (a live transport drains its
+      // socket queue the same way on close).
+      flush_sends();
+    }
     network_.unregister_node(id_);
   }
 
@@ -119,6 +126,10 @@ class SimTransport final : public Transport {
     Reader r(body);
     const std::uint32_t count = r.get_u32();
     for (std::uint32_t i = 0; i < count && r.ok(); ++i) {
+      // Re-checked every iteration: a handler may react to one
+      // sub-envelope by clearing the receiver (shutdown, node
+      // unregistration), and invoking an empty std::function is UB.
+      if (!receiver_) return;
       auto sub = Envelope::decode(r.get_bytes());
       // Nested bundles are never produced; drop them so a Byzantine
       // sender cannot build unbounded recursion.

@@ -11,16 +11,20 @@ void Network::register_node(NodeId id, Handler handler) {
 void Network::unregister_node(NodeId id) { handlers_.erase(id); }
 
 void Network::bind_metrics(metrics::MetricsRegistry& registry,
-                           const std::string& scope) {
+                           const std::string& scope,
+                           const std::set<std::string>* only) {
   metrics::MetricsRegistry::Scope s = registry.scoped(scope);
-  reg_.msgs_sent = &s.counter("msgs_sent");
-  reg_.msgs_delivered = &s.counter("msgs_delivered");
-  reg_.msgs_dropped = &s.counter("msgs_dropped");
-  reg_.msgs_duplicated = &s.counter("msgs_duplicated");
-  reg_.msgs_corrupted = &s.counter("msgs_corrupted");
-  reg_.bytes_sent = &s.counter("bytes_sent");
-  reg_.bytes_delivered = &s.counter("bytes_delivered");
-  reg_.encode_calls = &s.counter("encode_calls");
+  auto bind = [&](const char* name, metrics::Counter*& slot) {
+    if (only == nullptr || only->count(name) != 0) slot = &s.counter(name);
+  };
+  bind("msgs_sent", reg_.msgs_sent);
+  bind("msgs_delivered", reg_.msgs_delivered);
+  bind("msgs_dropped", reg_.msgs_dropped);
+  bind("msgs_duplicated", reg_.msgs_duplicated);
+  bind("msgs_corrupted", reg_.msgs_corrupted);
+  bind("bytes_sent", reg_.bytes_sent);
+  bind("bytes_delivered", reg_.bytes_delivered);
+  bind("encode_calls", reg_.encode_calls);
 }
 
 void Network::note_encode() {
@@ -58,10 +62,10 @@ void Network::deliver_later(NodeId from, NodeId to, EncodedMessage payload,
     }
     counters_.inc("msgs_delivered");
     counters_.inc("bytes_delivered", payload.size());
-    if (reg_.msgs_delivered) {
-      reg_.msgs_delivered->inc();
-      reg_.bytes_delivered->inc(payload.size());
-    }
+    // Per-pointer guards: a partial bind_metrics leaves individual
+    // handles null, and one bound pointer says nothing about another.
+    if (reg_.msgs_delivered) reg_.msgs_delivered->inc();
+    if (reg_.bytes_delivered) reg_.bytes_delivered->inc(payload.size());
     if (tracer_) {
       tracer_->record(sim_.now(), metrics::TraceKind::kMsgDeliver, from, to);
     }
@@ -72,10 +76,8 @@ void Network::deliver_later(NodeId from, NodeId to, EncodedMessage payload,
 void Network::send(NodeId from, NodeId to, const EncodedMessage& payload) {
   counters_.inc("msgs_sent");
   counters_.inc("bytes_sent", payload.size());
-  if (reg_.msgs_sent) {
-    reg_.msgs_sent->inc();
-    reg_.bytes_sent->inc(payload.size());
-  }
+  if (reg_.msgs_sent) reg_.msgs_sent->inc();
+  if (reg_.bytes_sent) reg_.bytes_sent->inc(payload.size());
   if (tracer_) {
     tracer_->record(sim_.now(), metrics::TraceKind::kMsgSend, from, to,
                     std::to_string(payload.size()) + "B");

@@ -100,8 +100,14 @@ class Network {
   // so the same totals also land in the metrics registry the harness
   // snapshots into bench JSON. Recording goes through pre-resolved
   // pointers — no per-message name lookups.
+  //
+  // When `only` is non-null, just the named counters are bound and every
+  // other handle stays null — callers that track a subset (say, message
+  // counts without byte totals) are a supported configuration, so each
+  // recording site guards each pointer individually.
   void bind_metrics(metrics::MetricsRegistry& registry,
-                    const std::string& scope);
+                    const std::string& scope,
+                    const std::set<std::string>* only = nullptr);
 
   // Optional event tracer: message send/deliver/drop events are recorded
   // into the ring buffer (null disables).

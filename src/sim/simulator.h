@@ -28,22 +28,41 @@ constexpr Time kSecond = 1000 * kMillisecond;
 
 using TimerId = std::uint64_t;
 
-class Simulator {
+// The timer contract protocol code is written against: current time plus
+// schedule/cancel. Two implementations exist — the discrete-event
+// Simulator below (virtual time) and net::EventLoop (monotonic wall
+// time over epoll/poll) — so the identical client/replica state machines
+// run simulated and live. Implementations never hand out TimerId 0 and
+// never reuse an id, and cancel(0) / cancel(fired id) are no-ops; timer
+// holders zero their stored ids once a timer fires (see QuorumCall).
+class Scheduler {
  public:
-  Simulator();
-  ~Simulator();
+  virtual ~Scheduler() = default;
 
-  Simulator(const Simulator&) = delete;
-  Simulator& operator=(const Simulator&) = delete;
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
 
-  Time now() const { return now_; }
+  virtual Time now() const = 0;
 
   // Schedule fn to run at now() + delay. Returns an id usable with cancel.
-  TimerId schedule(Time delay, std::function<void()> fn);
-  TimerId schedule_at(Time when, std::function<void()> fn);
+  virtual TimerId schedule(Time delay, std::function<void()> fn) = 0;
 
   // Cancel a pending timer; no-op if already fired or cancelled.
-  void cancel(TimerId id);
+  virtual void cancel(TimerId id) = 0;
+};
+
+class Simulator final : public Scheduler {
+ public:
+  Simulator();
+  ~Simulator() override;
+
+  Time now() const override { return now_; }
+
+  TimerId schedule(Time delay, std::function<void()> fn) override;
+  TimerId schedule_at(Time when, std::function<void()> fn);
+
+  void cancel(TimerId id) override;
 
   // Run a single event. Returns false if the queue is empty.
   bool step();

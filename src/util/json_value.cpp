@@ -1,9 +1,9 @@
-#include "explore/json_value.h"
+#include "util/json_value.h"
 
 #include <cctype>
 #include <cstdlib>
 
-namespace bftbc::explore {
+namespace bftbc {
 
 namespace {
 
@@ -246,4 +246,4 @@ std::string JsonValue::string(std::string_view key,
   return v->as_string();
 }
 
-}  // namespace bftbc::explore
+}  // namespace bftbc

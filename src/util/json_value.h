@@ -17,7 +17,7 @@
 #include <utility>
 #include <vector>
 
-namespace bftbc::explore {
+namespace bftbc {
 
 class JsonValue {
  public:
@@ -64,4 +64,4 @@ class JsonValue {
   std::vector<std::pair<std::string, JsonValue>> obj_;
 };
 
-}  // namespace bftbc::explore
+}  // namespace bftbc

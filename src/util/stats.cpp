@@ -70,6 +70,7 @@ Summary::Snapshot Summary::snapshot() const {
   s.p50 = percentile(0.5);
   s.p90 = percentile(0.9);
   s.p99 = percentile(0.99);
+  s.p999 = percentile(0.999);
   return s;
 }
 

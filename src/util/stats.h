@@ -45,7 +45,7 @@ class Summary {
   struct Snapshot {
     std::size_t count = 0;
     double mean = 0, min = 0, max = 0, stddev = 0;
-    double p50 = 0, p90 = 0, p99 = 0;
+    double p50 = 0, p90 = 0, p99 = 0, p999 = 0;
   };
   Snapshot snapshot() const;
 

@@ -9,7 +9,7 @@
 #include <set>
 
 #include "explore/explorer.h"
-#include "explore/json_value.h"
+#include "util/json_value.h"
 
 namespace bftbc::explore {
 namespace {

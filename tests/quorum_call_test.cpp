@@ -176,6 +176,79 @@ TEST_F(QuorumCallTest, DeadlineFiresTimeoutOnce) {
   EXPECT_FALSE(complete);
 }
 
+TEST_F(QuorumCallTest, FiredTimerIdsAreZeroed) {
+  QuorumCallOptions opts;
+  opts.deadline = 5000;
+  opts.retransmit_period = 1000;
+  QuorumCall call(
+      sim_, transport_, {0, 1, 2, 3}, 3, request(),
+      [](std::uint32_t, const Envelope&) { return true; }, [] {}, [] {}, opts);
+  EXPECT_NE(call.retransmit_timer_id(), 0u);
+  EXPECT_NE(call.deadline_timer_id(), 0u);
+  sim_.run_until(20'000);  // deadline fires, retransmissions stop
+  // Both ids are stale now (deadline fired, retransmit cancelled by the
+  // timeout path) and must be zeroed: a live timer wheel may hand the
+  // same id to an unrelated timer, and ~QuorumCall cancels whatever ids
+  // it still holds (pre-fix, both stayed nonzero here).
+  EXPECT_EQ(call.retransmit_timer_id(), 0u);
+  EXPECT_EQ(call.deadline_timer_id(), 0u);
+}
+
+TEST_F(QuorumCallTest, CompletionZeroesTimerIds) {
+  QuorumCallOptions opts;
+  opts.deadline = 5000;
+  QuorumCall call(
+      sim_, transport_, {0, 1}, 2, request(),
+      [](std::uint32_t, const Envelope&) { return true; }, [] {}, [] {}, opts);
+  call.on_reply(0, reply_env(7, "a"));
+  call.on_reply(1, reply_env(7, "b"));
+  ASSERT_TRUE(call.complete());
+  EXPECT_EQ(call.retransmit_timer_id(), 0u);
+  EXPECT_EQ(call.deadline_timer_id(), 0u);
+}
+
+TEST_F(QuorumCallTest, LateRepliesAfterTimeoutAreSignalled) {
+  QuorumCallOptions opts;
+  opts.deadline = 5000;
+  opts.retransmit_period = 1000;
+  bool complete = false;
+  QuorumCall call(
+      sim_, transport_, {0, 1, 2, 3}, 3, request(),
+      [](std::uint32_t, const Envelope&) { return true; },
+      [&] { complete = true; }, [] {}, opts);
+  std::vector<std::uint32_t> late;
+  call.set_late_reply_handler(
+      [&](std::uint32_t idx, const Envelope&) { late.push_back(idx); });
+
+  call.on_reply(0, reply_env(7, "in-time"));
+  sim_.run_until(20'000);  // deadline fires with only one reply in
+
+  // Post-timeout replies reach the fallback signal (pre-fix they were
+  // silently consumed) without completing the call; the pre-timeout
+  // responder's duplicate does not re-signal.
+  EXPECT_TRUE(call.on_reply(1, reply_env(7, "late")));
+  EXPECT_TRUE(call.on_reply(2, reply_env(7, "late")));
+  EXPECT_TRUE(call.on_reply(0, reply_env(7, "dup")));
+  EXPECT_FALSE(complete);
+  ASSERT_EQ(late.size(), 2u);
+  EXPECT_EQ(late[0], 1u);
+  EXPECT_EQ(late[1], 2u);
+}
+
+TEST_F(QuorumCallTest, LateReplyHandlerNotInvokedAfterCompletion) {
+  QuorumCall call(
+      sim_, transport_, {0, 1, 2}, 2, request(),
+      [](std::uint32_t, const Envelope&) { return true; }, [] {});
+  int late = 0;
+  call.set_late_reply_handler([&](std::uint32_t, const Envelope&) { ++late; });
+  call.on_reply(0, reply_env(7, "a"));
+  call.on_reply(1, reply_env(7, "b"));
+  ASSERT_TRUE(call.complete());
+  // A quorum overshoot is normal protocol traffic, not a late straggler.
+  EXPECT_TRUE(call.on_reply(2, reply_env(7, "overshoot")));
+  EXPECT_EQ(late, 0);
+}
+
 TEST_F(QuorumCallTest, NoTimeoutWhenCompletedFirst) {
   QuorumCallOptions opts;
   opts.deadline = 5000;

@@ -128,19 +128,89 @@ TEST_F(TransportTest, NestedBatchEnvelopesAreDropped) {
   EXPECT_EQ(delivered, 1);  // the nested bundle was dropped, not recursed
 }
 
-TEST_F(TransportTest, DestructionWithPendingFlushIsSafe) {
+TEST_F(TransportTest, DestructionFlushesPendingCoalescedEnvelopes) {
+  SimTransport receiver(net_, 2);
+  std::vector<Envelope> got;
+  receiver.set_receiver(
+      [&](sim::NodeId, const Envelope& env) { got.push_back(env); });
+  {
+    SimTransport sender(net_, 1, &sim_);
+    sender.send(2, envelope(1, "a"));
+    sender.send(2, envelope(2, "b"));
+    // Destroyed before the delay-0 flush timer fires: teardown must ship
+    // the coalescing remainder — an accepted envelope never just
+    // vanishes (the pre-fix transport silently discarded both here).
+  }
+  sim_.run_until(500);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].rpc_id, 1u);
+  EXPECT_EQ(got[1].rpc_id, 2u);
+  // Still one wire message: the teardown flush coalesces like the timer.
+  EXPECT_EQ(net_.counters().get("msgs_sent"), 1u);
+}
+
+TEST_F(TransportTest, NoEnvelopeUnaccountedAcrossTeardown) {
+  // Sent-side accounting across a teardown flush: everything handed to
+  // send() before destruction is either delivered or counted dropped.
   SimTransport receiver(net_, 2);
   int delivered = 0;
   receiver.set_receiver([&](sim::NodeId, const Envelope&) { ++delivered; });
   {
     SimTransport sender(net_, 1, &sim_);
     sender.send(2, envelope(1, "a"));
+    sim_.run_until(500);  // first tick's flush fires and delivers
     sender.send(2, envelope(2, "b"));
-    // Destroyed before the delay-0 flush timer fires.
+    sender.send(2, envelope(3, "c"));
   }
+  sim_.run_until(1000);
+  EXPECT_EQ(delivered + static_cast<int>(net_.counters().get("msgs_dropped")),
+            3);
+  EXPECT_EQ(delivered, 3);
+}
+
+TEST_F(TransportTest, MidBundleReceiverClearStopsDeliverySafely) {
+  SimTransport sender(net_, 1, &sim_);
+  SimTransport receiver(net_, 2);
+  std::vector<std::uint64_t> got;
+  receiver.set_receiver([&](sim::NodeId, const Envelope& env) {
+    got.push_back(env.rpc_id);
+    // React to the first sub-envelope by unhooking — e.g. a node
+    // shutting down mid-bundle. The transport must not invoke the now
+    // empty std::function for the remaining sub-envelopes (pre-fix this
+    // threw std::bad_function_call).
+    receiver.set_receiver({});
+  });
+
+  sender.send(2, envelope(1, "a"));
+  sender.send(2, envelope(2, "b"));
+  sender.send(2, envelope(3, "c"));
   sim_.run_until(500);
-  EXPECT_EQ(delivered, 0);
-  EXPECT_EQ(net_.counters().get("msgs_sent"), 0u);
+
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], 1u);
+}
+
+TEST_F(TransportTest, PartialMetricsBindOnlyTouchesBoundCounters) {
+  // A subset bind leaves the other handles null; sending and delivering
+  // must guard every pointer individually (pre-fix, the delivery path
+  // dereferenced bytes_delivered under the msgs_delivered guard and the
+  // send path bytes_sent under msgs_sent — both crashed here).
+  metrics::MetricsRegistry registry;
+  const std::set<std::string> only{"msgs_sent", "msgs_delivered"};
+  net_.bind_metrics(registry, "net", &only);
+
+  SimTransport sender(net_, 1);
+  SimTransport receiver(net_, 2);
+  int delivered = 0;
+  receiver.set_receiver([&](sim::NodeId, const Envelope&) { ++delivered; });
+  sender.send(2, envelope(1, "a"));
+  sim_.run_until(500);
+
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(registry.counter("net/msgs_sent").value, 1u);
+  EXPECT_EQ(registry.counter("net/msgs_delivered").value, 1u);
+  EXPECT_EQ(registry.counter("net/bytes_sent").value, 0u);
+  EXPECT_EQ(registry.counter("net/bytes_delivered").value, 0u);
 }
 
 TEST_F(TransportTest, EncodeOnceAcrossRepeatSends) {

@@ -321,6 +321,58 @@ TEST(StatsTest, PercentileBounds) {
   EXPECT_NEAR(s.percentile(0.5), 50.0, 1.0);
 }
 
+TEST(StatsTest, SingleSampleSummary) {
+  // One sample: every location statistic collapses onto it and stddev
+  // (sample stddev, n-1 denominator) is defined as 0.
+  Summary s;
+  s.add(7.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 7.5);
+  EXPECT_DOUBLE_EQ(s.min(), 7.5);
+  EXPECT_DOUBLE_EQ(s.max(), 7.5);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 7.5);
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 7.5);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 7.5);
+  const Summary::Snapshot snap = s.snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_DOUBLE_EQ(snap.p50, 7.5);
+  EXPECT_DOUBLE_EQ(snap.p999, 7.5);
+}
+
+TEST(StatsTest, PercentileClampsOutOfRangeQ) {
+  Summary s;
+  for (double v : {10.0, 20.0, 30.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.percentile(-0.5), 10.0);  // q clamped to 0
+  EXPECT_DOUBLE_EQ(s.percentile(2.0), 30.0);   // q clamped to 1
+}
+
+TEST(StatsTest, SnapshotIncludesOrderedP999) {
+  // 10k distinct samples: p999 must sit strictly between p99 and max
+  // (the tail percentile the live bench reports), and the whole snapshot
+  // must satisfy the JSON schema's ordering invariant.
+  Summary s;
+  for (int i = 0; i < 10000; ++i) s.add(static_cast<double>(i));
+  const Summary::Snapshot snap = s.snapshot();
+  EXPECT_LE(snap.min, snap.p50);
+  EXPECT_LE(snap.p50, snap.p90);
+  EXPECT_LE(snap.p90, snap.p99);
+  EXPECT_LT(snap.p99, snap.p999);
+  EXPECT_LT(snap.p999, snap.max);
+  EXPECT_NEAR(snap.p999, 9989.0, 1.0);
+}
+
+TEST(StatsTest, EmptySnapshotIsAllZero) {
+  const Summary::Snapshot snap = Summary().snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.mean, 0.0);
+  EXPECT_EQ(snap.min, 0.0);
+  EXPECT_EQ(snap.max, 0.0);
+  EXPECT_EQ(snap.p50, 0.0);
+  EXPECT_EQ(snap.p999, 0.0);
+  EXPECT_EQ(snap.stddev, 0.0);
+}
+
 TEST(StatsTest, HistogramCountsAndMean) {
   Histogram h;
   h.add(2);

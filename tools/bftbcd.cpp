@@ -1,0 +1,120 @@
+// bftbcd — a BFT-BC replica as a standalone UDP daemon.
+//
+// The deployable half of the tentpole: the *same* core::Replica state
+// machine the simulator drives in every test, wired to a net::EventLoop
+// and net::UdpTransport instead. One process per replica:
+//
+//   bftbcd --config bench/cluster_localhost.json --replica 0
+//
+// All processes share the cluster config file, which pins the quorum
+// parameters, the protocol mode, and the deterministic key seed — so the
+// daemons and any bftbc_bench clients derive matching keys without a key
+// exchange (see net/cluster_config.h).
+//
+// Shutdown: SIGINT/SIGTERM stop the loop; the replica prints its counter
+// map on exit (reply/drop accounting) for post-run inspection.
+#include <csignal>
+#include <cstdio>
+#include <memory>
+
+#include "bftbc/replica.h"
+#include "net/cluster_config.h"
+#include "net/event_loop.h"
+#include "net/udp_transport.h"
+#include "util/flags.h"
+
+namespace {
+
+// Written by the signal handler, polled by a loop timer: the handler
+// itself must stay async-signal-safe, so it only flips the flag.
+volatile std::sig_atomic_t g_stop = 0;
+
+void handle_signal(int) { g_stop = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bftbc;
+
+  FlagSet flags;
+  auto& config_path =
+      flags.add_string("config", "", "path to the cluster JSON file");
+  auto& replica_id =
+      flags.add_int("replica", -1, "this replica's index (0..3f)");
+  auto& force_poll =
+      flags.add_bool("force-poll", false, "use poll() even where epoll exists");
+  flags.parse(argc, argv);
+
+  if ((*config_path).empty() || *replica_id < 0) {
+    std::fprintf(stderr, "bftbcd: --config and --replica are required\n%s",
+                 flags.usage("bftbcd").c_str());
+    return 2;
+  }
+
+  auto loaded = net::ClusterConfig::load(*config_path);
+  if (!loaded.is_ok()) {
+    std::fprintf(stderr, "bftbcd: %s\n", loaded.status().message().c_str());
+    return 2;
+  }
+  const net::ClusterConfig& cluster = loaded.value();
+  const auto r = static_cast<quorum::ReplicaId>(*replica_id);
+  const quorum::QuorumConfig quorum = cluster.quorum();
+  if (!quorum.valid_replica(r)) {
+    std::fprintf(stderr, "bftbcd: --replica %d out of range (n=%u)\n",
+                 static_cast<int>(*replica_id), quorum.n);
+    return 2;
+  }
+
+  crypto::Keystore keystore(cluster.signature_scheme(), cluster.key_seed,
+                            cluster.rsa_bits);
+  net::register_cluster_principals(cluster, keystore);
+
+  net::EventLoop loop(*force_poll);
+  auto peers = net::replica_endpoints(cluster);
+  if (!peers.is_ok()) {
+    std::fprintf(stderr, "bftbcd: %s\n", peers.status().message().c_str());
+    return 2;
+  }
+  const net::UdpEndpoint bind_to = peers.value().at(r);
+  net::UdpTransport transport(loop, r, bind_to, peers.value());
+  if (!transport.valid()) {
+    std::fprintf(stderr, "bftbcd: cannot bind UDP %s\n",
+                 bind_to.to_string().c_str());
+    return 1;
+  }
+
+  core::ReplicaOptions ropts;
+  ropts.optimized = cluster.optimized();
+  ropts.strong = cluster.strong();
+  core::Replica replica(quorum, r, keystore, transport, loop, ropts);
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  // The stop flag is only a flag; this timer turns it into a loop exit.
+  std::function<void()> poll_stop = [&] {
+    if (g_stop != 0) {
+      loop.stop();
+      return;
+    }
+    loop.schedule(50 * sim::kMillisecond, poll_stop);
+  };
+  loop.schedule(50 * sim::kMillisecond, poll_stop);
+
+  std::printf("bftbcd: replica %u (%s mode, %s) listening on %s\n", r,
+              cluster.mode.c_str(), cluster.scheme.c_str(),
+              bind_to.to_string().c_str());
+  std::fflush(stdout);  // readiness marker for scripts tailing the log
+
+  loop.run();
+
+  std::printf("bftbcd: replica %u shutting down; counters:\n", r);
+  for (const auto& [name, value] : replica.metrics().all()) {
+    std::printf("  %-28s %llu\n", name.c_str(),
+                static_cast<unsigned long long>(value));
+  }
+  for (const auto& [name, value] : transport.counters().all()) {
+    std::printf("  net/%-24s %llu\n", name.c_str(),
+                static_cast<unsigned long long>(value));
+  }
+  return 0;
+}
