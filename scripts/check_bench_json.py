@@ -31,8 +31,10 @@ Usage:
   check_bench_json.py --compare OLD NEW [--threshold PCT]
       Validate both reports, then print per-counter deltas and per-op
       derived ratios (bytes_sent/write, msgs_sent/op, sig_verify_calls/op,
-      encode_calls/op). Exits 1 when any watched ratio in NEW regressed
-      (grew) more than PCT percent over OLD (default 10).
+      encode_calls/op, sign/op, mac_sign/op, mac_verify/op). Exits 1 when
+      any watched ratio in NEW regressed (grew) more than PCT percent
+      over OLD (default 10). Ratios whose counters are absent from either
+      report are skipped, so MAC-less benches compare unchanged.
 Exit status: 0 if every file passes, 1 otherwise, 2 on usage error.
 """
 
@@ -160,6 +162,12 @@ WATCHED_RATIOS = (
     ("msgs_sent/op", "net/msgs_sent", "op"),
     ("sig_verify_calls/op", "sig_verify_calls", "op"),
     ("encode_calls/op", "net/encode_calls", "op"),
+    # Authentication work per op: RSA signatures minted, and the MAC
+    # sign/verify volume of the §3.3.2 authenticator mode. Absent
+    # counters (benches that never enable MAC mode) are skipped.
+    ("sign/op", "sign", "op"),
+    ("mac_sign/op", "mac_sign", "op"),
+    ("mac_verify/op", "mac_verify", "op"),
 )
 
 

@@ -14,7 +14,11 @@ generic tool can express:
       to the batch path: multi-item verification goes through
       Keystore::verify_batch; touching VerifyCache (or the keystore's
       verify_cache() accessor) directly skips the verify lock and the
-      sig_cache_hit/miss counters the perf trajectory tracks.
+      sig_cache_hit/miss counters the perf trajectory tracks. The worker
+      pool is keystore-internal too: protocol code must not construct a
+      VerifyPool or call parallel_for itself — the pool is handed to the
+      keystore (set_verify_pool) at process setup and verify_batch is the
+      only crypto that may fan out through it.
       Scope: src/ except src/crypto/.
 
   nondeterminism
@@ -96,6 +100,8 @@ RAW_VERIFY_RE = re.compile(
         | \bhmac_verify\s*\(
         | \bVerifyCache\b
         | (?:\.|->)\s*verify_cache\s*\(\s*\)
+        | \bVerifyPool\b
+        | (?:\.|->)\s*parallel_for\s*\(
         )""",
     re.VERBOSE,
 )

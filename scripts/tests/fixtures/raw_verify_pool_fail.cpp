@@ -1,0 +1,9 @@
+// Fixture: protocol code building its own VerifyPool and fanning
+// verification out with parallel_for, bypassing Keystore::verify_batch
+// (and its cache/counters) — must FAIL raw-verify.
+void drain_backlog(std::vector<Item>& items) {
+  VerifyPool pool(4);
+  pool.parallel_for(items.size(), [&](std::size_t i) {
+    items[i].ok = check_one(items[i]);
+  });
+}

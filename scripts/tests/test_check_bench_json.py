@@ -26,6 +26,9 @@ def minimal_report(**counter_overrides):
         "sig_cache_hit": 10,
         "sig_cache_miss": 5,
         "sig_verify_calls": 700,
+        "sign": 420,
+        "mac_sign": 360,
+        "mac_verify": 330,
         "net/bytes_sent": 278284,
         "net/msgs_sent": 1600,
         "net/encode_calls": 1600,
@@ -111,12 +114,15 @@ class CheckBenchJsonTest(unittest.TestCase):
         new = self.write_report("new.json", minimal_report())
         rc, out = run_checker("--compare", old, new)
         self.assertEqual(rc, 0, out)
-        # All four watched ratios computed, none regressed.
+        # All watched ratios computed, none regressed.
         for label in (
             "bytes_sent/write",
             "msgs_sent/op",
             "sig_verify_calls/op",
             "encode_calls/op",
+            "sign/op",
+            "mac_sign/op",
+            "mac_verify/op",
         ):
             self.assertIn(label, out)
         self.assertNotIn("FAIL", out)
@@ -167,6 +173,28 @@ class CheckBenchJsonTest(unittest.TestCase):
         )
         rc, out = run_checker("--compare", old, new, "--threshold", "0")
         self.assertEqual(rc, 0, out)
+
+    def test_compare_flags_mac_counter_regression(self):
+        old = self.write_report("old.json", minimal_report())
+        new = self.write_report(
+            "new.json", minimal_report(mac_verify=500)  # +51.5%/op
+        )
+        rc, out = run_checker("--compare", old, new)
+        self.assertEqual(rc, 1, out)
+        self.assertIn("mac_verify/op", out)
+        self.assertIn("regressed", out)
+
+    def test_compare_skips_mac_ratios_for_macless_benches(self):
+        old_doc = minimal_report()
+        new_doc = minimal_report()
+        for doc in (old_doc, new_doc):
+            for name in ("mac_sign", "mac_verify"):
+                del doc["counters"][name]
+        old = self.write_report("old.json", old_doc)
+        new = self.write_report("new.json", new_doc)
+        rc, out = run_checker("--compare", old, new)
+        self.assertEqual(rc, 0, out)
+        self.assertIn("skipped", out)
 
     def test_compare_skips_ratio_with_missing_counter(self):
         old_doc = minimal_report()

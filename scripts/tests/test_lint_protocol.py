@@ -26,6 +26,7 @@ CASES = {
     "raw_verify_fail.cpp": ("src/bftbc/fixture.cpp", "raw-verify"),
     "raw_verify_primitive_fail.cpp": ("src/quorum/fixture.cpp", "raw-verify"),
     "raw_verify_cache_fail.cpp": ("src/bftbc/fixture.cpp", "raw-verify"),
+    "raw_verify_pool_fail.cpp": ("src/bftbc/fixture.cpp", "raw-verify"),
     "raw_verify_pass.cpp": ("src/bftbc/fixture.cpp", None),
     "nondet_fail.cpp": ("src/sim/fixture.cpp", "nondeterminism"),
     "nondet_pass.cpp": ("src/sim/fixture.cpp", None),
@@ -108,6 +109,8 @@ class LintScopingTest(unittest.TestCase):
         for fixture, rel in (
             ("raw_verify_fail.cpp", "src/crypto/fixture.cpp"),
             ("raw_verify_fail.cpp", "tests/fixture.cpp"),
+            ("raw_verify_pool_fail.cpp", "src/crypto/fixture.cpp"),
+            ("raw_verify_pool_fail.cpp", "tools/fixture.cpp"),
             ("nondet_fail.cpp", "src/util/fixture.cpp"),
             ("state_mutation_fail.cpp", "src/bftbc/replica_state.cpp"),
         ):

@@ -86,6 +86,11 @@ Client::Client(const quorum::QuorumConfig& config, quorum::ClientId id,
       nonces_(id, rng),
       options_(options),
       tracer_(options.tracer) {
+  replica_principals_.reserve(replica_nodes_.size());
+  for (std::size_t i = 0; i < replica_nodes_.size(); ++i) {
+    replica_principals_.push_back(
+        quorum::replica_principal(static_cast<quorum::ReplicaId>(i)));
+  }
   transport_.set_receiver([this](sim::NodeId from, const rpc::Envelope& env) {
     on_envelope(from, env);
   });
@@ -123,6 +128,20 @@ const std::optional<WriteCertificate>& Client::last_write_cert(
   static const std::optional<WriteCertificate> kNone;
   auto it = last_write_cert_.find(object);
   return it == last_write_cert_.end() ? kNone : it->second;
+}
+
+Result<Bytes> Client::sign_request(BytesView payload) const {
+  if (options_.mac_auth) return signer_.mac_authenticator(replica_principals_, payload);
+  return signer_.sign(payload);
+}
+
+bool Client::check_reply_auth(std::uint32_t idx, BytesView payload,
+                              BytesView auth) const {
+  if (options_.mac_auth) {
+    return keystore_.mac_check(quorum::replica_principal(idx),
+                               quorum::client_principal(id_), payload, auth);
+  }
+  return keystore_.verify_cached(quorum::replica_principal(idx), payload, auth);
 }
 
 rpc::Envelope Client::make_request(rpc::MsgType type, Bytes body) {
@@ -189,10 +208,7 @@ void Client::handle_reply_batch(sim::NodeId from, const rpc::Envelope& env) {
   const auto idx =
       static_cast<ReplicaId>(it - replica_nodes_.begin());
   if (m->replica != idx) return;
-  if (!keystore_.verify_cached(quorum::replica_principal(idx),
-                               m->signing_payload(), m->auth)) {
-    return;
-  }
+  if (!check_reply_auth(idx, m->signing_payload(), m->auth)) return;
   metrics_.inc("reply_batches");
   batch_authed_ = true;
   for (const Bytes& b : m->replies) {
@@ -343,8 +359,7 @@ void Client::start_write_phase1(WriteOp& op) {
           return false;
         }
         if (!(batch_authed_ && m->auth.empty()) &&
-            !keystore_.verify_cached(quorum::replica_principal(idx),
-                              m->signing_payload(), m->auth)) {
+            !check_reply_auth(idx, m->signing_payload(), m->auth)) {
           return false;
         }
         if (m->pcert.object() != op->object ||
@@ -427,7 +442,7 @@ void Client::start_write_phase2(WriteOp& op) {
   req.prep_cert = *op.pmax;
   req.write_cert = op.wcert_to_send;
   req.client = id_;
-  auto sig = signer_.sign(req.signing_payload());
+  auto sig = sign_request(req.signing_payload());
   if (!sig.is_ok()) {
     fail_op(op.op_id, sig.status());  // client revoked: cannot write
     return;
@@ -471,7 +486,7 @@ void Client::start_write_phase3(WriteOp& op) {
   req.value = op.value;
   req.prep_cert = *op.pnew;
   req.client = id_;
-  auto sig = signer_.sign(req.signing_payload());
+  auto sig = sign_request(req.signing_payload());
   if (!sig.is_ok()) {
     fail_op(op.op_id, sig.status());
     return;
@@ -537,7 +552,7 @@ void Client::start_write_phase1_opt(WriteOp& op) {
   req.write_cert = last_write_cert(op.object);
   req.nonce = op.nonce;
   req.client = id_;
-  auto sig = signer_.sign(req.signing_payload());
+  auto sig = sign_request(req.signing_payload());
   if (!sig.is_ok()) {
     fail_op(op.op_id, sig.status());
     return;
@@ -557,8 +572,7 @@ void Client::start_write_phase1_opt(WriteOp& op) {
           return false;
         }
         if (!(batch_authed_ && m->auth.empty()) &&
-            !keystore_.verify_cached(quorum::replica_principal(idx),
-                              m->signing_payload(), m->auth)) {
+            !check_reply_auth(idx, m->signing_payload(), m->auth)) {
           return false;
         }
         if (m->pcert.object() != op->object ||
@@ -665,8 +679,7 @@ void Client::start_read(ReadOp& op) {
           return false;
         }
         if (!(batch_authed_ && m->auth.empty()) &&
-            !keystore_.verify_cached(quorum::replica_principal(idx),
-                              m->signing_payload(), m->auth)) {
+            !check_reply_auth(idx, m->signing_payload(), m->auth)) {
           return false;
         }
         if (m->pcert.object() != op->object ||
@@ -707,7 +720,7 @@ void Client::start_read_writeback(ReadOp& op) {
   req.value = op.best_value;
   req.prep_cert = op.best_cert;
   req.client = id_;
-  auto sig = signer_.sign(req.signing_payload());
+  auto sig = sign_request(req.signing_payload());
   if (!sig.is_ok()) {
     fail_op(op.op_id, sig.status());
     return;

@@ -40,6 +40,10 @@ struct ClientOptions {
   // §3.3.1 speed-up: piggyback this client's last write certificate on
   // READ requests so replicas garbage-collect prepare lists sooner.
   bool gc_in_reads = false;
+  // MAC-authenticator mode (§3.3.2): requests carry an n-tag MAC
+  // authenticator instead of a signature, and replica reply auth is a
+  // pair MAC. Must match the replicas' ReplicaOptions::mac_auth.
+  bool mac_auth = false;
   rpc::QuorumCallOptions rpc;
   sim::Time op_deadline = 0;  // 0 = rely on protocol liveness (no timeout)
   // Pipelined writes (submit_write): bound on concurrently in-flight
@@ -166,6 +170,14 @@ class Client {
   rpc::Envelope make_request(rpc::MsgType type, Bytes body);
   OpBase* find_op(std::uint64_t id);
 
+  // Request authentication: a signature, or (mac_auth) the n-replica MAC
+  // authenticator.
+  [[nodiscard]] Result<Bytes> sign_request(BytesView payload) const;
+  // Reply authentication from replica `idx`: signature verify, or
+  // (mac_auth) the pair-MAC check toward this client.
+  [[nodiscard]] bool check_reply_auth(std::uint32_t idx, BytesView payload,
+                                      BytesView auth) const;
+
   // Dispatches queued pipelined writes into free window slots (FIFO,
   // skipping objects that still have an op in flight).
   void pump_pipeline();
@@ -177,6 +189,8 @@ class Client {
   rpc::Transport& transport_;
   sim::Scheduler& sim_;
   std::vector<sim::NodeId> replica_nodes_;
+  // Replica principals in replica_nodes_ order (authenticator slots).
+  std::vector<crypto::PrincipalId> replica_principals_;
   crypto::NonceGenerator nonces_;
   ClientOptions options_;
 

@@ -76,14 +76,19 @@ void Replica::flush_batch() {
   // it are captured and shipped as a single ReplyBatch under one
   // authenticator (handlers skip the per-reply MAC for those).
   batch_auth_counts_.clear();
+  batch_auth_principal_.clear();
   for (const PendingEnvelope& p : batch) {
     switch (p.env.type) {
       case rpc::MsgType::kReadTs:
       case rpc::MsgType::kRead:
         ++batch_auth_counts_[p.from];
+        batch_auth_principal_[p.from] = p.env.sender;
         break;
       case rpc::MsgType::kReadTsPrep:
-        if (options_.optimized) ++batch_auth_counts_[p.from];
+        if (options_.optimized) {
+          ++batch_auth_counts_[p.from];
+          batch_auth_principal_[p.from] = p.env.sender;
+        }
         break;
       default:
         break;
@@ -97,6 +102,7 @@ void Replica::flush_batch() {
   collecting_replies_ = false;
   flush_replies();
   batch_auth_counts_.clear();
+  batch_auth_principal_.clear();
 }
 
 bool Replica::amortized_auth_for(sim::NodeId to) const {
@@ -120,7 +126,7 @@ void Replica::flush_replies() {
       rb.replies.push_back(p.env.encode());
       cost = std::max(cost, p.cost);
     }
-    rb.auth = p2p_auth(rb.signing_payload(), cost);
+    rb.auth = p2p_auth(batch_auth_principal_[to], rb.signing_payload(), cost);
     metrics_.inc("reply_batches");
     rpc::Envelope env;
     env.type = rpc::MsgType::kReplyBatch;
@@ -147,6 +153,9 @@ void Replica::collect_verify_items(
   };
   auto add_client_sig = [&](quorum::ClientId client, Bytes payload,
                             const Bytes& sig) {
+    // MAC authenticators are checked inline by verify_client_sig (a
+    // cheap HMAC slice, nothing to pre-warm or cache).
+    if (options_.mac_auth) return;
     if (quorum::is_replica_principal(client)) return;
     add(quorum::client_principal(client), std::move(payload), sig);
   };
@@ -292,12 +301,15 @@ Bytes Replica::sign_statement_foreground(BytesView stmt, sim::Time& cost) {
   return sig.is_ok() ? std::move(sig).take() : Bytes{};
 }
 
-Bytes Replica::p2p_auth(BytesView payload, sim::Time& cost) {
-  // Point-to-point authenticator: a MAC in a deployment (§3.3.2); charged
-  // as negligible virtual time.
+Bytes Replica::p2p_auth(crypto::PrincipalId to, BytesView payload,
+                        sim::Time& cost) {
+  // Point-to-point authenticator (§3.3.2); charged as negligible
+  // virtual time either way — mac_auth additionally removes the real
+  // public-key work in kRsa deployments.
   metrics_.inc("auth_p2p");
   (void)cost;
-  auto sig = signer_.sign(payload);
+  auto sig = options_.mac_auth ? signer_.mac(to, payload)
+                               : signer_.sign(payload);
   return sig.is_ok() ? std::move(sig).take() : Bytes{};
 }
 
@@ -315,9 +327,19 @@ Bytes Replica::write_sig_for(ObjectId object, const Timestamp& ts,
 
 bool Replica::verify_client_sig(quorum::ClientId client, BytesView payload,
                                 BytesView sig, sim::Time& cost) {
-  cost += options_.verify_cost;
   metrics_.inc("verify_client");
   if (quorum::is_replica_principal(client)) return false;
+  if (options_.mac_auth) {
+    // The request carries an n-tag authenticator; this replica checks
+    // its own slice. No verify_cost charge — that is the point of the
+    // paper's MAC cost model.
+    constexpr std::size_t kTag = crypto::Keystore::kMacSize;
+    if (sig.size() != static_cast<std::size_t>(config_.n) * kTag) return false;
+    return keystore_.mac_check(quorum::client_principal(client),
+                               quorum::replica_principal(id_), payload,
+                               sig.subspan(id_ * kTag, kTag));
+  }
+  cost += options_.verify_cost;
   return keystore_.verify_cached(quorum::client_principal(client), payload, sig);
 }
 
@@ -363,7 +385,7 @@ void Replica::handle_read_ts(sim::NodeId from, const rpc::Envelope& env) {
   if (amortized_auth_for(from)) {
     metrics_.inc("auth_p2p_amortized");
   } else {
-    rep.auth = p2p_auth(rep.signing_payload(), cost);
+    rep.auth = p2p_auth(env.sender, rep.signing_payload(), cost);
   }
 
   granted("reply_read_ts");
@@ -536,7 +558,7 @@ void Replica::handle_read(sim::NodeId from, const rpc::Envelope& env) {
   if (amortized_auth_for(from)) {
     metrics_.inc("auth_p2p_amortized");
   } else {
-    rep.auth = p2p_auth(rep.signing_payload(), cost);
+    rep.auth = p2p_auth(env.sender, rep.signing_payload(), cost);
   }
 
   granted("reply_read");
@@ -620,7 +642,7 @@ void Replica::handle_read_ts_prep(sim::NodeId from, const rpc::Envelope& env) {
   if (amortized_auth_for(from)) {
     metrics_.inc("auth_p2p_amortized");
   } else {
-    rep.auth = p2p_auth(rep.signing_payload(), cost);
+    rep.auth = p2p_auth(env.sender, rep.signing_payload(), cost);
   }
   reply(from, rpc::MsgType::kReadTsPrepReply, env.rpc_id, rep.encode(), cost);
 }

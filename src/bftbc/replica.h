@@ -54,6 +54,14 @@ struct ReplicaOptions {
   // the warmed verify cache); only the crypto schedule changes, and it
   // stays deterministic because the flush is keyed to sim time.
   bool batch_verify = true;
+  // MAC-authenticator mode (paper §3.3.2): point-to-point messages —
+  // client requests and replica replies — are authenticated with pair
+  // MACs instead of signatures. Client request `sig` fields then carry
+  // an n-tag authenticator (this replica checks slice id); replies
+  // carry a single MAC toward the requesting principal. Signatures
+  // remain for prepare/write certificate statements, which must be
+  // transferable proofs. Clients and replicas must agree on this knob.
+  bool mac_auth = false;
   // Optional observability hook. When set, the replica keeps scoped
   // grant/reject totals ("replica/<id>/grants", "replica/<id>/rejects")
   // plus shared list-size histograms ("replica.plist_size",
@@ -146,7 +154,10 @@ class Replica {
 
   // Sign helpers; all tally metrics and return the accumulated cost.
   Bytes sign_statement_foreground(BytesView stmt, sim::Time& cost);
-  Bytes p2p_auth(BytesView payload, sim::Time& cost);
+  // Point-to-point reply authenticator toward principal `to` (the
+  // requester's claimed sender principal): a pair MAC in mac_auth mode,
+  // a signature otherwise.
+  Bytes p2p_auth(crypto::PrincipalId to, BytesView payload, sim::Time& cost);
 
   // Background-signature cache for WRITE-REPLY statements.
   Bytes write_sig_for(ObjectId object, const Timestamp& ts, sim::Time& cost);
@@ -204,6 +215,9 @@ class Replica {
   };
   std::vector<PendingReply> pending_replies_;
   std::map<sim::NodeId, std::size_t> batch_auth_counts_;
+  // Sender principal claimed by each node's batched requests, so
+  // flush_replies can aim the ReplyBatch MAC in mac_auth mode.
+  std::map<sim::NodeId, crypto::PrincipalId> batch_auth_principal_;
   bool collecting_replies_ = false;
 
   // Pre-resolved registry handles (all null without options.registry).

@@ -300,6 +300,13 @@ BigInt::DivResult BigInt::divmod(const BigInt& a, const BigInt& b) {
 
 BigInt BigInt::mod_exp(const BigInt& base, const BigInt& exp, const BigInt& m) {
   assert(compare(m, BigInt(1)) > 0);
+  if (m.is_odd()) return Montgomery(m).mod_exp(base, exp);
+  return mod_exp_schoolbook(base, exp, m);
+}
+
+BigInt BigInt::mod_exp_schoolbook(const BigInt& base, const BigInt& exp,
+                                  const BigInt& m) {
+  assert(compare(m, BigInt(1)) > 0);
   BigInt result(1);
   BigInt b = base % m;
   const std::size_t bits = exp.bit_length();
@@ -308,6 +315,146 @@ BigInt BigInt::mod_exp(const BigInt& base, const BigInt& exp, const BigInt& m) {
     if (exp.bit(i)) result = (result * b) % m;
   }
   return result;
+}
+
+// ------------------------------------------------------------ Montgomery
+
+Montgomery::Montgomery(const BigInt& m) : m_(m) {
+  assert(m.is_odd() && "Montgomery requires an odd modulus");
+  assert(BigInt::compare(m, BigInt(1)) > 0);
+  n_ = m_.limbs_.size();
+  // n0_ = -m^-1 mod 2^32 by Newton iteration: for odd m0, x = m0 is an
+  // inverse mod 2^3; each x *= 2 - m0*x step doubles the valid bits.
+  const u32 m0 = m_.limbs_[0];
+  u32 x = m0;
+  for (int i = 0; i < 5; ++i) x *= 2 - m0 * x;
+  n0_ = ~x + 1;  // negate mod 2^32
+  rr_ = BigInt(1).shifted_left(64 * n_) % m_;
+  one_ = BigInt(1).shifted_left(32 * n_) % m_;
+}
+
+// CIOS multiplication+reduction (Koç et al., "Analyzing and Comparing
+// Montgomery Multiplication Algorithms"): interleaves the schoolbook
+// product with the reduction so the intermediate never exceeds n+2
+// limbs. Inputs must be < m (zero-padded to n limbs); out = a*b*R^-1
+// mod m with R = 2^(32*n).
+void Montgomery::mont_mul_into(const u32* a, std::size_t a_size, const u32* b,
+                               std::size_t b_size,
+                               std::vector<u32>& out) const {
+  const std::vector<u32>& m = m_.limbs_;
+  std::vector<u64> t(n_ + 2, 0);
+  for (std::size_t i = 0; i < n_; ++i) {
+    const u64 ai = i < a_size ? a[i] : 0;
+    u64 carry = 0;
+    for (std::size_t j = 0; j < n_; ++j) {
+      const u64 bj = j < b_size ? b[j] : 0;
+      const u64 cur = static_cast<u64>(static_cast<u32>(t[j])) + ai * bj + carry;
+      t[j] = static_cast<u32>(cur);
+      carry = cur >> 32;
+    }
+    u64 cur = static_cast<u64>(static_cast<u32>(t[n_])) + carry;
+    t[n_] = static_cast<u32>(cur);
+    t[n_ + 1] = cur >> 32;
+
+    const u32 mfac = static_cast<u32>(t[0]) * n0_;
+    cur = static_cast<u64>(static_cast<u32>(t[0])) + static_cast<u64>(mfac) * m[0];
+    carry = cur >> 32;  // low 32 bits are zero by construction
+    for (std::size_t j = 1; j < n_; ++j) {
+      cur = static_cast<u64>(static_cast<u32>(t[j])) +
+            static_cast<u64>(mfac) * m[j] + carry;
+      t[j - 1] = static_cast<u32>(cur);
+      carry = cur >> 32;
+    }
+    cur = static_cast<u64>(static_cast<u32>(t[n_])) + carry;
+    t[n_ - 1] = static_cast<u32>(cur);
+    t[n_] = t[n_ + 1] + (cur >> 32);  // <= 1; cannot overflow 64 bits
+    t[n_ + 1] = 0;
+  }
+
+  out.assign(n_ + 1, 0);
+  for (std::size_t i = 0; i <= n_; ++i) out[i] = static_cast<u32>(t[i]);
+  // Conditional final subtraction: the CIOS invariant keeps the result
+  // below 2m, so at most one subtract of m is needed.
+  bool ge = out[n_] != 0;
+  if (!ge) {
+    ge = true;
+    for (std::size_t i = n_; i-- > 0;) {
+      if (out[i] != m[i]) {
+        ge = out[i] > m[i];
+        break;
+      }
+    }
+  }
+  if (ge) {
+    std::int64_t borrow = 0;
+    for (std::size_t i = 0; i < n_; ++i) {
+      std::int64_t diff = static_cast<std::int64_t>(out[i]) - m[i] - borrow;
+      if (diff < 0) {
+        diff += (std::int64_t{1} << 32);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      out[i] = static_cast<u32>(diff);
+    }
+    out[n_] = static_cast<u32>(static_cast<std::int64_t>(out[n_]) - borrow);
+  }
+}
+
+BigInt Montgomery::mont_mul(const BigInt& a, const BigInt& b) const {
+  assert(a < m_ && b < m_);
+  std::vector<u32> out;
+  mont_mul_into(a.limbs_.data(), a.limbs_.size(), b.limbs_.data(),
+                b.limbs_.size(), out);
+  return BigInt::from_limbs(std::move(out));
+}
+
+BigInt Montgomery::to_mont(const BigInt& a) const {
+  const BigInt reduced = a < m_ ? a : a % m_;
+  return mont_mul(reduced, rr_);
+}
+
+BigInt Montgomery::from_mont(const BigInt& a) const {
+  return mont_mul(a, BigInt(1));
+}
+
+BigInt Montgomery::mod_exp(const BigInt& base, const BigInt& exp) const {
+  const std::size_t bits = exp.bit_length();
+  if (bits == 0) return BigInt(1) % m_;
+
+  // Fixed 4-bit windows: 16-entry table of base powers in the domain,
+  // then 4 squarings + at most one table multiply per window.
+  const BigInt bm = to_mont(base);
+  BigInt table[16];
+  table[0] = one_;
+  table[1] = bm;
+  for (int i = 2; i < 16; ++i) table[i] = mont_mul(table[i - 1], bm);
+
+  auto window_at = [&exp](std::size_t hi) {
+    // 4 bits ending at bit index hi-3 (hi is the window's top bit).
+    unsigned w = 0;
+    for (int k = 3; k >= 0; --k) {
+      w <<= 1;
+      if (hi >= static_cast<std::size_t>(3 - k) &&
+          exp.bit(hi - static_cast<std::size_t>(3 - k)))
+        w |= 1;
+    }
+    return w;
+  };
+
+  const std::size_t windows = (bits + 3) / 4;
+  std::size_t top = windows * 4 - 1;  // top bit index of the first window
+  BigInt acc = table[window_at(top)];
+  while (top >= 4) {
+    top -= 4;
+    acc = mont_mul(acc, acc);
+    acc = mont_mul(acc, acc);
+    acc = mont_mul(acc, acc);
+    acc = mont_mul(acc, acc);
+    const unsigned w = window_at(top);
+    if (w != 0) acc = mont_mul(acc, table[w]);
+  }
+  return from_mont(acc);
 }
 
 BigInt BigInt::gcd(BigInt a, BigInt b) {

@@ -1,9 +1,13 @@
 // Arbitrary-precision unsigned integers for RSA.
 //
 // Little-endian vector of 32-bit limbs, always normalized (no high zero
-// limbs; zero is an empty vector). Division is Knuth's Algorithm D;
-// modular exponentiation is left-to-right square-and-multiply. The sizes
-// involved (512–2048 bits) keep schoolbook multiplication competitive.
+// limbs; zero is an empty vector). Division is Knuth's Algorithm D.
+// Modular exponentiation for odd moduli (every RSA modulus and prime)
+// runs over a Montgomery domain — CIOS reduction plus 4-bit windowed
+// exponentiation — with the reduction constants held in a reusable
+// `Montgomery` context so per-key state can be cached. The legacy
+// divmod-per-step ladder survives as `mod_exp_schoolbook` for even
+// moduli and as the differential-fuzz reference.
 #pragma once
 
 #include <cstdint>
@@ -76,8 +80,15 @@ class BigInt {
   friend BigInt operator/(const BigInt& a, const BigInt& b);
   friend BigInt operator%(const BigInt& a, const BigInt& b);
 
-  // (base ^ exp) mod m ; m must be > 1.
+  // (base ^ exp) mod m ; m must be > 1. Dispatches to a Montgomery
+  // ladder when m is odd, falling back to the schoolbook ladder for
+  // even moduli.
   static BigInt mod_exp(const BigInt& base, const BigInt& exp, const BigInt& m);
+  // Square-and-multiply with a full division per step. Kept public as
+  // the reference implementation the nightly differential fuzz checks
+  // Montgomery against; also the only path for even moduli.
+  static BigInt mod_exp_schoolbook(const BigInt& base, const BigInt& exp,
+                                   const BigInt& m);
 
   static BigInt gcd(BigInt a, BigInt b);
   // Multiplicative inverse of a mod m, if gcd(a, m) == 1; returns zero
@@ -85,10 +96,46 @@ class BigInt {
   static BigInt mod_inverse(const BigInt& a, const BigInt& m);
 
  private:
+  friend class Montgomery;
+
   void normalize();
   static BigInt from_limbs(std::vector<std::uint32_t> limbs);
 
   std::vector<std::uint32_t> limbs_;
+};
+
+// Reusable reduction context for a fixed odd modulus m > 1.
+//
+// Construction computes the constants (R^2 mod m and -m^-1 mod 2^32);
+// after that, mod_exp does one Knuth division total (folding the base
+// into the domain) instead of two per exponent bit. RSA callers cache
+// one context per key component (n, p, q). The context is immutable
+// after construction and safe to share across threads.
+class Montgomery {
+ public:
+  explicit Montgomery(const BigInt& m);
+
+  const BigInt& modulus() const { return m_; }
+
+  // (base ^ exp) mod m via 4-bit fixed-window exponentiation.
+  BigInt mod_exp(const BigInt& base, const BigInt& exp) const;
+
+  // (a * b * R^-1) mod m for a, b already in the Montgomery domain.
+  // Exposed for the differential fuzz; protocol code uses mod_exp.
+  BigInt mont_mul(const BigInt& a, const BigInt& b) const;
+  BigInt to_mont(const BigInt& a) const;    // a*R mod m
+  BigInt from_mont(const BigInt& a) const;  // a*R^-1 mod m
+
+ private:
+  void mont_mul_into(const std::uint32_t* a, std::size_t a_size,
+                     const std::uint32_t* b, std::size_t b_size,
+                     std::vector<std::uint32_t>& out) const;
+
+  BigInt m_;
+  std::size_t n_ = 0;       // limb count of m_
+  std::uint32_t n0_ = 0;    // -m^-1 mod 2^32
+  BigInt rr_;               // R^2 mod m, R = 2^(32*n_)
+  BigInt one_;              // R mod m (1 in the Montgomery domain)
 };
 
 struct BigInt::DivResult {

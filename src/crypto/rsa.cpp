@@ -77,13 +77,21 @@ RsaKeyPair rsa_generate(Rng& rng, std::size_t bits) {
   }
 }
 
-Bytes rsa_sign(const RsaPrivateKey& key, BytesView message) {
+RsaContext::RsaContext(const RsaPublicKey& pub) : mont_n_(pub.n) {}
+
+RsaContext::RsaContext(const RsaPrivateKey& priv)
+    : mont_n_(priv.n), mont_p_(Montgomery(priv.p)), mont_q_(Montgomery(priv.q)) {}
+
+namespace {
+
+Bytes rsa_sign_with(const RsaPrivateKey& key, const Montgomery& mp,
+                    const Montgomery& mq, BytesView message) {
   const std::size_t k = key.public_key().modulus_bytes();
   const BigInt m = BigInt::from_bytes(emsa_encode(message, k));
 
   // CRT: s = m^d mod n computed as two half-size exponentiations.
-  const BigInt m1 = BigInt::mod_exp(m % key.p, key.dp, key.p);
-  const BigInt m2 = BigInt::mod_exp(m % key.q, key.dq, key.q);
+  const BigInt m1 = mp.mod_exp(m % key.p, key.dp);
+  const BigInt m2 = mq.mod_exp(m % key.q, key.dq);
   // h = qinv * (m1 - m2) mod p (lift m1-m2 into non-negative range first)
   BigInt diff;
   if (m1 >= m2 % key.p) {
@@ -96,16 +104,37 @@ Bytes rsa_sign(const RsaPrivateKey& key, BytesView message) {
   return s.to_bytes_padded(k);
 }
 
-bool rsa_verify(const RsaPublicKey& key, BytesView message,
-                BytesView signature) {
+bool rsa_verify_with(const RsaPublicKey& key, const Montgomery& mn,
+                     BytesView message, BytesView signature) {
   const std::size_t k = key.modulus_bytes();
   if (signature.size() != k) return false;
   const BigInt s = BigInt::from_bytes(signature);
   if (s >= key.n) return false;
-  const BigInt m = BigInt::mod_exp(s, key.e, key.n);
+  const BigInt m = mn.mod_exp(s, key.e);
   const Bytes em = m.to_bytes_padded(k);
   const Bytes expect = emsa_encode(message, k);
   return constant_time_equal(em, expect);
+}
+
+}  // namespace
+
+Bytes rsa_sign(const RsaPrivateKey& key, BytesView message) {
+  return rsa_sign_with(key, Montgomery(key.p), Montgomery(key.q), message);
+}
+
+Bytes rsa_sign(const RsaPrivateKey& key, const RsaContext& ctx,
+               BytesView message) {
+  return rsa_sign_with(key, *ctx.mont_p(), *ctx.mont_q(), message);
+}
+
+bool rsa_verify(const RsaPublicKey& key, BytesView message,
+                BytesView signature) {
+  return rsa_verify_with(key, Montgomery(key.n), message, signature);
+}
+
+bool rsa_verify(const RsaPublicKey& key, const RsaContext& ctx,
+                BytesView message, BytesView signature) {
+  return rsa_verify_with(key, ctx.mont_n(), message, signature);
 }
 
 }  // namespace bftbc::crypto

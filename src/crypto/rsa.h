@@ -44,11 +44,37 @@ struct RsaKeyPair {
 // DigestInfo (51 bytes) fits.
 RsaKeyPair rsa_generate(Rng& rng, std::size_t bits = 1024);
 
+// Cached Montgomery reduction contexts for one key. Building the
+// contexts costs a few divisions; every sign/verify after that skips
+// the per-operation precompute entirely. Immutable once constructed, so
+// one context can serve concurrent verifier threads.
+class RsaContext {
+ public:
+  explicit RsaContext(const RsaPublicKey& pub);
+  explicit RsaContext(const RsaPrivateKey& priv);
+
+  const Montgomery& mont_n() const { return mont_n_; }
+  // Only present when built from a private key.
+  const Montgomery* mont_p() const { return mont_p_ ? &*mont_p_ : nullptr; }
+  const Montgomery* mont_q() const { return mont_q_ ? &*mont_q_ : nullptr; }
+
+ private:
+  Montgomery mont_n_;
+  std::optional<Montgomery> mont_p_;
+  std::optional<Montgomery> mont_q_;
+};
+
 // Sign message (hashes internally with SHA-256).
 Bytes rsa_sign(const RsaPrivateKey& key, BytesView message);
+// Context-cached variant; ctx must be built from `key`.
+Bytes rsa_sign(const RsaPrivateKey& key, const RsaContext& ctx,
+               BytesView message);
 
 // Verify a signature over message.
 [[nodiscard]] bool rsa_verify(const RsaPublicKey& key, BytesView message,
                               BytesView signature);
+// Context-cached variant; ctx must be built from `key` (or its pair).
+[[nodiscard]] bool rsa_verify(const RsaPublicKey& key, const RsaContext& ctx,
+                              BytesView message, BytesView signature);
 
 }  // namespace bftbc::crypto

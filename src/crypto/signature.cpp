@@ -4,9 +4,17 @@
 #include <numeric>
 
 #include "crypto/hmac.h"
+#include "crypto/verify_pool.h"
 #include "util/codec.h"
 
 namespace bftbc::crypto {
+
+namespace {
+void append_principal(Bytes& out, PrincipalId p) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>(p >> (8 * i)));
+}
+}  // namespace
 
 Result<Bytes> Signer::sign(BytesView msg) const {
   if (keystore_ == nullptr)
@@ -14,9 +22,37 @@ Result<Bytes> Signer::sign(BytesView msg) const {
   return keystore_->sign_internal(principal_, msg);
 }
 
+Result<Bytes> Signer::mac(PrincipalId peer, BytesView msg) const {
+  if (keystore_ == nullptr)
+    return unavailable("signer not bound to a keystore");
+  return keystore_->mac_internal(principal_, peer, msg);
+}
+
+Result<Bytes> Signer::mac_authenticator(const std::vector<PrincipalId>& peers,
+                                        BytesView msg) const {
+  if (keystore_ == nullptr)
+    return unavailable("signer not bound to a keystore");
+  Bytes out;
+  out.reserve(peers.size() * Keystore::kMacSize);
+  for (PrincipalId peer : peers) {
+    auto tag = keystore_->mac_internal(principal_, peer, msg);
+    if (!tag.is_ok()) return tag;
+    append(out, std::move(tag).take());
+  }
+  return out;
+}
+
 Keystore::Keystore(SignatureScheme scheme, std::uint64_t seed,
                    std::size_t rsa_bits)
-    : scheme_(scheme), rsa_bits_(rsa_bits), rng_(seed) {}
+    : scheme_(scheme), rsa_bits_(rsa_bits), rng_(seed) {
+  // Pair-key master secret: a function of the seed alone, NOT of rng_'s
+  // stream — same-seeded keystores agree on every session key, and the
+  // deterministic principal-key sequence is unchanged by MAC use.
+  Bytes seed_input = to_bytes("bftbc-p2p-master-v1:");
+  for (int i = 0; i < 8; ++i)
+    seed_input.push_back(static_cast<std::uint8_t>(seed >> (8 * i)));
+  p2p_master_ = digest_bytes(sha256(seed_input));
+}
 
 Signer Keystore::register_principal(PrincipalId p) {
   auto [it, inserted] = principals_.try_emplace(p);
@@ -25,6 +61,7 @@ Signer Keystore::register_principal(PrincipalId p) {
       it->second.hmac_secret = rng_.bytes(32);
     } else {
       it->second.rsa = rsa_generate(rng_, rsa_bits_);
+      it->second.rsa_ctx = std::make_shared<RsaContext>(it->second.rsa->priv);
     }
   }
   return Signer(this, p);
@@ -61,7 +98,51 @@ Result<Bytes> Keystore::sign_internal(PrincipalId p, BytesView msg) {
     Digest tag = hmac_sha256(it->second.hmac_secret, bound);
     return digest_bytes(tag);
   }
-  return rsa_sign(it->second.rsa->priv, bound);
+  return rsa_sign(it->second.rsa->priv, *it->second.rsa_ctx, bound);
+}
+
+Bytes Keystore::pair_key(PrincipalId a, PrincipalId b) const {
+  Bytes pair;
+  pair.reserve(8);
+  append_principal(pair, std::min(a, b));
+  append_principal(pair, std::max(a, b));
+  return digest_bytes(hmac_sha256(p2p_master_, pair));
+}
+
+Result<Bytes> Keystore::mac_internal(PrincipalId sender, PrincipalId receiver,
+                                     BytesView msg) const {
+  auto it = principals_.find(sender);
+  if (it == principals_.end()) return not_found("unknown principal");
+  if (it->second.revoked)
+    return unavailable("principal revoked (stopped)");
+  if (principals_.count(receiver) == 0)
+    return not_found("unknown MAC peer");
+  {
+    std::lock_guard<std::mutex> lock(verify_mu_);
+    counters_.inc("mac_sign");
+  }
+  Bytes bound;
+  bound.reserve(msg.size() + 8);
+  append_principal(bound, sender);
+  append_principal(bound, receiver);
+  append(bound, msg);
+  return digest_bytes(hmac_sha256(pair_key(sender, receiver), bound));
+}
+
+bool Keystore::mac_check(PrincipalId sender, PrincipalId receiver,
+                         BytesView msg, BytesView tag) const {
+  if (principals_.count(sender) == 0 || principals_.count(receiver) == 0)
+    return false;
+  {
+    std::lock_guard<std::mutex> lock(verify_mu_);
+    counters_.inc("mac_verify");
+  }
+  Bytes bound;
+  bound.reserve(msg.size() + 8);
+  append_principal(bound, sender);
+  append_principal(bound, receiver);
+  append(bound, msg);
+  return hmac_verify(pair_key(sender, receiver), bound, tag);
 }
 
 bool Keystore::verify(PrincipalId signer, BytesView msg, BytesView sig) const {
@@ -78,7 +159,7 @@ bool Keystore::verify(PrincipalId signer, BytesView msg, BytesView sig) const {
   if (scheme_ == SignatureScheme::kHmacSim) {
     return hmac_verify(it->second.hmac_secret, bound, sig);
   }
-  return rsa_verify(it->second.rsa->pub, bound, sig);
+  return rsa_verify(it->second.rsa->pub, *it->second.rsa_ctx, bound, sig);
 }
 
 bool Keystore::verify_cached(PrincipalId signer, BytesView msg,
@@ -155,9 +236,17 @@ std::size_t Keystore::verify_batch(std::vector<VerifyItem>& items) const {
 
   // Pass 2 (no lock): real cryptography for the misses. Unknown
   // principals are rejected without caching or counting, exactly like
-  // verify()/verify_cached().
-  std::size_t crypto_checks = 0;
-  std::vector<bool> cacheable(leaders.size(), false);
+  // verify()/verify_cached(). The sequential filter loop builds a work
+  // list first; the cryptographic checks then run either inline or on
+  // the verify pool. Pool safety: each job touches only its own group's
+  // verdict slot (distinct ints) and immutable key material, so jobs
+  // share no mutable state.
+  std::vector<char> cacheable(leaders.size(), 0);
+  struct CryptoJob {
+    std::size_t group;
+    const PrincipalEntry* entry;
+  };
+  std::vector<CryptoJob> work;
   for (std::size_t g = 0; g < leaders.size(); ++g) {
     if (verdicts[g] >= 0) continue;
     const VerifyItem& item = items[order[leaders[g]]];
@@ -166,15 +255,27 @@ std::size_t Keystore::verify_batch(std::vector<VerifyItem>& items) const {
       verdicts[g] = 0;
       continue;
     }
-    ++misses;
-    ++crypto_checks;
-    cacheable[g] = true;
+    cacheable[g] = 1;
+    work.push_back({g, &it->second});
+  }
+  misses += work.size();
+  const std::size_t crypto_checks = work.size();
+
+  const auto run_one = [&](std::size_t w) {
+    const CryptoJob& job = work[w];
+    const VerifyItem& item = items[order[leaders[job.group]]];
     const Bytes bound = bind_principal(item.principal, item.statement);
     const bool valid =
         scheme_ == SignatureScheme::kHmacSim
-            ? hmac_verify(it->second.hmac_secret, bound, item.sig)
-            : rsa_verify(it->second.rsa->pub, bound, item.sig);
-    verdicts[g] = valid ? 1 : 0;
+            ? hmac_verify(job.entry->hmac_secret, bound, item.sig)
+            : rsa_verify(job.entry->rsa->pub, *job.entry->rsa_ctx, bound,
+                         item.sig);
+    verdicts[job.group] = valid ? 1 : 0;
+  };
+  if (verify_pool_ != nullptr && work.size() >= 2) {
+    verify_pool_->parallel_for(work.size(), run_one);
+  } else {
+    for (std::size_t w = 0; w < work.size(); ++w) run_one(w);
   }
 
   // Pass 3 (one lock acquisition): memoize fresh verdicts and account.

@@ -50,6 +50,8 @@
 
 namespace bftbc::crypto {
 
+class VerifyPool;
+
 using PrincipalId = std::uint32_t;
 
 enum class SignatureScheme { kHmacSim, kRsa };
@@ -68,6 +70,17 @@ class Signer {
   // Produces 〈msg〉σ_principal. Returns UNAVAILABLE after revocation
   // (the "stop" event) — a stopped client cannot mint new statements.
   [[nodiscard]] Result<Bytes> sign(BytesView msg) const;
+
+  // Produces the point-to-point MAC tag μ_{principal,peer}(msg). Like
+  // sign(), revoked principals get UNAVAILABLE — a stopped client
+  // cannot authenticate new requests either.
+  [[nodiscard]] Result<Bytes> mac(PrincipalId peer, BytesView msg) const;
+
+  // Concatenated per-peer MAC tags (an "authenticator", PBFT-style):
+  // peers.size() * kMacSize bytes, tag i authenticating msg toward
+  // peers[i]. Receivers check only their own slice.
+  [[nodiscard]] Result<Bytes> mac_authenticator(
+      const std::vector<PrincipalId>& peers, BytesView msg) const;
 
  private:
   friend class Keystore;
@@ -121,6 +134,29 @@ class Keystore {
   // Returns the number of real cryptographic checks performed.
   [[nodiscard]] std::size_t verify_batch(std::vector<VerifyItem>& items) const;
 
+  // Optional worker pool for verify_batch's cryptographic pass. The
+  // pool is borrowed, not owned, and must outlive the keystore's last
+  // verification. nullptr (the default) keeps the pass inline.
+  void set_verify_pool(VerifyPool* pool) { verify_pool_ = pool; }
+
+  // --- Point-to-point MAC authentication (paper §3.3.2) ---
+  //
+  // Every pair of principals shares a symmetric session key derived
+  // from the keystore seed: key(a,b) = HMAC(master, min(a,b)||max(a,b)).
+  // Tags additionally bind the direction (sender||receiver||msg), so a
+  // reply MAC can never be replayed as a request MAC on the same pair.
+  // MACs authenticate only to the receiver — they are NOT transferable
+  // proofs — so the protocol uses them strictly for point-to-point
+  // replies/requests and keeps signatures for certificate statements.
+  static constexpr std::size_t kMacSize = kDigestSize;
+
+  // Checks the tag `sender` computed toward `receiver` over msg. Both
+  // principals must be registered. Counter: "mac_verify". Revoked
+  // senders still check (replay of old messages is allowed, same as
+  // signatures; the stop event only blocks NEW tags via Signer::mac).
+  [[nodiscard]] bool mac_check(PrincipalId sender, PrincipalId receiver,
+                               BytesView msg, BytesView tag) const;
+
   // Bounds the verification cache; 0 disables memoization (every
   // verify_cached call then performs the real check).
   void set_verify_cache_capacity(std::size_t entries);
@@ -153,17 +189,29 @@ class Keystore {
  private:
   friend class Signer;
   Result<Bytes> sign_internal(PrincipalId p, BytesView msg);
+  Result<Bytes> mac_internal(PrincipalId sender, PrincipalId receiver,
+                             BytesView msg) const;
+  // Symmetric session key for the unordered pair {a, b}.
+  Bytes pair_key(PrincipalId a, PrincipalId b) const;
 
   struct PrincipalEntry {
     Bytes hmac_secret;                       // kHmacSim
     std::optional<RsaKeyPair> rsa;           // kRsa
+    // Montgomery contexts for the RSA key, built once at registration
+    // (setup-time) so the hot sign/verify paths skip the precompute.
+    std::shared_ptr<const RsaContext> rsa_ctx;
     bool revoked = false;
   };
 
   SignatureScheme scheme_;
   std::size_t rsa_bits_;
   Rng rng_;
+  // Master secret for pair-key derivation; a function of the seed only
+  // (independent of rng_'s stream, so enabling MACs does not perturb
+  // the deterministic key generation sequence).
+  Bytes p2p_master_;
   std::map<PrincipalId, PrincipalEntry> principals_;
+  VerifyPool* verify_pool_ = nullptr;
   // Guards the two members every thread mutates on the verify path. The
   // principal table above is intentionally NOT guarded: it is read-only
   // after setup (register_principal is setup-time; revoke only flips a

@@ -1,0 +1,72 @@
+#include "crypto/verify_pool.h"
+
+namespace bftbc::crypto {
+
+VerifyPool::VerifyPool(std::size_t threads) {
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+VerifyPool::~VerifyPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void VerifyPool::drain_job(std::unique_lock<std::mutex>& lk) {
+  const std::uint64_t gen = generation_;
+  while (next_ < total_) {
+    const std::size_t idx = next_++;
+    const auto* fn = fn_;
+    lk.unlock();
+    (*fn)(idx);
+    lk.lock();
+    // A new job cannot start until this one fully completes (the caller
+    // holds caller_mu_ and waits on done_cv_), so gen still matches.
+    (void)gen;
+    if (++completed_ == total_) done_cv_.notify_all();
+  }
+}
+
+void VerifyPool::worker_loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  std::uint64_t seen = 0;
+  for (;;) {
+    work_cv_.wait(lk, [&] {
+      return shutdown_ || (generation_ != seen && next_ < total_);
+    });
+    if (shutdown_) return;
+    seen = generation_;
+    drain_job(lk);
+  }
+}
+
+void VerifyPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::lock_guard<std::mutex> caller(caller_mu_);
+  std::unique_lock<std::mutex> lk(mu_);
+  fn_ = &fn;
+  next_ = 0;
+  completed_ = 0;
+  total_ = n;
+  ++generation_;
+  work_cv_.notify_all();
+  // The caller helps drain, then waits for the stragglers workers are
+  // still running.
+  drain_job(lk);
+  done_cv_.wait(lk, [&] { return completed_ == total_; });
+  fn_ = nullptr;
+  total_ = 0;
+}
+
+}  // namespace bftbc::crypto

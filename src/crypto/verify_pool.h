@@ -1,0 +1,66 @@
+// A small blocking worker pool for batch signature verification.
+//
+// The protocol thread hands `parallel_for` a batch of independent
+// verification jobs; persistent workers plus the caller itself drain
+// the index space, and the call returns only when every index has run.
+// Blocking semantics keep the replica's batch-verify path synchronous —
+// results are complete before the handlers that consume them run — so
+// no protocol-visible ordering changes, only wall-clock.
+//
+// Thread-safety contract: `fn` must be safe to invoke concurrently for
+// distinct indices (the keystore's batch path writes verdicts to
+// distinct slots and touches no shared mutable state in pass 2).
+// Concurrent parallel_for callers are serialized by caller_mu_.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/thread_annotations.h"
+
+namespace bftbc::crypto {
+
+class VerifyPool {
+ public:
+  // Spawns `threads` persistent workers. 0 means "run inline on the
+  // caller" — a pool-shaped no-op so call sites need no branching.
+  explicit VerifyPool(std::size_t threads);
+  ~VerifyPool();
+
+  VerifyPool(const VerifyPool&) = delete;
+  VerifyPool& operator=(const VerifyPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  // Runs fn(0..n-1), each index exactly once, returning after all have
+  // completed. The caller participates in draining the batch, so the
+  // pool makes progress even with zero workers available.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+  // Claims and runs indices until the current job is drained. Returns
+  // with mu_ held (re-acquired after each unlocked fn call).
+  void drain_job(std::unique_lock<std::mutex>& lk) BFTBC_REQUIRES(mu_);
+
+  // Serializes concurrent parallel_for callers; workers never take it.
+  std::mutex caller_mu_ BFTBC_ACQUIRED_BEFORE(mu_);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers wait: new job or shutdown
+  std::condition_variable done_cv_;  // caller waits: completed_ == total_
+  std::uint64_t generation_ BFTBC_GUARDED_BY(mu_) = 0;
+  const std::function<void(std::size_t)>* fn_ BFTBC_GUARDED_BY(mu_) = nullptr;
+  std::size_t next_ BFTBC_GUARDED_BY(mu_) = 0;
+  std::size_t total_ BFTBC_GUARDED_BY(mu_) = 0;
+  std::size_t completed_ BFTBC_GUARDED_BY(mu_) = 0;
+  bool shutdown_ BFTBC_GUARDED_BY(mu_) = false;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace bftbc::crypto

@@ -73,6 +73,7 @@ RunOutcome Explorer::run_scenario(const Scenario& s, std::ostream* trace_out) {
   copts.f = s.f;
   copts.optimized = s.mode == Mode::kOptimized;
   copts.strong = s.mode == Mode::kStrong;
+  copts.mac_auth = s.mac_auth;
   copts.seed = s.seed;
   copts.link.loss_probability = s.loss;
   copts.link.duplicate_probability = s.dup;
@@ -128,6 +129,7 @@ RunOutcome Explorer::run_scenario(const Scenario& s, std::ostream* trace_out) {
         auto actor = std::make_unique<faults::EquivocatorClient>(
             cluster.config(), plan.id, cluster.keystore(), transport,
             cluster.sim(), cluster.replica_nodes(), cluster.rng().split());
+        actor->set_mac_auth(s.mac_auth);
         faults::EquivocatorClient* ap = actor.get();
         attackers.push_back(std::move(actor));
         cluster.sim().schedule(start, [ap, plan, i, &attack_done] {
@@ -142,6 +144,7 @@ RunOutcome Explorer::run_scenario(const Scenario& s, std::ostream* trace_out) {
         auto actor = std::make_unique<faults::PartialWriter>(
             cluster.config(), plan.id, cluster.keystore(), transport,
             cluster.sim(), cluster.replica_nodes(), cluster.rng().split());
+        actor->set_mac_auth(s.mac_auth);
         faults::PartialWriter* ap = actor.get();
         attackers.push_back(std::move(actor));
         cluster.sim().schedule(start, [ap, plan, i, &attack_done] {
@@ -154,6 +157,7 @@ RunOutcome Explorer::run_scenario(const Scenario& s, std::ostream* trace_out) {
         auto actor = std::make_unique<faults::TimestampHog>(
             cluster.config(), plan.id, cluster.keystore(), transport,
             cluster.sim(), cluster.replica_nodes(), cluster.rng().split());
+        actor->set_mac_auth(s.mac_auth);
         faults::TimestampHog* ap = actor.get();
         attackers.push_back(std::move(actor));
         cluster.sim().schedule(start, [ap, plan, i, &attack_done] {
@@ -169,6 +173,7 @@ RunOutcome Explorer::run_scenario(const Scenario& s, std::ostream* trace_out) {
         auto actor = std::make_unique<faults::LurkingWriteStasher>(
             cluster.config(), plan.id, cluster.keystore(), transport,
             cluster.sim(), cluster.replica_nodes(), cluster.rng().split());
+        actor->set_mac_auth(s.mac_auth);
         faults::LurkingWriteStasher* ap = actor.get();
         attackers.push_back(std::move(actor));
         auto on_done = [i, plan, &attack_done, &stashes,
@@ -227,6 +232,7 @@ RunOutcome Explorer::run_scenario(const Scenario& s, std::ostream* trace_out) {
     // at optimized/strong replicas.
     client_opts.optimized = copts.optimized;
     client_opts.strong = copts.strong;
+    client_opts.mac_auth = copts.mac_auth;
     if (plan.pipelined) client_opts.max_inflight = plan.window;
     core::Client& c = cluster.add_client(plan.id, client_opts);
     std::uint32_t target = plan.ops;
@@ -481,6 +487,13 @@ Scenario Explorer::shrink(const Scenario& scenario, const std::string& failure,
   if (best.loss > 0 || best.dup > 0 || best.corrupt > 0) {
     Scenario candidate = best;
     candidate.loss = candidate.dup = candidate.corrupt = 0;
+    if (reproduces(candidate)) best = std::move(candidate);
+  }
+  // Fall back to signature auth once — a violation that survives without
+  // MAC authenticators is easier to reason about.
+  if (best.mac_auth) {
+    Scenario candidate = best;
+    candidate.mac_auth = false;
     if (reproduces(candidate)) best = std::move(candidate);
   }
 

@@ -75,6 +75,7 @@ Scenario Scenario::sample(std::uint64_t run_seed) {
     default: s.mode = Mode::kStrong; break;
   }
   s.objects = 1 + static_cast<std::uint32_t>(rng.next_below(2));
+  s.mac_auth = rng.next_bool(0.3);
 
   // Link adversity profile: quiet / noisy / harsh. Loss and duplication
   // are retried through; corruption is caught by auth checks.
@@ -164,6 +165,7 @@ std::string Scenario::to_json() const {
   w.key("seed"); w.value(seed);
   w.key("f"); w.value(static_cast<std::uint64_t>(f));
   w.key("mode"); w.value(mode_name(mode));
+  w.key("mac_auth"); w.value(mac_auth);
   w.key("enforce_fault_budget"); w.value(enforce_fault_budget);
   w.key("objects"); w.value(static_cast<std::uint64_t>(objects));
   w.key("link");
@@ -234,6 +236,7 @@ std::optional<Scenario> Scenario::from_json(std::string_view text) {
   const std::optional<Mode> mode = mode_from(doc->string("mode", "base"));
   if (!mode.has_value()) return std::nullopt;
   s.mode = *mode;
+  s.mac_auth = doc->boolean("mac_auth", false);
   s.enforce_fault_budget = doc->boolean("enforce_fault_budget", true);
   s.objects = static_cast<std::uint32_t>(doc->u64("objects", 1));
   if (s.objects < 1 || s.objects > 16) return std::nullopt;
@@ -313,6 +316,7 @@ std::optional<Scenario> Scenario::from_json(std::string_view text) {
 std::string Scenario::name() const {
   std::string out = "f" + std::to_string(f) + "-";
   out += mode_name(mode);
+  if (mac_auth) out += "-mac";
   if (!byz_replicas.empty()) {
     out += "-byz" + std::to_string(byz_replicas.size());
   }

@@ -90,6 +90,9 @@ struct Scenario {
   std::uint64_t seed = 1;
   std::uint32_t f = 1;
   Mode mode = Mode::kBase;
+  // MAC-authenticator mode (§3.3.2) for point-to-point traffic; the
+  // checker's guarantees must hold identically in both auth modes.
+  bool mac_auth = false;
   // When false, run_scenario() installs more Byzantine replicas than f —
   // the deliberately-weakened configuration used to prove the explorer
   // detects and shrinks real violations. sample() always keeps it true.

@@ -31,6 +31,20 @@ void AttackClientBase::on_envelope(sim::NodeId from, const rpc::Envelope& env) {
   it->second.call->on_reply(from, env);
 }
 
+Bytes AttackClientBase::request_auth(BytesView payload) const {
+  if (mac_auth_) {
+    std::vector<crypto::PrincipalId> peers;
+    peers.reserve(config_.n);
+    for (quorum::ReplicaId r = 0; r < config_.n; ++r) {
+      peers.push_back(quorum::replica_principal(r));
+    }
+    auto tags = signer_.mac_authenticator(peers, payload);
+    return tags.is_ok() ? std::move(tags).take() : Bytes{};
+  }
+  auto sig = signer_.sign(payload);
+  return sig.is_ok() ? std::move(sig).take() : Bytes{};
+}
+
 rpc::Envelope AttackClientBase::make_request(rpc::MsgType type, Bytes body) {
   rpc::Envelope env;
   env.type = type;
@@ -51,8 +65,7 @@ core::PrepareRequest AttackClientBase::make_prepare(
   req.prep_cert = justification;
   req.write_cert = w;
   req.client = id_;
-  auto sig = signer_.sign(req.signing_payload());
-  req.sig = sig.is_ok() ? std::move(sig).take() : Bytes{};
+  req.sig = request_auth(req.signing_payload());
   return req;
 }
 
@@ -63,8 +76,7 @@ core::WriteRequest AttackClientBase::make_write(ObjectId object, Bytes value,
   req.value = std::move(value);
   req.prep_cert = pnew;
   req.client = id_;
-  auto sig = signer_.sign(req.signing_payload());
-  req.sig = sig.is_ok() ? std::move(sig).take() : Bytes{};
+  req.sig = request_auth(req.signing_payload());
   return req;
 }
 
@@ -358,8 +370,7 @@ void LurkingWriteStasher::try_optlist_stash(
   req.write_cert = std::nullopt;
   req.nonce = nonces_.next();
   req.client = id_;
-  auto sig = signer_.sign(req.signing_payload());
-  req.sig = sig.is_ok() ? std::move(sig).take() : Bytes{};
+  req.sig = request_auth(req.signing_payload());
 
   rpc::Envelope env = make_request(rpc::MsgType::kReadTsPrep, req.encode());
   const std::uint64_t rpc_id = env.rpc_id;

@@ -58,7 +58,17 @@ class AttackClientBase {
   quorum::ClientId id() const { return id_; }
   const Counters& metrics() const { return metrics_; }
 
+  // Match the cluster's protocol mode: with MAC authenticators on,
+  // attack requests carry them too (replicas would otherwise drop every
+  // attack message as bad auth, making the attack vacuous instead of
+  // confined by the protocol).
+  void set_mac_auth(bool on) { mac_auth_ = on; }
+
  protected:
+  // Request authentication per the mode: n-tag MAC authenticator or
+  // signature. Empty on failure (e.g. revoked), like the sign path.
+  Bytes request_auth(BytesView payload) const;
+
   // Phase-1 helper: fetch Pmax from a quorum (honest behavior — attacks
   // need a real certificate to anchor their mischief).
   void fetch_pmax(ObjectId object,
@@ -102,6 +112,7 @@ class AttackClientBase {
   std::map<std::uint64_t, PendingCall> calls_;  // keyed by rpc id
   std::vector<std::unique_ptr<rpc::QuorumCall>> retired_;
   std::uint64_t next_rpc_id_ = 0x0b5e55ed;
+  bool mac_auth_ = false;
 };
 
 // ---------------------------------------------------------------------

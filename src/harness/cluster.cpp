@@ -16,6 +16,7 @@ Cluster::Cluster(ClusterOptions options)
   core::ReplicaOptions ropts = options_.replica;
   ropts.optimized = options_.optimized;
   ropts.strong = options_.strong;
+  ropts.mac_auth = options_.mac_auth;
   if (ropts.registry == nullptr) ropts.registry = &metrics_;
 
   for (quorum::ReplicaId r = 0; r < config_.n; ++r) {
@@ -47,6 +48,7 @@ core::Client& Cluster::add_client(quorum::ClientId id) {
   core::ClientOptions copts = options_.client_defaults;
   copts.optimized = options_.optimized;
   copts.strong = options_.strong;
+  copts.mac_auth = options_.mac_auth;
   return add_client(id, copts);
 }
 

@@ -39,6 +39,9 @@ struct ClusterOptions {
   std::uint32_t f = 1;
   bool optimized = false;  // applied to replicas and default client options
   bool strong = false;
+  // MAC-authenticator mode (§3.3.2); applied to replicas and every
+  // client so both sides of the point-to-point channels agree.
+  bool mac_auth = false;
   crypto::SignatureScheme scheme = crypto::SignatureScheme::kHmacSim;
   std::size_t rsa_bits = 512;  // when scheme == kRsa
   std::uint64_t seed = 1;

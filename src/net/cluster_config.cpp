@@ -24,6 +24,11 @@ Result<ClusterConfig> ClusterConfig::parse(std::string_view json) {
     return Status(StatusCode::kInvalidArgument,
                   "cluster config: unknown mode '" + cfg.mode + "'");
   }
+  cfg.auth = root->string("auth", "sig");
+  if (cfg.auth != "sig" && cfg.auth != "mac") {
+    return Status(StatusCode::kInvalidArgument,
+                  "cluster config: unknown auth '" + cfg.auth + "'");
+  }
   cfg.scheme = root->string("scheme", "hmac");
   if (cfg.scheme != "hmac" && cfg.scheme != "rsa") {
     return Status(StatusCode::kInvalidArgument,

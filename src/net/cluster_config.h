@@ -7,6 +7,7 @@
 //   {
 //     "f": 1,
 //     "mode": "base" | "optimized" | "strong",
+//     "auth": "sig" | "mac",
 //     "scheme": "hmac" | "rsa",
 //     "rsa_bits": 512,
 //     "key_seed": 42,
@@ -48,6 +49,10 @@ inline sim::NodeId client_node(quorum::ClientId c) {
 struct ClusterConfig {
   std::uint32_t f = 1;
   std::string mode = "base";  // "base" | "optimized" | "strong"
+  // Point-to-point authentication (§3.3.2): "sig" signs every message,
+  // "mac" uses pairwise session-key MACs for requests and replies and
+  // reserves signatures for certificate statements.
+  std::string auth = "sig";  // "sig" | "mac"
   std::string scheme = "hmac";  // "hmac" | "rsa"
   std::size_t rsa_bits = 512;
   std::uint64_t key_seed = 1;
@@ -61,6 +66,7 @@ struct ClusterConfig {
 
   bool optimized() const { return mode == "optimized" || mode == "strong"; }
   bool strong() const { return mode == "strong"; }
+  bool mac_auth() const { return auth == "mac"; }
   crypto::SignatureScheme signature_scheme() const {
     return scheme == "rsa" ? crypto::SignatureScheme::kRsa
                            : crypto::SignatureScheme::kHmacSim;

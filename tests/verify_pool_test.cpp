@@ -1,0 +1,152 @@
+// VerifyPool: the worker pool behind Keystore::verify_batch.
+//
+// Covers the pool in isolation (index coverage, reuse, degenerate
+// sizes, concurrent callers) and through the keystore (pooled
+// verify_batch verdicts identical to the inline pass, including
+// invalid signatures and unknown principals). Runs under TSan in CI
+// (label "tsan") — the pool's whole point is that the cryptographic
+// pass is data-race-free.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "crypto/signature.h"
+#include "crypto/verify_pool.h"
+#include "quorum/config.h"
+#include "util/bytes.h"
+
+namespace bftbc::crypto {
+namespace {
+
+TEST(VerifyPoolTest, RunsEveryIndexExactlyOnce) {
+  VerifyPool pool(3);
+  EXPECT_EQ(pool.thread_count(), 3u);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(hits.size(),
+                    [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(VerifyPoolTest, ZeroThreadsRunsInline) {
+  VerifyPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 0u);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ran_on(8);
+  pool.parallel_for(ran_on.size(),
+                    [&](std::size_t i) { ran_on[i] = std::this_thread::get_id(); });
+  for (const auto& id : ran_on) EXPECT_EQ(id, caller);
+}
+
+TEST(VerifyPoolTest, EmptyAndSingletonJobs) {
+  VerifyPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "no work expected"; });
+  int runs = 0;
+  pool.parallel_for(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++runs;
+  });
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(VerifyPoolTest, ReusableAcrossManyBatches) {
+  VerifyPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    const std::size_t n = 1 + static_cast<std::size_t>(round % 13);
+    std::atomic<std::size_t> sum{0};
+    pool.parallel_for(n, [&](std::size_t i) { sum.fetch_add(i + 1); });
+    EXPECT_EQ(sum.load(), n * (n + 1) / 2) << round;
+  }
+}
+
+TEST(VerifyPoolTest, ConcurrentCallersAreSerializedSafely) {
+  VerifyPool pool(2);
+  constexpr int kCallers = 4;
+  constexpr int kRounds = 25;
+  std::vector<std::thread> callers;
+  std::vector<std::atomic<std::size_t>> totals(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&pool, &totals, c] {
+      for (int round = 0; round < kRounds; ++round) {
+        const std::size_t n = 1 + static_cast<std::size_t>((c + round) % 7);
+        std::atomic<std::size_t> seen{0};
+        pool.parallel_for(n, [&](std::size_t) { seen.fetch_add(1); });
+        totals[c].fetch_add(seen.load());
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (int c = 0; c < kCallers; ++c) {
+    std::size_t expected = 0;
+    for (int round = 0; round < kRounds; ++round) {
+      expected += 1 + static_cast<std::size_t>((c + round) % 7);
+    }
+    EXPECT_EQ(totals[c].load(), expected) << c;
+  }
+}
+
+// ---- through the keystore ------------------------------------------
+
+std::vector<Keystore::VerifyItem> make_batch(Keystore& ks, std::size_t n) {
+  std::vector<Keystore::VerifyItem> items;
+  for (std::size_t i = 0; i < n; ++i) {
+    const PrincipalId p =
+        quorum::replica_principal(static_cast<quorum::ReplicaId>(i % 4));
+    Keystore::VerifyItem item;
+    item.principal = p;
+    item.statement = to_bytes("stmt-" + std::to_string(i));
+    item.sig = ks.register_principal(p).sign(item.statement).value();
+    items.push_back(std::move(item));
+  }
+  return items;
+}
+
+TEST(VerifyPoolKeystoreTest, PooledBatchMatchesInlineVerdicts) {
+  Keystore inline_ks(SignatureScheme::kRsa, /*seed=*/5, /*rsa_bits=*/512);
+  Keystore pooled_ks(SignatureScheme::kRsa, /*seed=*/5, /*rsa_bits=*/512);
+  VerifyPool pool(3);
+  pooled_ks.set_verify_pool(&pool);
+
+  auto inline_items = make_batch(inline_ks, 12);
+  auto pooled_items = make_batch(pooled_ks, 12);
+  // Poison a couple of entries the same way on both sides: one corrupt
+  // signature, one unknown principal.
+  inline_items[3].sig[0] ^= 0x40;
+  pooled_items[3].sig[0] ^= 0x40;
+  inline_items[7].principal = 0xdead;
+  pooled_items[7].principal = 0xdead;
+
+  const std::size_t inline_checks = inline_ks.verify_batch(inline_items);
+  const std::size_t pooled_checks = pooled_ks.verify_batch(pooled_items);
+  EXPECT_EQ(inline_checks, pooled_checks);
+  ASSERT_EQ(inline_items.size(), pooled_items.size());
+  for (std::size_t i = 0; i < inline_items.size(); ++i) {
+    EXPECT_EQ(inline_items[i].valid, pooled_items[i].valid) << i;
+  }
+  EXPECT_FALSE(pooled_items[3].valid);
+  EXPECT_FALSE(pooled_items[7].valid);
+  EXPECT_TRUE(pooled_items[0].valid);
+}
+
+TEST(VerifyPoolKeystoreTest, PooledBatchStillMemoizes) {
+  Keystore ks(SignatureScheme::kRsa, /*seed=*/9, /*rsa_bits=*/512);
+  VerifyPool pool(2);
+  ks.set_verify_pool(&pool);
+
+  auto items = make_batch(ks, 8);
+  const std::size_t first = ks.verify_batch(items);
+  EXPECT_EQ(first, items.size());
+  // Second pass over the identical batch: all verdicts memoized, the
+  // pool has nothing to do.
+  auto again = items;
+  for (auto& item : again) item.valid = false;
+  const std::size_t second = ks.verify_batch(again);
+  EXPECT_EQ(second, 0u);
+  for (const auto& item : again) EXPECT_TRUE(item.valid);
+}
+
+}  // namespace
+}  // namespace bftbc::crypto

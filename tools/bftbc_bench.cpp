@@ -193,6 +193,7 @@ int main(int argc, char** argv) {
     core::ClientOptions copts;
     copts.optimized = cluster.optimized();
     copts.strong = cluster.strong();
+    copts.mac_auth = cluster.mac_auth();
     copts.op_deadline =
         static_cast<sim::Time>(*deadline_ms) * sim::kMillisecond;
     auto client_rng = Rng(rng.next_u64());
@@ -229,6 +230,7 @@ int main(int argc, char** argv) {
   report.set_config("value_bytes", *value_bytes);
   report.set_config("read_fraction", *read_fraction);
   report.set_config("mode", cluster.mode);
+  report.set_config("auth", cluster.auth);
   report.set_config("scheme", cluster.scheme);
   report.set_config("f", static_cast<std::int64_t>(cluster.f));
   report.set_config("transport", std::string("udp"));

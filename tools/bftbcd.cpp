@@ -18,6 +18,7 @@
 #include <memory>
 
 #include "bftbc/replica.h"
+#include "crypto/verify_pool.h"
 #include "net/cluster_config.h"
 #include "net/event_loop.h"
 #include "net/udp_transport.h"
@@ -43,6 +44,9 @@ int main(int argc, char** argv) {
       flags.add_int("replica", -1, "this replica's index (0..3f)");
   auto& force_poll =
       flags.add_bool("force-poll", false, "use poll() even where epoll exists");
+  auto& verify_threads = flags.add_int(
+      "verify-threads", 0,
+      "worker threads for batch signature verification (0 = inline)");
   flags.parse(argc, argv);
 
   if ((*config_path).empty() || *replica_id < 0) {
@@ -69,6 +73,16 @@ int main(int argc, char** argv) {
                             cluster.rsa_bits);
   net::register_cluster_principals(cluster, keystore);
 
+  // Optional verification pool: batch verifies fan out across workers
+  // while the event loop thread blocks for the batch (still one protocol
+  // thread — the pool only parallelizes the crypto inside one batch).
+  std::unique_ptr<crypto::VerifyPool> pool;
+  if (*verify_threads > 0) {
+    pool = std::make_unique<crypto::VerifyPool>(
+        static_cast<std::size_t>(*verify_threads));
+    keystore.set_verify_pool(pool.get());
+  }
+
   net::EventLoop loop(*force_poll);
   auto peers = net::replica_endpoints(cluster);
   if (!peers.is_ok()) {
@@ -86,6 +100,7 @@ int main(int argc, char** argv) {
   core::ReplicaOptions ropts;
   ropts.optimized = cluster.optimized();
   ropts.strong = cluster.strong();
+  ropts.mac_auth = cluster.mac_auth();
   core::Replica replica(quorum, r, keystore, transport, loop, ropts);
 
   std::signal(SIGINT, handle_signal);
@@ -100,9 +115,9 @@ int main(int argc, char** argv) {
   };
   loop.schedule(50 * sim::kMillisecond, poll_stop);
 
-  std::printf("bftbcd: replica %u (%s mode, %s) listening on %s\n", r,
-              cluster.mode.c_str(), cluster.scheme.c_str(),
-              bind_to.to_string().c_str());
+  std::printf("bftbcd: replica %u (%s mode, %s auth, %s) listening on %s\n", r,
+              cluster.mode.c_str(), cluster.auth.c_str(),
+              cluster.scheme.c_str(), bind_to.to_string().c_str());
   std::fflush(stdout);  // readiness marker for scripts tailing the log
 
   loop.run();
