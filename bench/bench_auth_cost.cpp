@@ -307,7 +307,9 @@ void report_verify_pool(metrics::BenchReport& report) {
 
   harness::Table table({"threads", "batch", "wall time (ms)", "speedup"});
   double baseline_ms = 0;
-  std::vector<std::size_t> thread_counts{0, 2, 4};
+  // Full mode covers the whole scaling ladder the nightly pool-scaling
+  // job charts; smoke keeps the inline baseline plus one threaded point.
+  std::vector<std::size_t> thread_counts{0, 2, 4, 8};
   if (report.smoke()) thread_counts.resize(2);
   for (std::size_t threads : thread_counts) {
     std::unique_ptr<crypto::VerifyPool> pool;

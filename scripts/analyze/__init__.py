@@ -1,0 +1,15 @@
+"""AST-grounded static analysis for the BFT-BC tree.
+
+The package is split so the expensive dependency stays optional:
+
+  ir.py           frontend-independent IR + the taint/lock dataflow core
+                  (unit-tested locally, no libclang needed)
+  frontend.py     clang.cindex -> IR lowering (needs libclang; CI installs
+                  it, local runs degrade to a clear skip)
+  config.py       the protocol-specific source/verifier/sink model
+  checks.py       the four checks over the IR
+  baseline.py     committed-baseline diffing (CI fails only on NEW findings)
+  suppressions.py inline `bftbc-lint: allow(<rule>) -- <why>` handling,
+                  shared with scripts/lint_protocol.py
+  run_analyzer.py CLI entry point
+"""

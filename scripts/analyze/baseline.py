@@ -1,0 +1,57 @@
+"""Committed-baseline diffing: CI fails only on NEW findings.
+
+Keys are line-number free (`rule|file|function|detail`) so unrelated
+edits that shift code don't invalidate the baseline. The workflow:
+
+  * a finding appears that is real      -> fix the code
+  * a finding appears that is accepted  -> `run_analyzer.py
+    --update-baseline` and commit scripts/analyze/baseline.json with
+    the justification in the commit message (or better, an inline
+    `bftbc-lint: allow(...)` right at the site)
+  * a baselined finding disappears      -> the stale entry is reported
+    as info; re-run --update-baseline to shrink the file
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+
+def load(path: str) -> set:
+    if not os.path.exists(path):
+        return set()
+    with open(path, encoding="utf-8") as f:
+        data = json.load(f)
+    return {e["key"] for e in data.get("entries", [])}
+
+
+def save(path: str, findings) -> None:
+    entries = sorted({f.key() for f in findings})
+    data = {
+        "version": 1,
+        "comment": (
+            "Accepted analyzer findings. CI fails only on findings NOT "
+            "in this file. Regenerate with "
+            "scripts/analyze/run_analyzer.py --update-baseline."
+        ),
+        "entries": [{"key": k} for k in entries],
+    }
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(data, f, indent=2)
+        f.write("\n")
+
+
+def diff(findings, baseline_keys):
+    """Returns (new_findings, baselined_findings, stale_keys)."""
+    new, old = [], []
+    live = set()
+    for f in findings:
+        k = f.key()
+        if k in baseline_keys:
+            old.append(f)
+            live.add(k)
+        else:
+            new.append(f)
+    stale = sorted(baseline_keys - live)
+    return new, old, stale

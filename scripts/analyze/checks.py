@@ -1,0 +1,249 @@
+"""The four analyzer checks, all running over the frontend's IR.
+
+Each check takes (program, config) and returns a list of ir.Finding.
+File scoping uses the repo-relative path stored in each Function's Loc.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from .ir import (
+    Finding,
+    SDecl,
+    SRangeFor,
+    SSwitch,
+    TaintAnalysis,
+    _walk_calls,
+    collect_lock_accesses,
+    stmt_calls,
+    walk_stmts,
+)
+
+CHECK_NAMES = (
+    "verify-before-use",
+    "switch-exhaustive",
+    "lock-discipline",
+    "determinism",
+)
+
+
+# ------------------------------------------------ 1. verify-before-use
+
+
+def check_verify_before_use(program, config):
+    analysis = TaintAnalysis(program, config)
+    analysis.compute_summaries()
+    findings = []
+    for fn in program.all_functions():
+        if not config.in_scope(
+            fn.loc.file, config.TAINT_SCOPE, config.TAINT_EXCLUDE
+        ):
+            continue
+        findings.extend(analysis.check_function(fn))
+    return findings
+
+
+# ----------------------------------------------- 2. switch-exhaustive
+
+
+def check_switch_exhaustive(program, config):
+    findings = []
+    seen = set()
+    for fn in program.all_functions():
+        if not config.in_scope(fn.loc.file, config.SWITCH_SCOPE):
+            continue
+        for st in walk_stmts(fn.body):
+            if not isinstance(st, SSwitch) or st.enum is None:
+                continue
+            if not st.enum.startswith(config.SWITCH_ENUM_PREFIX):
+                continue
+            key = (st.loc.file, st.loc.line)
+            if key in seen:  # headers reparsed across TUs
+                continue
+            seen.add(key)
+            missing = st.enumerators - st.covered
+            if not st.has_default and missing:
+                findings.append(
+                    Finding(
+                        check="switch-exhaustive",
+                        rule="missing-enumerators",
+                        file=st.loc.file,
+                        line=st.loc.line,
+                        func=fn.qual,
+                        detail=f"switch({st.enum})",
+                        message=(
+                            f"switch over {st.enum} has no default and "
+                            f"misses: {', '.join(sorted(missing))}"
+                        ),
+                    )
+                )
+            elif st.has_default and missing and not st.default_justified:
+                findings.append(
+                    Finding(
+                        check="switch-exhaustive",
+                        rule="unjustified-default",
+                        file=st.loc.file,
+                        line=st.loc.line,
+                        func=fn.qual,
+                        detail=f"switch({st.enum})",
+                        message=(
+                            f"switch over {st.enum} hides "
+                            f"{len(missing)} enumerator(s) behind a bare "
+                            "`default: break;` — say why the swallow is "
+                            "safe (comment in the default) or handle them"
+                        ),
+                    )
+                )
+    return findings
+
+
+# ------------------------------------------------- 3. lock-discipline
+
+
+def check_lock_discipline(program, config):
+    accesses = []
+    for fn in program.all_functions():
+        if not config.in_scope(fn.loc.file, config.LOCK_SCOPE):
+            continue
+        accesses.extend(collect_lock_accesses(fn))
+
+    by_field = defaultdict(list)
+    for a in accesses:
+        by_field[(a.cls, a.field)].append(a)
+
+    findings = []
+    for (cls, fname), accs in sorted(by_field.items()):
+        locked = [a for a in accs if a.locked]
+        unlocked = [a for a in accs if not a.locked]
+        writes = [a for a in accs if a.write]
+        # The smell this check exists for: a field the class does guard
+        # (it has locked sites) but also touches outside any lock, with
+        # at least one write in the mix so a race is actually possible.
+        if not locked or not unlocked or not writes:
+            continue
+        # Setters are registration-time by convention in this tree.
+        interesting = [
+            a
+            for a in unlocked
+            if not a.func.rsplit("::", 1)[-1].startswith("set_")
+        ]
+        lref = min(locked, key=lambda a: (a.loc.file, a.loc.line))
+        for a in sorted(
+            interesting, key=lambda x: (x.loc.file, x.loc.line)
+        ):
+            findings.append(
+                Finding(
+                    check="lock-discipline",
+                    rule="mixed-guard",
+                    file=a.loc.file,
+                    line=a.loc.line,
+                    func=a.func,
+                    detail=f"{cls}::{fname}",
+                    message=(
+                        f"'{fname}' of {cls} is accessed here without a "
+                        f"lock but is touched under one at {lref.loc} — "
+                        "either take the mutex, mark the function "
+                        "BFTBC_NO_THREAD_SAFETY_ANALYSIS with a reason, "
+                        "or split the field"
+                    ),
+                )
+            )
+    return findings
+
+
+# ---------------------------------------------------- 4. determinism
+
+
+def check_determinism(program, config):
+    findings = []
+    seen = set()
+    for fn in program.all_functions():
+        if not config.in_scope(fn.loc.file, config.DET_SCOPE):
+            continue
+        for st in walk_stmts(fn.body):
+            loc = getattr(st, "loc", None)
+            if loc is None:
+                continue
+            if isinstance(st, SDecl) and any(
+                t in st.type for t in config.BANNED_DECL_TYPES
+            ):
+                key = ("decl", loc.file, loc.line)
+                if key not in seen:
+                    seen.add(key)
+                    findings.append(
+                        Finding(
+                            check="determinism",
+                            rule="banned-call",
+                            file=loc.file,
+                            line=loc.line,
+                            func=fn.qual,
+                            detail=f"decl {st.type}",
+                            message=(
+                                f"'{st.type}' in deterministic "
+                                "simulation/protocol code; seed from "
+                                "util/rng.h instead"
+                            ),
+                        )
+                    )
+            for c in _walk_calls(stmt_calls(st)):
+                name = c.qual or c.name
+                if config.is_banned_call(name):
+                    key = ("call", loc.file, loc.line, name)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    findings.append(
+                        Finding(
+                            check="determinism",
+                            rule="banned-call",
+                            file=loc.file,
+                            line=loc.line,
+                            func=fn.qual,
+                            detail=f"call {name}",
+                            message=(
+                                f"'{name}' is wall-clock/global "
+                                "randomness in deterministic code; use "
+                                "util/rng.h or the simulator's virtual "
+                                "clock"
+                            ),
+                        )
+                    )
+            if isinstance(st, SRangeFor) and "unordered_" in st.range_type:
+                key = ("iter", loc.file, loc.line)
+                if key in seen:
+                    continue
+                seen.add(key)
+                findings.append(
+                    Finding(
+                        check="determinism",
+                        rule="unordered-iteration",
+                        file=loc.file,
+                        line=loc.line,
+                        func=fn.qual,
+                        detail="range-for unordered",
+                        message=(
+                            "iteration over an unordered container in "
+                            "protocol/sim code — emission order must not "
+                            "depend on hash layout; use std::map or sort "
+                            "first"
+                        ),
+                    )
+                )
+    return findings
+
+
+CHECKS = {
+    "verify-before-use": check_verify_before_use,
+    "switch-exhaustive": check_switch_exhaustive,
+    "lock-discipline": check_lock_discipline,
+    "determinism": check_determinism,
+}
+
+
+def run_checks(program, config, names=None):
+    findings = []
+    for name in names or CHECK_NAMES:
+        findings.extend(CHECKS[name](program, config))
+    findings.sort(key=lambda f: (f.file, f.line, f.rule, f.detail))
+    return findings

@@ -1,0 +1,811 @@
+"""clang.cindex -> IR lowering.
+
+Everything libclang lives here: the rest of the package (IR, solver,
+checks, baseline) is importable and unit-testable without it. CI
+installs libclang + the python bindings; a local run without them gets
+a clear skip message from probe_libclang() instead of a traceback.
+
+Lowering philosophy: extract only what the checks consume — access
+paths (root variable + short member chain, seeing through optional's
+operator-> / operator*), call references with per-argument paths,
+branch conditions flattened into &&/|| atom lists, and the
+switch/range-for/lock-decl structure. Anything unrecognized degrades to
+an opaque statement, which the solver treats conservatively.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+
+from .ir import (
+    Arg,
+    CallRef,
+    Cond,
+    CondAtom,
+    Function,
+    Loc,
+    MAX_PATH_DEPTH,
+    Program,
+    SAssign,
+    SBlock,
+    SDecl,
+    SExit,
+    SExpr,
+    SIf,
+    SLoop,
+    SRangeFor,
+    SSwitch,
+)
+
+_LIBCLANG_CANDIDATES = (
+    "/usr/lib/llvm-*/lib/libclang.so*",
+    "/usr/lib/llvm-*/lib/libclang-*.so*",
+    "/usr/lib/x86_64-linux-gnu/libclang*.so*",
+    "/usr/lib/libclang.so*",
+)
+
+_probe_cache = None
+
+
+def probe_libclang():
+    """Returns (cindex_module, None) or (None, human-readable reason)."""
+    global _probe_cache
+    if _probe_cache is not None:
+        return _probe_cache
+    try:
+        from clang import cindex  # noqa: PLC0415
+    except ImportError:
+        _probe_cache = (
+            None,
+            "python 'clang' bindings not installed "
+            "(CI installs python3-clang; locally: available via LLVM "
+            "distributions — the analyzer skips without them)",
+        )
+        return _probe_cache
+    candidates = [None]
+    for pattern in _LIBCLANG_CANDIDATES:
+        candidates.extend(sorted(glob.glob(pattern), reverse=True))
+    last_err = "no libclang shared library found"
+    for cand in candidates:
+        try:
+            if cand is not None:
+                cindex.Config.loaded = False
+                cindex.Config.set_library_file(cand)
+            cindex.Index.create()
+            _probe_cache = (cindex, None)
+            return _probe_cache
+        except Exception as e:  # LibclangError, OSError
+            last_err = str(e).splitlines()[0] if str(e) else repr(e)
+    _probe_cache = (
+        None,
+        f"python 'clang' bindings present but no usable libclang: "
+        f"{last_err}",
+    )
+    return _probe_cache
+
+
+def default_args(root: str) -> list:
+    return ["-x", "c++", "-std=c++20", f"-I{os.path.join(root, 'src')}"]
+
+
+def compile_db_args(build_dir: str) -> list:
+    """Extra -I/-D/-std flags harvested from compile_commands.json."""
+    path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.exists(path):
+        return []
+    try:
+        with open(path, encoding="utf-8") as f:
+            entries = json.load(f)
+    except (OSError, ValueError):
+        return []
+    out, seen = [], set()
+    for e in entries:
+        argv = e.get("arguments")
+        if not argv and e.get("command"):
+            argv = e["command"].split()
+        if not argv:
+            continue
+        it = iter(argv)
+        for a in it:
+            take = None
+            if a.startswith(("-I", "-D")) and len(a) > 2:
+                take = [a]
+            elif a in ("-I", "-D", "-isystem", "-iquote"):
+                v = next(it, None)
+                if v is not None:
+                    take = [a, v]
+            elif a.startswith("-std="):
+                take = [a]
+            if take and tuple(take) not in seen:
+                seen.add(tuple(take))
+                out.extend(take)
+    return out
+
+
+class ParseError(Exception):
+    pass
+
+
+class Lowerer:
+    def __init__(self, cindex, root: str, virtual_path: str | None = None):
+        self.cx = cindex
+        self.K = cindex.CursorKind
+        self.TK = cindex.TokenKind
+        self.root = os.path.abspath(root)
+        # Fixture mode: report this file under a pretended rel path.
+        self.virtual_path = virtual_path
+        self._passthrough_ops = {
+            "operator->",
+            "operator*",
+            "operator bool",
+            "operator[]",
+        }
+        self._lambda_seq = 0
+
+    # ------------------------------------------------------- plumbing
+
+    def relpath(self, cur) -> str | None:
+        f = cur.location.file
+        if f is None:
+            return None
+        p = os.path.abspath(f.name)
+        if not p.startswith(self.root + os.sep):
+            return None
+        rel = os.path.relpath(p, self.root).replace(os.sep, "/")
+        return self.virtual_path or rel
+
+    def loc(self, cur) -> Loc:
+        rel = self.relpath(cur) or (
+            cur.location.file.name if cur.location.file else "?"
+        )
+        return Loc(rel, cur.location.line, cur.location.column)
+
+    def unwrap(self, c):
+        K = self.K
+        wrappers = (
+            K.UNEXPOSED_EXPR,
+            K.PAREN_EXPR,
+            K.CSTYLE_CAST_EXPR,
+            K.CXX_STATIC_CAST_EXPR,
+            K.CXX_CONST_CAST_EXPR,
+            K.CXX_REINTERPRET_CAST_EXPR,
+            K.CXX_FUNCTIONAL_CAST_EXPR,
+        )
+        while c is not None and c.kind in wrappers:
+            kids = list(c.get_children())
+            if not kids:
+                return c
+            c = kids[0]
+        return c
+
+    def qualname(self, cur) -> str:
+        parts = []
+        c = cur
+        while c is not None and c.kind != self.K.TRANSLATION_UNIT:
+            if c.spelling:
+                parts.append(c.spelling)
+            c = c.semantic_parent
+        return "::".join(reversed(parts))
+
+    def _first_token(self, cur) -> str:
+        for t in cur.get_tokens():
+            return t.spelling
+        return ""
+
+    def _binop(self, cur) -> str:
+        kids = list(cur.get_children())
+        if len(kids) != 2:
+            return ""
+        try:
+            end0 = kids[0].extent.end.offset
+            start1 = kids[1].extent.start.offset
+        except Exception:
+            return ""
+        for t in cur.get_tokens():
+            o = t.extent.start.offset
+            if end0 <= o < start1 and t.kind == self.TK.PUNCTUATION:
+                return t.spelling
+        return ""
+
+    # ---------------------------------------------------- expressions
+
+    def access_path(self, c):
+        c = self.unwrap(c)
+        if c is None:
+            return None
+        K = self.K
+        k = c.kind
+        if k == K.DECL_REF_EXPR:
+            return (c.spelling,) if c.spelling else None
+        if k == K.CXX_THIS_EXPR:
+            return ("this",)
+        if k == K.MEMBER_REF_EXPR:
+            kids = list(c.get_children())
+            if not kids:
+                return ("this", c.spelling)[:MAX_PATH_DEPTH]
+            base = self.unwrap(kids[0])
+            if base is not None and base.kind == K.CXX_THIS_EXPR:
+                return ("this", c.spelling)
+            bp = self.access_path(kids[0])
+            if bp is None:
+                return None
+            return (bp + (c.spelling,))[:MAX_PATH_DEPTH]
+        if k == K.ARRAY_SUBSCRIPT_EXPR:
+            kids = list(c.get_children())
+            return self.access_path(kids[0]) if kids else None
+        if k == K.UNARY_OPERATOR:
+            if self._first_token(c) in ("*", "&"):
+                kids = list(c.get_children())
+                return self.access_path(kids[0]) if kids else None
+            return None
+        if k == K.CALL_EXPR and c.spelling in self._passthrough_ops:
+            for kid in c.get_children():
+                u = self.unwrap(kid)
+                if u is not None and u.kind == K.DECL_REF_EXPR and (
+                    u.spelling.startswith("operator")
+                ):
+                    continue
+                p = self.access_path(kid)
+                if p is not None:
+                    return p
+        return None
+
+    def collect_expr(self, c, paths, calls):
+        c = self.unwrap(c)
+        if c is None:
+            return
+        K = self.K
+        k = c.kind
+        if k == K.LAMBDA_EXPR:
+            self._lower_lambda(c)
+            return
+        if k == K.CALL_EXPR:
+            if c.spelling in self._passthrough_ops:
+                p = self.access_path(c)
+                if p is not None:
+                    paths.append(p)
+                else:
+                    for kid in c.get_children():
+                        self.collect_expr(kid, paths, calls)
+                return
+            calls.append(self.lower_call(c))
+            return
+        if k in (K.DECL_REF_EXPR, K.MEMBER_REF_EXPR, K.CXX_THIS_EXPR,
+                 K.ARRAY_SUBSCRIPT_EXPR):
+            p = self.access_path(c)
+            if p is not None:
+                paths.append(p)
+                if k == K.ARRAY_SUBSCRIPT_EXPR:
+                    kids = list(c.get_children())
+                    for kid in kids[1:]:
+                        self.collect_expr(kid, paths, calls)
+                return
+        if k == K.UNARY_OPERATOR and self._first_token(c) in ("*", "&"):
+            p = self.access_path(c)
+            if p is not None:
+                paths.append(p)
+                return
+        for kid in c.get_children():
+            self.collect_expr(kid, paths, calls)
+
+    def lower_call(self, c) -> CallRef:
+        name = c.spelling or ""
+        ref = c.referenced
+        qual = ""
+        if ref is not None:
+            qual = self.qualname(ref)
+            if not name:
+                name = ref.spelling or ""
+        base = None
+        kids = list(c.get_children())
+        if kids:
+            callee = self.unwrap(kids[0])
+            if callee is not None and callee.kind == self.K.MEMBER_REF_EXPR:
+                ckids = list(callee.get_children())
+                if ckids:
+                    base = self.access_path(ckids[0])
+                else:
+                    base = ("this",)
+        args = []
+        for a in c.get_arguments():
+            ap, ac = [], []
+            self.collect_expr(a, ap, ac)
+            args.append(Arg(ap, ac))
+        return CallRef(name, qual, base, args, self.loc(c))
+
+    # ----------------------------------------------------- conditions
+
+    def lower_cond(self, c) -> Cond:
+        c = self.unwrap(c)
+        if c is not None and c.kind == self.K.BINARY_OPERATOR:
+            op = self._binop(c)
+            if op in ("&&", "||"):
+                atoms: list = []
+                pure = self._flatten_bool(c, op, atoms)
+                join = "and" if op == "&&" else "or"
+                return Cond(join if pure else "opaque", atoms)
+        return Cond("single", [self.lower_atom(c)])
+
+    def _flatten_bool(self, c, op, atoms) -> bool:
+        pure = True
+        for kid in c.get_children():
+            u = self.unwrap(kid)
+            if u is not None and u.kind == self.K.BINARY_OPERATOR:
+                kop = self._binop(u)
+                if kop == op:
+                    pure = self._flatten_bool(u, op, atoms) and pure
+                    continue
+                if kop in ("&&", "||"):
+                    atoms.append(self.lower_atom(u))
+                    pure = False
+                    continue
+            atoms.append(self.lower_atom(kid))
+        return pure
+
+    def lower_atom(self, c) -> CondAtom:
+        negated = False
+        c = self.unwrap(c)
+        while (
+            c is not None
+            and c.kind == self.K.UNARY_OPERATOR
+            and self._first_token(c) == "!"
+        ):
+            negated = not negated
+            kids = list(c.get_children())
+            c = self.unwrap(kids[0]) if kids else None
+        paths, calls = [], []
+        if c is not None:
+            self.collect_expr(c, paths, calls)
+        return CondAtom(negated, paths, calls)
+
+    # ----------------------------------------------------- statements
+
+    def lower_block(self, c) -> list:
+        out: list = []
+        for kid in c.get_children():
+            out.extend(self.lower_stmt(kid))
+        return out
+
+    def lower_stmt(self, c) -> list:
+        K = self.K
+        k = c.kind
+        loc = self.loc(c)
+        if k == K.COMPOUND_STMT:
+            return [SBlock(self.lower_block(c), loc)]
+        if k == K.DECL_STMT:
+            out = []
+            for kid in c.get_children():
+                if kid.kind == K.VAR_DECL:
+                    out.append(self._lower_var_decl(kid))
+            return out
+        if k == K.IF_STMT:
+            return self._lower_if(c, loc)
+        if k in (K.WHILE_STMT, K.DO_STMT):
+            kids = list(c.get_children())
+            if not kids:
+                return []
+            if k == K.WHILE_STMT:
+                cond, body = kids[0], kids[-1]
+            else:
+                body, cond = kids[0], kids[-1]
+            body_stmts = self.lower_stmt(body)
+            return [SLoop(self.lower_cond(cond), body_stmts, loc)]
+        if k == K.FOR_STMT:
+            kids = list(c.get_children())
+            if not kids:
+                return []
+            body = kids[-1]
+            pre: list = []
+            cond = None
+            for kid in kids[:-1]:
+                if kid.kind == K.DECL_STMT:
+                    pre.extend(self.lower_stmt(kid))
+                elif kid.kind.is_expression() and cond is None:
+                    cond = self.lower_cond(kid)
+            return pre + [SLoop(cond, self.lower_stmt(body), loc)]
+        if k == K.CXX_FOR_RANGE_STMT:
+            return [self._lower_range_for(c, loc)]
+        if k == K.SWITCH_STMT:
+            return [self._lower_switch(c, loc)]
+        if k == K.RETURN_STMT:
+            paths, calls = [], []
+            for kid in c.get_children():
+                self.collect_expr(kid, paths, calls)
+            return [SExit("return", paths, calls, loc)]
+        if k == K.CONTINUE_STMT:
+            return [SExit("continue", [], [], loc)]
+        if k == K.BREAK_STMT:
+            return [SExit("break", [], [], loc)]
+        if k == K.NULL_STMT:
+            return []
+        if k == K.BINARY_OPERATOR and self._binop(c) == "=":
+            return self._lower_assign(c, loc, compound=False)
+        if k == K.COMPOUND_ASSIGNMENT_OPERATOR:
+            return self._lower_assign(c, loc, compound=True)
+        if k == K.UNARY_OPERATOR and self._first_token(c) in ("++", "--"):
+            kids = list(c.get_children())
+            tgt = self.access_path(kids[0]) if kids else None
+            if tgt is not None:
+                return [SAssign(tgt, [tgt], [], loc, compound=True)]
+        if k.is_expression():
+            paths, calls = [], []
+            self.collect_expr(c, paths, calls)
+            return [SExpr(paths, calls, loc)]
+        if k.is_statement():
+            # try/catch/label/...: keep the nested statements visible.
+            return [SBlock(self.lower_block(c), loc)]
+        return []
+
+    def _lower_var_decl(self, kid) -> SDecl:
+        paths, calls = [], []
+        for sub in kid.get_children():
+            if sub.kind in (
+                self.K.TYPE_REF,
+                self.K.NAMESPACE_REF,
+                self.K.TEMPLATE_REF,
+            ):
+                continue
+            self.collect_expr(sub, paths, calls)
+        return SDecl(
+            kid.spelling,
+            kid.type.spelling or "",
+            paths,
+            calls,
+            self.loc(kid),
+        )
+
+    def _lower_assign(self, c, loc, compound) -> list:
+        kids = list(c.get_children())
+        if len(kids) != 2:
+            paths, calls = [], []
+            self.collect_expr(c, paths, calls)
+            return [SExpr(paths, calls, loc)]
+        lhs, rhs = kids
+        target = self.access_path(lhs)
+        paths, calls = [], []
+        self.collect_expr(rhs, paths, calls)
+        # Reads buried in the lhs (subscript indices, receiver chains)
+        # are still uses: `learned_[from] = src` reads `from`.
+        lp, lcalls = [], []
+        self.collect_expr(lhs, lp, lcalls)
+        calls.extend(lcalls)
+        if target is None:
+            return [SExpr(paths + lp, calls, loc)]
+        paths.extend(p for p in lp if p != target)
+        return [SAssign(target, paths, calls, loc, compound=compound)]
+
+    def _lower_if(self, c, loc) -> list:
+        K = self.K
+        kids = list(c.get_children())
+        pre: list = []
+        while kids and kids[0].kind == K.DECL_STMT:
+            pre.extend(self.lower_stmt(kids.pop(0)))
+        cond_var = None
+        if kids and kids[0].kind == K.VAR_DECL:
+            cond_var = kids.pop(0)
+            pre.append(self._lower_var_decl(cond_var))
+        if not kids:
+            return pre
+        if cond_var is not None:
+            cond = Cond(
+                "single",
+                [CondAtom(False, [(cond_var.spelling,)], [])],
+            )
+            then = kids[0] if kids else None
+            els = kids[1] if len(kids) > 1 else None
+        else:
+            cond = self.lower_cond(kids[0])
+            then = kids[1] if len(kids) > 1 else None
+            els = kids[2] if len(kids) > 2 else None
+        then_stmts = self.lower_stmt(then) if then is not None else []
+        els_stmts = self.lower_stmt(els) if els is not None else []
+        return pre + [SIf(cond, then_stmts, els_stmts, loc)]
+
+    def _lower_range_for(self, c, loc) -> SRangeFor:
+        kids = list(c.get_children())
+        body = kids[-1] if kids else None
+        var = ""
+        range_paths: list = []
+        range_types: list = []
+        for kid in kids[:-1]:
+            if kid.kind == self.K.VAR_DECL and not kid.spelling.startswith(
+                "__"
+            ):
+                if not var:
+                    var = kid.spelling
+                for sub in kid.get_children():
+                    if sub.kind.is_expression():
+                        u = self.unwrap(sub)
+                        if u is not None:
+                            range_types.append(u.type.spelling or "")
+                        self.collect_expr(sub, range_paths, [])
+            elif kid.kind.is_expression():
+                u = self.unwrap(kid)
+                if u is not None:
+                    range_types.append(u.type.spelling or "")
+                self.collect_expr(kid, range_paths, [])
+        body_stmts = self.lower_stmt(body) if body is not None else []
+        return SRangeFor(
+            var, range_paths, " ".join(range_types), body_stmts, loc
+        )
+
+    def _lower_switch(self, c, loc) -> SSwitch:
+        K = self.K
+        kids = list(c.get_children())
+        if not kids:
+            return SSwitch([], None, frozenset(), frozenset(), False,
+                           False, [], loc)
+        cond, body = kids[0], kids[-1]
+        subject_paths, subject_calls = [], []
+        self.collect_expr(cond, subject_paths, subject_calls)
+
+        enum_qual = None
+        enumerators: set = set()
+        u = self.unwrap(cond)
+        t = (u or cond).type
+        decl = t.get_declaration()
+        if decl is None or decl.kind != K.ENUM_DECL:
+            decl = t.get_canonical().get_declaration()
+        if decl is not None and decl.kind == K.ENUM_DECL:
+            enum_qual = self.qualname(decl)
+            for e in decl.get_children():
+                if e.kind == K.ENUM_CONSTANT_DECL:
+                    enumerators.add(e.spelling)
+
+        covered: set = set()
+        has_default = False
+        segments: list = []
+        seg: list | None = None
+        for ch in body.get_children():
+            if ch.kind in (K.CASE_STMT, K.DEFAULT_STMT):
+                seg = []
+                segments.append(seg)
+                sub = ch
+                while sub is not None and sub.kind in (
+                    K.CASE_STMT,
+                    K.DEFAULT_STMT,
+                ):
+                    if sub.kind == K.DEFAULT_STMT:
+                        has_default = True
+                        inner = list(sub.get_children())
+                    else:
+                        inner = list(sub.get_children())
+                        if inner:
+                            covered.update(
+                                self._enum_refs(inner[0])
+                            )
+                        inner = inner[1:]
+                    sub = inner[-1] if inner else None
+                if sub is not None:
+                    seg.extend(self.lower_stmt(sub))
+            else:
+                if seg is None:
+                    seg = []
+                    segments.append(seg)
+                seg.extend(self.lower_stmt(ch))
+
+        justified = self._default_justified(body) if has_default else False
+        return SSwitch(
+            subject_paths,
+            enum_qual,
+            frozenset(enumerators),
+            frozenset(covered),
+            has_default,
+            justified,
+            segments,
+            loc,
+        )
+
+    def _enum_refs(self, expr):
+        out = []
+        stack = [expr]
+        while stack:
+            cur = stack.pop()
+            if cur.kind == self.K.DECL_REF_EXPR and cur.spelling:
+                out.append(cur.spelling)
+            stack.extend(cur.get_children())
+        return out
+
+    def _default_justified(self, body) -> bool:
+        """A default is justified if it does something beyond `break;`
+        or carries a comment saying why swallowing is safe."""
+        toks = list(body.get_tokens())
+        for i, t in enumerate(toks):
+            if t.spelling != "default" or t.kind != self.TK.KEYWORD:
+                continue
+            j = i + 1
+            depth = 0
+            while j < len(toks):
+                s = toks[j].spelling
+                if toks[j].kind == self.TK.COMMENT:
+                    return True
+                if s == "case" and depth == 0:
+                    break
+                if s == "{":
+                    depth += 1
+                elif s == "}":
+                    if depth == 0:
+                        break
+                    depth -= 1
+                elif s not in (":", ";", "break"):
+                    return True
+                j += 1
+            return False
+        return False
+
+    # ------------------------------------------------------ functions
+
+    _FN_KINDS = None
+
+    def _fn_kinds(self):
+        if Lowerer._FN_KINDS is None:
+            K = self.K
+            Lowerer._FN_KINDS = {
+                K.FUNCTION_DECL: "function",
+                K.FUNCTION_TEMPLATE: "function",
+                K.CXX_METHOD: "function",
+                K.CONSTRUCTOR: "ctor",
+                K.DESTRUCTOR: "dtor",
+            }
+        return Lowerer._FN_KINDS
+
+    def lower_tu(self, tu, program: Program):
+        self.program = program
+        self._visit_container(tu.cursor, program, cls=None)
+
+    def _visit_container(self, cur, program, cls):
+        K = self.K
+        for c in cur.get_children():
+            if self.relpath(c) is None:
+                continue
+            k = c.kind
+            if k in (K.NAMESPACE, K.UNEXPOSED_DECL, K.LINKAGE_SPEC):
+                self._visit_container(c, program, cls)
+            elif k in (K.CLASS_DECL, K.STRUCT_DECL, K.CLASS_TEMPLATE):
+                if c.is_definition():
+                    self._visit_class(c, program)
+            elif k in self._fn_kinds() and c.is_definition():
+                self._lower_function(c, program, cls)
+
+    def _visit_class(self, cur, program):
+        K = self.K
+        qual = self.qualname(cur)
+        fields = program.classes.setdefault(qual, {})
+        for c in cur.get_children():
+            if c.kind == K.FIELD_DECL:
+                fields[c.spelling] = c.type.spelling or ""
+            elif c.kind == K.VAR_DECL:  # static members
+                fields[c.spelling] = c.type.spelling or ""
+            elif c.kind in (K.CLASS_DECL, K.STRUCT_DECL, K.CLASS_TEMPLATE):
+                if c.is_definition():
+                    self._visit_class(c, program)
+        for c in cur.get_children():
+            if c.kind in self._fn_kinds() and c.is_definition():
+                self._lower_function(c, program, cls=qual)
+
+    def _lower_function(self, cur, program, cls):
+        K = self.K
+        rel = self.relpath(cur)
+        if rel is None:
+            return
+        body_cur = None
+        params = []
+        for c in cur.get_children():
+            if c.kind == K.PARM_DECL:
+                params.append(
+                    (c.spelling or f"arg{len(params)}", c.type.spelling or "")
+                )
+            elif c.kind == K.COMPOUND_STMT:
+                body_cur = c
+        if body_cur is None:
+            return
+        if cls is None and cur.semantic_parent is not None:
+            sp = cur.semantic_parent
+            if sp.kind in (K.CLASS_DECL, K.STRUCT_DECL, K.CLASS_TEMPLATE):
+                cls = self.qualname(sp)
+        attrs = set()
+        for t in cur.get_tokens():
+            if t.spelling == "{":
+                break
+            if t.spelling in (
+                "BFTBC_NO_THREAD_SAFETY_ANALYSIS",
+                "no_thread_safety_analysis",
+            ):
+                attrs.add("no_tsa")
+        if any(
+            any(lt in ptype for lt in ("unique_lock", "lock_guard",
+                                       "scoped_lock"))
+            for _, ptype in params
+        ):
+            attrs.add("lock_param")
+        self._pending = getattr(self, "_pending", [])
+        fn = Function(
+            qual=self.qualname(cur),
+            name=cur.spelling,
+            cls=cls,
+            params=params,
+            return_type=cur.result_type.spelling or "",
+            body=self.lower_block(body_cur),
+            loc=self.loc(cur),
+            kind=self._fn_kinds()[cur.kind],
+            attrs=attrs,
+            fields=dict(program.classes.get(cls, {})) if cls else {},
+        )
+        program.add(fn)
+        # Lambdas encountered while lowering the body.
+        for lam in self._pending:
+            program.add(lam)
+        self._pending = []
+
+    def _lower_lambda(self, cur):
+        K = self.K
+        self._lambda_seq += 1
+        params = []
+        body_cur = None
+        for c in cur.get_children():
+            if c.kind == K.PARM_DECL:
+                params.append(
+                    (c.spelling or f"arg{len(params)}", c.type.spelling or "")
+                )
+            elif c.kind == K.COMPOUND_STMT:
+                body_cur = c
+        if body_cur is None:
+            return
+        self._pending = getattr(self, "_pending", [])
+        self._pending.append(
+            Function(
+                qual=f"<lambda:{self._lambda_seq}@"
+                f"{self.loc(cur).file}:{self.loc(cur).line}>",
+                name="<lambda>",
+                cls=None,
+                params=params,
+                return_type=cur.result_type.spelling or "",
+                body=self.lower_block(body_cur),
+                loc=self.loc(cur),
+                kind="lambda",
+                attrs=set(),
+            )
+        )
+
+
+def parse_and_lower(
+    cindex,
+    root: str,
+    files,
+    extra_args=None,
+    virtual_path: str | None = None,
+):
+    """Parses `files` and lowers every in-root definition.
+
+    Returns (program, errors) where errors is a list of Finding-shaped
+    tuples (file, line, message) for hard parse failures.
+    """
+    index = cindex.Index.create()
+    args = default_args(root) + list(extra_args or [])
+    program = Program()
+    errors = []
+    for path in files:
+        try:
+            tu = index.parse(path, args=args)
+        except cindex.TranslationUnitLoadError as e:
+            errors.append((path, 0, f"failed to parse: {e}"))
+            continue
+        fatal = [
+            d
+            for d in tu.diagnostics
+            if d.severity >= cindex.Diagnostic.Error
+        ]
+        if fatal:
+            d = fatal[0]
+            errors.append(
+                (
+                    path,
+                    d.location.line,
+                    f"parse error ({len(fatal)} total): {d.spelling}",
+                )
+            )
+            continue
+        Lowerer(cindex, root, virtual_path).lower_tu(tu, program)
+    return program, errors

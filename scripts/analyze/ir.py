@@ -1,0 +1,877 @@
+"""Frontend-independent IR and dataflow core.
+
+The frontend (libclang) lowers each function definition into a small
+structured tree (Seq/If/Loop/Switch/Exit) whose leaves carry only what
+the checks need: access paths (a variable root plus a short member
+chain) and call references. The taint solver then runs a structured
+abstract interpretation over that tree:
+
+  lattice per path:  RAW < WELLFORMED < VERIFIED   (absent = untainted)
+
+  RAW         came off the wire (Reader / *::decode / recvfrom) and has
+              not been checked at all
+  WELLFORMED  its decode verdict was consulted (has_value / ok / done) —
+              the bytes parse, but nobody vouches for who sent them
+  VERIFIED    dominated by a cryptographic verification entry point
+              (Keystore::verify*, Certificate::validate,
+              validate_signature_quorum) on this path
+
+Guard recognition is branch-sensitive: `if (!verify(x)) return;` marks x
+VERIFIED on the fallthrough, `if (verify(x)) { use(x); }` marks it only
+inside the then-branch, and joins demote back to the weakest level.
+Interprocedural reasoning is by per-function summaries (returns-taint,
+is-verifier, param-reaches-sink) iterated to a fixpoint over the call
+graph, so wrapper helpers like `verify_client_sig` or a
+`do_apply(state, req)` forwarder behave like the primitives they wrap.
+
+Origins: every taint introduction gets a fresh origin id, and derived
+values union the origins of what they were computed from. A
+wellformedness check on one value upgrades every path sharing an origin
+with it — checking `env.has_value()` vouches for the datagram the
+envelope, its sender header, and its source address all came from.
+Cryptographic VERIFIED marks are per-path only (a signature covers what
+it signs, nothing else), except that passing `x->signing_payload()` to a
+verifier blesses the whole of x, because that payload is by construction
+the full signed message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+# ------------------------------------------------------------------ IR
+
+Path = tuple  # tuple[str, ...]: ('req', 'write_cert') — root + members
+
+MAX_PATH_DEPTH = 3
+
+
+@dataclass(frozen=True)
+class Loc:
+    file: str
+    line: int
+    col: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.file}:{self.line}"
+
+
+@dataclass
+class Arg:
+    paths: list = field(default_factory=list)   # plain lvalue paths
+    calls: list = field(default_factory=list)   # nested CallRefs
+
+
+@dataclass
+class CallRef:
+    name: str                 # unqualified spelling, e.g. 'verify_cached'
+    qual: str = ""            # best-effort qualified name ('' if unknown)
+    base: Path | None = None  # receiver path for member calls
+    args: list = field(default_factory=list)    # list[Arg]
+    loc: Loc = Loc("", 0)
+
+
+@dataclass
+class CondAtom:
+    negated: bool = False
+    paths: list = field(default_factory=list)
+    calls: list = field(default_factory=list)
+
+
+@dataclass
+class Cond:
+    join: str = "single"      # 'single' | 'and' | 'or' | 'opaque'
+    atoms: list = field(default_factory=list)
+
+
+@dataclass
+class SDecl:
+    var: str
+    type: str
+    paths: list
+    calls: list
+    loc: Loc
+
+
+@dataclass
+class SAssign:
+    target: Path
+    paths: list
+    calls: list
+    loc: Loc
+    compound: bool = False    # += / -= ... (reads the target too)
+
+
+@dataclass
+class SExpr:
+    paths: list
+    calls: list
+    loc: Loc
+
+
+@dataclass
+class SIf:
+    cond: Cond
+    then: list
+    els: list
+    loc: Loc
+
+
+@dataclass
+class SLoop:
+    cond: Cond | None
+    body: list
+    loc: Loc
+
+
+@dataclass
+class SRangeFor:
+    var: str
+    range_paths: list
+    range_type: str
+    body: list
+    loc: Loc
+
+
+@dataclass
+class SSwitch:
+    subject_paths: list
+    enum: str | None          # qualified enum name, None if not an enum
+    enumerators: frozenset
+    covered: frozenset
+    has_default: bool
+    default_justified: bool
+    segments: list            # list[list[Stmt]] — one per case label run
+    loc: Loc
+
+
+@dataclass
+class SExit:
+    kind: str                 # 'return' | 'continue' | 'break'
+    paths: list
+    calls: list
+    loc: Loc
+
+
+@dataclass
+class SBlock:
+    body: list
+    loc: Loc
+
+
+@dataclass
+class Function:
+    qual: str                 # qualified name
+    name: str                 # unqualified spelling
+    cls: str | None           # enclosing class qualname, if a method
+    params: list              # list[(name, type_spelling)]
+    return_type: str
+    body: list
+    loc: Loc
+    kind: str = "function"    # 'function' | 'ctor' | 'dtor' | 'lambda'
+    attrs: set = field(default_factory=set)   # 'no_tsa', 'lock_param'
+    fields: dict = field(default_factory=dict)  # class field -> type
+
+
+@dataclass
+class Program:
+    functions: dict = field(default_factory=dict)  # (qual, str(loc)) -> Function
+    classes: dict = field(default_factory=dict)    # class qual -> {field: type}
+
+    def add(self, fn: Function) -> None:
+        self.functions[(fn.qual, str(fn.loc))] = fn
+
+    def all_functions(self):
+        return self.functions.values()
+
+
+@dataclass
+class Finding:
+    check: str
+    rule: str
+    file: str
+    line: int
+    message: str
+    func: str = ""
+    detail: str = ""          # line-number-free part of the baseline key
+
+    def key(self) -> str:
+        return f"{self.rule}|{self.file}|{self.func}|{self.detail}"
+
+    def __str__(self) -> str:
+        return f"{self.file}:{self.line}: [{self.rule}] {self.message}"
+
+
+# ------------------------------------------------------- taint lattice
+
+RAW, WELLFORMED, VERIFIED = 0, 1, 2
+_UNTAINTED = 3  # join identity; never stored
+
+
+@dataclass
+class PathState:
+    level: int
+    origins: frozenset
+    optional: bool = False    # decode verdict must be consulted first
+
+
+def _walk_calls(calls):
+    """Yields every CallRef reachable through nested argument calls."""
+    stack = list(calls)
+    while stack:
+        c = stack.pop()
+        yield c
+        for a in c.args:
+            stack.extend(a.calls)
+
+
+def walk_stmts(stmts):
+    """Yields every statement in the tree, depth-first."""
+    stack = list(stmts)
+    while stack:
+        st = stack.pop()
+        yield st
+        for sub in _substmts(st):
+            stack.extend(sub)
+
+
+def _substmts(st):
+    if isinstance(st, SIf):
+        return (st.then, st.els)
+    if isinstance(st, (SLoop, SRangeFor, SBlock)):
+        return (st.body,)
+    if isinstance(st, SSwitch):
+        return tuple(st.segments)
+    return ()
+
+
+def stmt_calls(st):
+    if isinstance(st, (SDecl, SAssign, SExpr, SExit)):
+        return st.calls
+    if isinstance(st, SIf):
+        return [c for a in st.cond.atoms for c in a.calls]
+    if isinstance(st, SLoop) and st.cond is not None:
+        return [c for a in st.cond.atoms for c in a.calls]
+    return []
+
+
+def stmt_paths(st):
+    if isinstance(st, (SDecl, SExpr, SExit)):
+        return st.paths
+    if isinstance(st, SAssign):
+        return st.paths + [st.target]
+    if isinstance(st, SIf):
+        return [p for a in st.cond.atoms for p in a.paths]
+    if isinstance(st, SLoop) and st.cond is not None:
+        return [p for a in st.cond.atoms for p in a.paths]
+    if isinstance(st, SRangeFor):
+        return st.range_paths
+    if isinstance(st, SSwitch):
+        return st.subject_paths
+    return []
+
+
+class State:
+    """Per-path taint map with longest-prefix lookup."""
+
+    def __init__(self, paths=None):
+        self.paths: dict = dict(paths or {})
+
+    def clone(self) -> "State":
+        return State(self.paths)
+
+    def lookup(self, path: Path) -> PathState | None:
+        for n in range(len(path), 0, -1):
+            ps = self.paths.get(path[:n])
+            if ps is not None:
+                return ps
+        return None
+
+    def taint(self, path: Path, level: int, origins, optional=False):
+        self.paths[path] = PathState(level, frozenset(origins), optional)
+
+    def upgrade(self, path: Path, level: int):
+        """Raises `path` and everything under it to at least `level`."""
+        ps = self.lookup(path)
+        if ps is not None and ps.level < level:
+            self.paths[path] = PathState(level, ps.origins, ps.optional)
+        for p, s in list(self.paths.items()):
+            if len(p) > len(path) and p[: len(path)] == path and s.level < level:
+                self.paths[p] = PathState(level, s.origins, s.optional)
+
+    def upgrade_sharing(self, origins, level: int):
+        """Raises every path sharing an origin with `origins`."""
+        for p, s in list(self.paths.items()):
+            if s.level < level and s.origins & origins:
+                self.paths[p] = PathState(level, s.origins, s.optional)
+
+    @staticmethod
+    def join(a: "State", b: "State") -> "State":
+        out = State()
+        for p in set(a.paths) | set(b.paths):
+            # A path absent on one side may still be covered by a prefix
+            # there (child upgraded in one branch only) — consult the
+            # longest-prefix state, not "untainted".
+            sa = a.paths.get(p) or a.lookup(p)
+            sb = b.paths.get(p) or b.lookup(p)
+            la = sa.level if sa else _UNTAINTED
+            lb = sb.level if sb else _UNTAINTED
+            lvl = min(la, lb)
+            origins = (sa.origins if sa else frozenset()) | (
+                sb.origins if sb else frozenset()
+            )
+            optional = (sa.optional if sa else False) or (
+                sb.optional if sb else False
+            )
+            out.paths[p] = PathState(lvl, origins, optional)
+        return out
+
+
+# ------------------------------------------------------------ summaries
+
+
+@dataclass
+class Summary:
+    returns_taint: bool = False
+    returns_optional: bool = False
+    is_verifier: bool = False
+    sink_params: dict = field(default_factory=dict)  # index -> level req
+
+
+class TaintAnalysis:
+    """Interprocedural verify-before-use analysis.
+
+    `config` is an analyze.config.Config (or anything quacking like it:
+    is_source / source_out_args / is_verifier_root / sink_level /
+    sink_field_level / wellformed_checks / payload_methods /
+    tainted_param / bad bool-ish return detection via `boolish_return`).
+    """
+
+    def __init__(self, program: Program, config):
+        self.program = program
+        self.config = config
+        self.summaries: dict[str, Summary] = {}
+        self._origin_seq = 0
+
+    # -- name-keyed summary lookup (overloads share the weakest merge) --
+
+    def summary_for_call(self, call: CallRef) -> Summary | None:
+        for key in (call.qual, call.name):
+            if key and key in self.summaries:
+                return self.summaries[key]
+        return None
+
+    def is_source(self, call: CallRef) -> bool:
+        if self.config.is_source(call.qual or call.name):
+            return True
+        s = self.summary_for_call(call)
+        return bool(s and s.returns_taint)
+
+    def is_verifier(self, call: CallRef) -> bool:
+        if self.config.is_verifier_root(call.qual or call.name):
+            return True
+        s = self.summary_for_call(call)
+        return bool(s and s.is_verifier)
+
+    def sink_spec(self, call: CallRef):
+        """Returns (required_level, arg_indices|None) or None.
+
+        None for arg_indices means 'every argument'.
+        """
+        lvl = self.config.sink_level(call.qual or call.name)
+        if lvl is not None:
+            return lvl, None
+        s = self.summary_for_call(call)
+        if s and s.sink_params:
+            return max(s.sink_params.values()), sorted(s.sink_params)
+        return None
+
+    # ------------------------------------------------------- fixpoint
+
+    def compute_summaries(self, rounds: int = 3) -> None:
+        for _ in range(rounds):
+            changed = False
+            for fn in self.program.all_functions():
+                new = self._summarize(fn)
+                for key in (fn.qual, fn.name):
+                    old = self.summaries.get(key)
+                    merged = _merge_summary(old, new)
+                    if merged != old:
+                        self.summaries[key] = merged
+                        changed = True
+            if not changed:
+                break
+
+    def _summarize(self, fn: Function) -> Summary:
+        s = Summary()
+        # Entry state: every parameter tainted with a param-indexed
+        # origin so sink hits can be attributed to a parameter.
+        state = State()
+        for i, (pname, _ptype) in enumerate(fn.params):
+            state.taint((pname,), RAW, {f"param:{fn.qual}:{i}"})
+        hits: list = []
+        self._exec(fn, fn.body, state, hits, summary_mode=True)
+        for h in hits:  # (origins, required_level)
+            for origin in h[0]:
+                pref = f"param:{fn.qual}:"
+                if origin.startswith(pref):
+                    idx = int(origin[len(pref):])
+                    s.sink_params[idx] = max(s.sink_params.get(idx, 0), h[1])
+        ret_taint, ret_verifier = self._return_facts(fn, state)
+        s.returns_taint = ret_taint
+        s.returns_optional = ret_taint and "optional" in fn.return_type
+        s.is_verifier = ret_verifier and self.config.boolish_return(
+            fn.return_type
+        )
+        return s
+
+    def _return_facts(self, fn: Function, final_state: State):
+        returns_taint = False
+        returns_verifier = False
+        for st in walk_stmts(fn.body):
+            if not isinstance(st, SExit) or st.kind != "return":
+                continue
+            for c in _walk_calls(st.calls):
+                if self.is_source(c):
+                    returns_taint = True
+                if self.is_verifier(c):
+                    returns_verifier = True
+            for p in st.paths:
+                ps = final_state.lookup(p)
+                if ps is not None and ps.level == RAW:
+                    # Returning a parameter unmodified is not taint.
+                    if not all(
+                        o.startswith("param:") for o in ps.origins
+                    ):
+                        returns_taint = True
+        return returns_taint, returns_verifier
+
+    # ------------------------------------------------------ checking
+
+    def check_function(self, fn: Function) -> list[Finding]:
+        state = State()
+        for _i, (pname, ptype) in enumerate(fn.params):
+            if self.config.tainted_param(ptype):
+                self._origin_seq += 1
+                state.taint((pname,), RAW, {f"entry:{self._origin_seq}"})
+        findings: list = []
+        self._exec(fn, fn.body, state, findings, summary_mode=False)
+        # Dedupe (same sink reported via several paths).
+        seen, out = set(), []
+        for f in findings:
+            k = (f.rule, f.file, f.line, f.detail)
+            if k not in seen:
+                seen.add(k)
+                out.append(f)
+        return out
+
+    # ------------------------------------------- abstract interpreter
+
+    def _exec(self, fn, stmts, state, findings, summary_mode):
+        """Executes `stmts` mutating `state`. Returns exit kind or None."""
+        for st in stmts:
+            if isinstance(st, SBlock):
+                ek = self._exec(fn, st.body, state, findings, summary_mode)
+                if ek:
+                    return ek
+            elif isinstance(st, SDecl):
+                self._do_calls(fn, st.calls, state, findings, summary_mode)
+                ps = self._eval(st.calls, st.paths, state, st)
+                if ps is not None:
+                    optional = ps.optional or (
+                        "optional" in st.type and ps.level == RAW
+                    )
+                    state.taint(
+                        (st.var,), ps.level, ps.origins, optional
+                    )
+                self._check_uses(fn, st, state, findings, summary_mode)
+            elif isinstance(st, SAssign):
+                self._do_calls(fn, st.calls, state, findings, summary_mode)
+                self._check_uses(fn, st, state, findings, summary_mode)
+                self._sink_field(fn, st, state, findings, summary_mode)
+                ps = self._eval(st.calls, st.paths, state, st)
+                if ps is not None:
+                    state.taint(st.target, ps.level, ps.origins, ps.optional)
+                elif not st.compound:
+                    state.paths.pop(st.target, None)
+            elif isinstance(st, SExpr):
+                self._do_calls(fn, st.calls, state, findings, summary_mode)
+                self._check_uses(fn, st, state, findings, summary_mode)
+            elif isinstance(st, SExit):
+                self._do_calls(fn, st.calls, state, findings, summary_mode)
+                self._check_uses(fn, st, state, findings, summary_mode)
+                return st.kind
+            elif isinstance(st, SIf):
+                ek = self._exec_if(fn, st, state, findings, summary_mode)
+                if ek:
+                    return ek
+            elif isinstance(st, SLoop):
+                body_state = state.clone()
+                if st.cond is not None:
+                    self._apply_cond(body_state, st.cond, in_then=True)
+                    for a in st.cond.atoms:
+                        self._do_calls(
+                            fn, a.calls, state, findings, summary_mode
+                        )
+                ek = self._exec(fn, st.body, body_state, findings,
+                                summary_mode)
+                joined = State.join(state, body_state)
+                state.paths.clear()
+                state.paths.update(joined.paths)
+                if ek == "return":
+                    pass  # the zero-iteration path still falls through
+            elif isinstance(st, SRangeFor):
+                body_state = state.clone()
+                ek = self._exec(fn, st.body, body_state, findings,
+                                summary_mode)
+                joined = State.join(state, body_state)
+                state.paths.clear()
+                state.paths.update(joined.paths)
+            elif isinstance(st, SSwitch):
+                outs = []
+                for seg in st.segments:
+                    seg_state = state.clone()
+                    ek = self._exec(fn, seg, seg_state, findings,
+                                    summary_mode)
+                    if ek != "return":
+                        outs.append(seg_state)
+                joined = state
+                for o in outs:
+                    joined = State.join(joined, o)
+                state.paths.clear()
+                state.paths.update(joined.paths)
+        return None
+
+    def _exec_if(self, fn, st, state, findings, summary_mode):
+        for a in st.cond.atoms:
+            self._do_calls(fn, a.calls, state, findings, summary_mode)
+            self._check_atom_uses(fn, st, a, state, findings, summary_mode)
+
+        then_state = state.clone()
+        if st.cond.join in ("single", "and"):
+            self._apply_cond(then_state, st.cond, in_then=True)
+        then_exit = self._exec(fn, st.then, then_state, findings,
+                               summary_mode)
+
+        els_state = state.clone()
+        # `if (!verify(x)) return;` — the fallthrough (or the else of an
+        # or-join) only runs when the negated guards passed.
+        if st.cond.join in ("single", "or") or then_exit:
+            self._apply_cond(els_state, st.cond, in_then=False)
+        els_exit = self._exec(fn, st.els, els_state, findings, summary_mode)
+
+        if then_exit and els_exit:
+            return then_exit if then_exit == els_exit else "return"
+        if then_exit:
+            out = els_state
+        elif els_exit:
+            out = then_state
+        else:
+            out = State.join(then_state, els_state)
+        state.paths.clear()
+        state.paths.update(out.paths)
+        return None
+
+    def _apply_cond(self, state, cond, in_then):
+        """Marks guard effects for one branch of a condition.
+
+        in_then: mark non-negated atoms (`if (verify(x)) { ... }`).
+        not in_then: mark negated atoms (`if (!verify(x)) return;`
+        fallthrough, or the else branch of an or-join).
+        """
+        if cond.join == "opaque":
+            return
+        for atom in cond.atoms:
+            if atom.negated == in_then:
+                continue
+            # Cryptographic verifiers: per-path (plus payload roots).
+            for c in _walk_calls(atom.calls):
+                if self.is_verifier(c):
+                    for p in self._cover_paths(c):
+                        state.upgrade(p, VERIFIED)
+                elif (
+                    c.name in self.config.wellformed_checks
+                    and c.base is not None
+                ):
+                    self._mark_wellformed(state, c.base)
+            # Bare truthiness test of an optional-ish value: `if (!req)`.
+            if not atom.calls and len(atom.paths) == 1:
+                self._mark_wellformed(state, atom.paths[0])
+
+    def _mark_wellformed(self, state, path):
+        ps = state.lookup(path)
+        if ps is None:
+            return
+        state.upgrade(path, WELLFORMED)
+        if ps.origins:
+            state.upgrade_sharing(ps.origins, WELLFORMED)
+
+    def _cover_paths(self, call: CallRef):
+        """What a successful verifier call vouches for."""
+        cover = []
+        if call.base is not None:
+            cover.append(call.base)  # cert.validate(...) covers cert
+        for a in call.args:
+            cover.extend(a.paths)
+            for nc in a.calls:
+                if (
+                    nc.name in self.config.payload_methods
+                    and nc.base is not None
+                ):
+                    # x->signing_payload() is the whole signed message.
+                    cover.append(nc.base)
+                elif nc.base is not None:
+                    cover.append(nc.base)
+        return cover
+
+    # ------------------------------------------------- per-stmt hooks
+
+    def _eval(self, calls, paths, state, st) -> PathState | None:
+        """Taint of the value produced by an initializer/RHS."""
+        level, origins, optional = _UNTAINTED, set(), False
+        for p in paths:
+            ps = state.lookup(p)
+            if ps is not None:
+                level = min(level, ps.level)
+                origins |= ps.origins
+        for c in _walk_calls(calls):
+            if self.is_source(c):
+                self._origin_seq += 1
+                origins.add(f"src:{self._origin_seq}")
+                level = min(level, RAW)
+                s = self.summary_for_call(c)
+                if s and s.returns_optional:
+                    optional = True
+                if self.config.is_source(c.qual or c.name):
+                    optional = optional or self.config.source_is_optional(
+                        c.qual or c.name
+                    )
+                # A source reading from a tainted buffer shares origins.
+                for a in c.args:
+                    for p in a.paths:
+                        ps = state.lookup(p)
+                        if ps is not None:
+                            origins |= ps.origins
+                if c.base is not None:
+                    ps = state.lookup(c.base)
+                    if ps is not None:
+                        origins |= ps.origins
+        if level == _UNTAINTED:
+            return None
+        return PathState(level, frozenset(origins), optional)
+
+    def _do_calls(self, fn, calls, state, findings, summary_mode):
+        """Sink checks + out-arg source effects for every call."""
+        for c in _walk_calls(calls):
+            out_args = self.config.source_out_args(c.qual or c.name)
+            if out_args:
+                self._origin_seq += 1
+                origin = {f"src:{self._origin_seq}"}
+                for idx in out_args:
+                    if idx < len(c.args):
+                        for p in c.args[idx].paths:
+                            state.taint(p, RAW, origin)
+            spec = self.sink_spec(c)
+            if spec is None:
+                continue
+            required, indices = spec
+            for i, a in enumerate(c.args):
+                if indices is not None and i not in indices:
+                    continue
+                for p in list(a.paths) + [
+                    nc.base for nc in a.calls if nc.base is not None
+                ]:
+                    ps = state.lookup(p)
+                    if ps is None or ps.level >= required:
+                        continue
+                    if summary_mode:
+                        findings.append((ps.origins, required))
+                    else:
+                        want = (
+                            "a verification entry point"
+                            if required == VERIFIED
+                            else "a decode wellformedness check"
+                        )
+                        findings.append(
+                            Finding(
+                                check="verify-before-use",
+                                rule="unverified-sink",
+                                file=c.loc.file,
+                                line=c.loc.line,
+                                func=fn.qual,
+                                detail=f"{c.name}({'.'.join(p)})",
+                                message=(
+                                    f"'{'.'.join(p)}' reaches sink "
+                                    f"'{c.name}' without being dominated "
+                                    f"by {want} on this path"
+                                ),
+                            )
+                        )
+
+    def _sink_field(self, fn, st: SAssign, state, findings, summary_mode):
+        lvl = self.config.sink_field_level(st.target)
+        if lvl is None:
+            return
+        ps = self._eval(st.calls, st.paths, state, st)
+        if ps is None or ps.level >= lvl:
+            return
+        if summary_mode:
+            findings.append((ps.origins, lvl))
+            return
+        tgt = ".".join(st.target)
+        findings.append(
+            Finding(
+                check="verify-before-use",
+                rule="unverified-sink",
+                file=st.loc.file,
+                line=st.loc.line,
+                func=fn.qual,
+                detail=f"field {tgt}",
+                message=(
+                    f"write to protocol-state field '{tgt}' from "
+                    "unvalidated wire data (no dominating decode "
+                    "wellformedness / verification check)"
+                ),
+            )
+        )
+
+    def _check_uses(self, fn, st, state, findings, summary_mode):
+        """Member access on an optional decode result still RAW."""
+        if summary_mode:
+            return
+        paths = list(stmt_paths(st))
+        for c in _walk_calls(stmt_calls(st)):
+            if c.base is not None and c.name not in (
+                self.config.wellformed_checks
+            ):
+                paths.append(c.base)
+            for a in c.args:
+                paths.extend(a.paths)
+        self._flag_raw_optional_uses(fn, st, paths, state, findings)
+
+    def _check_atom_uses(self, fn, st, atom, state, findings, summary_mode):
+        if summary_mode:
+            return
+        paths = [
+            p for p in atom.paths if len(p) > 1
+        ]  # bare truthiness of the optional itself is the check
+        self._flag_raw_optional_uses(fn, st, paths, state, findings)
+
+    def _flag_raw_optional_uses(self, fn, st, paths, state, findings):
+        for p in paths:
+            if len(p) < 2:
+                continue
+            root = state.paths.get(p[:1])
+            if root is None or not root.optional or root.level != RAW:
+                continue
+            findings.append(
+                Finding(
+                    check="verify-before-use",
+                    rule="unverified-decode-use",
+                    file=st.loc.file,
+                    line=st.loc.line,
+                    func=fn.qual,
+                    detail=f"deref {p[0]}",
+                    message=(
+                        f"member access on decode result '{p[0]}' before "
+                        "its wellformedness verdict (has_value/ok/done) "
+                        "was consulted"
+                    ),
+                )
+            )
+
+
+def _merge_summary(old: Summary | None, new: Summary) -> Summary:
+    if old is None:
+        return new
+    merged = Summary(
+        returns_taint=old.returns_taint or new.returns_taint,
+        returns_optional=old.returns_optional or new.returns_optional,
+        is_verifier=old.is_verifier or new.is_verifier,
+        sink_params=dict(old.sink_params),
+    )
+    for k, v in new.sink_params.items():
+        merged.sink_params[k] = max(merged.sink_params.get(k, 0), v)
+    return merged
+
+
+# ------------------------------------------------------ lock discipline
+
+
+@dataclass
+class FieldAccess:
+    cls: str
+    field: str
+    locked: bool
+    write: bool
+    loc: Loc
+    func: str
+
+
+_LOCK_TYPES = ("lock_guard", "scoped_lock", "unique_lock", "shared_lock")
+
+
+def collect_lock_accesses(fn: Function) -> list[FieldAccess]:
+    """Records this-rooted field touches with lock-held context.
+
+    The model is deliberately coarse: holding ANY of the class's mutexes
+    counts as locked (binding fields to a specific mutex is what clang's
+    GUARDED_BY already does; this check only hunts for fields touched
+    both under and outside any guard at all). Constructors, destructors
+    and functions annotated BFTBC_NO_THREAD_SAFETY_ANALYSIS are skipped,
+    as are functions taking an already-held lock object by reference
+    (the drain_job pattern).
+    """
+    if fn.cls is None or fn.kind in ("ctor", "dtor"):
+        return []
+    if "no_tsa" in fn.attrs:
+        return []
+    if not any("mutex" in t for t in fn.fields.values()):
+        return []
+    held_at_entry = "lock_param" in fn.attrs
+    out: list[FieldAccess] = []
+
+    def record(path, held, write, loc):
+        if len(path) >= 2 and path[0] == "this":
+            name = path[1]
+            ftype = fn.fields.get(name, "")
+            if name in fn.fields and "mutex" not in ftype:
+                if "atomic" in ftype:
+                    return
+                out.append(
+                    FieldAccess(fn.cls, name, held, write, loc, fn.qual)
+                )
+
+    def paths_of(st):
+        reads = stmt_paths(st)
+        if isinstance(st, SAssign):
+            reads = st.paths  # the target is recorded as a write above
+        yield from ((p, False) for p in reads)
+        for c in _walk_calls(stmt_calls(st)):
+            if c.base is not None:
+                yield c.base, False
+            for a in c.args:
+                yield from ((p, False) for p in a.paths)
+
+    def go(stmts, held):
+        for st in stmts:
+            if isinstance(st, SDecl):
+                if any(t in st.type for t in _LOCK_TYPES):
+                    held = True
+                    continue  # the mutex arg itself is not an access
+            if isinstance(st, SAssign):
+                record(st.target, held, True, st.loc)
+            for p, _w in paths_of(st):
+                record(p, held, False, st.loc)
+            if isinstance(st, SIf):
+                go(st.then, held)
+                go(st.els, held)
+            elif isinstance(st, (SLoop, SRangeFor, SBlock)):
+                go(st.body, held)
+            elif isinstance(st, SSwitch):
+                for seg in st.segments:
+                    go(seg, held)
+        return held
+
+    go(fn.body, held_at_entry)
+    return out

@@ -1,0 +1,229 @@
+#!/usr/bin/env python3
+"""AST-grounded protocol analyzer for the BFT-BC tree.
+
+Runs four checks over src/ (see checks.py):
+
+  verify-before-use   wire-decoded values must pass a verification
+                      entry point before reaching replica state
+  switch-exhaustive   switches over protocol enums handle every
+                      enumerator or justify their default
+  lock-discipline     fields touched both under and outside a guard
+  determinism         wall-clock / global randomness / unordered
+                      iteration in sim+protocol code
+
+Usage:
+  run_analyzer.py [--root DIR] [--build-dir DIR] [--checks a,b]
+                  [--baseline FILE] [--update-baseline] [--require]
+                  [--fixture-mode] [files...]
+
+Exit status:
+  0  clean (or libclang unavailable without --require: clear skip)
+  1  new findings (not in the committed baseline)
+  2  usage error, or libclang unavailable under --require
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+if __package__ in (None, ""):
+    sys.path.insert(
+        0, os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    )
+    from analyze import baseline as baseline_mod
+    from analyze import suppressions
+    from analyze.checks import CHECK_NAMES, run_checks
+    from analyze.config import Config
+    from analyze.frontend import (
+        compile_db_args,
+        parse_and_lower,
+        probe_libclang,
+    )
+    from analyze.ir import Finding
+else:
+    from . import baseline as baseline_mod
+    from . import suppressions
+    from .checks import CHECK_NAMES, run_checks
+    from .config import Config
+    from .frontend import compile_db_args, parse_and_lower, probe_libclang
+    from .ir import Finding
+
+DEFAULT_BASELINE = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "baseline.json"
+)
+
+
+def discover_sources(root: str) -> list:
+    out = []
+    src = os.path.join(root, "src")
+    for dirpath, dirnames, filenames in os.walk(src):
+        dirnames.sort()
+        for name in sorted(filenames):
+            if name.endswith((".cc", ".cpp", ".cxx")):
+                out.append(os.path.join(dirpath, name))
+    return out
+
+
+def apply_suppressions(findings, root: str):
+    """Filters suppressed findings; flags unjustified allow() comments."""
+    kept = []
+    cache: dict = {}
+    for f in findings:
+        path = os.path.join(root, f.file)
+        if path not in cache:
+            cache[path] = suppressions.scan_file(path)
+        if suppressions.is_suppressed(cache[path], f.line, f.rule):
+            continue
+        kept.append(f)
+    for path, supps in cache.items():
+        rel = os.path.relpath(path, root).replace(os.sep, "/")
+        for s in suppressions.unjustified(supps):
+            kept.append(
+                Finding(
+                    check="suppression",
+                    rule="suppression",
+                    file=rel,
+                    line=s.line,
+                    func="",
+                    detail=f"allow({','.join(sorted(s.rules))})",
+                    message=(
+                        "suppression without justification — write "
+                        "`bftbc-lint: allow(rule) -- why it is safe`"
+                    ),
+                )
+            )
+    return kept
+
+
+def main(argv) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        default=os.path.dirname(
+            os.path.dirname(
+                os.path.dirname(os.path.abspath(__file__))
+            )
+        ),
+    )
+    parser.add_argument(
+        "--build-dir",
+        default=None,
+        help="build tree holding compile_commands.json (default: "
+        "<root>/build if present)",
+    )
+    parser.add_argument(
+        "--checks",
+        default=",".join(CHECK_NAMES),
+        help=f"comma-separated subset of: {', '.join(CHECK_NAMES)}",
+    )
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE)
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write current findings as the new accepted baseline",
+    )
+    parser.add_argument(
+        "--require",
+        action="store_true",
+        help="fail (exit 2) instead of skipping when libclang is missing "
+        "— CI sets this",
+    )
+    parser.add_argument(
+        "--fixture-mode",
+        action="store_true",
+        help="self-test mode: no path scoping, no baseline, no "
+        "suppression scan outside the given files",
+    )
+    parser.add_argument(
+        "files",
+        nargs="*",
+        help="specific files (default: every C++ source under <root>/src)",
+    )
+    args = parser.parse_args(argv[1:])
+
+    cindex, reason = probe_libclang()
+    if cindex is None:
+        msg = (
+            f"analyze: SKIPPED — {reason}.\n"
+            "analyze: the AST checks run in CI (the 'analyze' job "
+            "installs libclang); local IR/solver unit tests still cover "
+            "the dataflow core (scripts/tests/test_analyze.py)."
+        )
+        if args.require:
+            print(msg.replace("SKIPPED", "REQUIRED but unavailable"),
+                  file=sys.stderr)
+            return 2
+        print(msg)
+        return 0
+
+    root = os.path.abspath(args.root)
+    files = [os.path.abspath(f) for f in args.files] or discover_sources(
+        root
+    )
+    for f in files:
+        if not os.path.exists(f):
+            print(f"error: no such file: {f}", file=sys.stderr)
+            return 2
+
+    build_dir = args.build_dir or os.path.join(root, "build")
+    extra = compile_db_args(build_dir)
+
+    config = Config(scope_all=args.fixture_mode)
+    program, errors = parse_and_lower(cindex, root, files, extra)
+    findings = run_checks(
+        program, config, [c for c in args.checks.split(",") if c]
+    )
+    for path, line, msg in errors:
+        rel = os.path.relpath(path, root).replace(os.sep, "/")
+        findings.append(
+            Finding(
+                check="infra",
+                rule="parse-error",
+                file=rel,
+                line=line,
+                detail="parse",
+                message=msg,
+            )
+        )
+
+    if not args.fixture_mode:
+        findings = apply_suppressions(findings, root)
+
+    if args.update_baseline:
+        baseline_mod.save(args.baseline, findings)
+        print(
+            f"analyze: baseline updated with {len(findings)} finding(s) "
+            f"-> {args.baseline}"
+        )
+        return 0
+
+    baseline_keys = (
+        set() if args.fixture_mode else baseline_mod.load(args.baseline)
+    )
+    new, old, stale = baseline_mod.diff(findings, baseline_keys)
+
+    for f in new:
+        print(f)
+    if old:
+        print(f"analyze: {len(old)} baselined finding(s) suppressed")
+    for k in stale:
+        print(f"analyze: note: stale baseline entry (fixed?): {k}")
+    if new:
+        print(
+            f"analyze: {len(new)} new finding(s) in {len(files)} file(s) "
+            f"({len(program.functions)} functions analyzed)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"analyze: OK ({len(files)} files, "
+        f"{len(program.functions)} functions, "
+        f"{len(old)} baselined, {len(stale)} stale entries)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

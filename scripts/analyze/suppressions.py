@@ -1,0 +1,69 @@
+"""Inline suppression comments, shared by lint_protocol.py and the
+analyzer.
+
+Syntax (in a comment, on the same line as the finding):
+
+    // bftbc-lint: allow(rule-a, rule-b) -- why this is safe here
+
+The justification after `--` is REQUIRED: a bare allow() does not
+suppress anything and is itself reported (rule `suppression`), so every
+exemption in the tree carries its reason next to it.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+SUPPRESS_RE = re.compile(
+    r"bftbc-lint:\s*allow\(([a-z][a-z0-9-]*(?:\s*,\s*[a-z][a-z0-9-]*)*)\)"
+    r"(?:\s*(?:--|—)\s*(\S.*\S|\S))?"
+)
+
+
+@dataclass
+class Suppression:
+    rules: frozenset
+    justification: str | None
+    line: int
+
+
+def parse_line(text: str, line: int = 0) -> Suppression | None:
+    m = SUPPRESS_RE.search(text)
+    if not m:
+        return None
+    rules = frozenset(r.strip() for r in m.group(1).split(","))
+    return Suppression(rules, m.group(2), line)
+
+
+def scan_lines(lines) -> dict:
+    """Returns {1-based line -> Suppression} for every allow() comment."""
+    out = {}
+    for i, text in enumerate(lines, 1):
+        s = parse_line(text, i)
+        if s is not None:
+            out[i] = s
+    return out
+
+
+def scan_file(path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            return scan_lines(f.read().splitlines())
+    except OSError:
+        return {}
+
+
+def is_suppressed(supps: dict, line: int, rule: str) -> bool:
+    """Only a justified allow() on the finding's line suppresses it."""
+    s = supps.get(line)
+    return (
+        s is not None
+        and rule in s.rules
+        and s.justification is not None
+    )
+
+
+def unjustified(supps: dict):
+    """Suppressions missing their `-- reason` (each is a finding)."""
+    return [s for s in supps.values() if s.justification is None]

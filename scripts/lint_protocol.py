@@ -45,9 +45,11 @@ generic tool can express:
       ObjectState outside replica_state.{h,cpp} breaks the audit trail.
       Scope: src/bftbc/ except replica_state.{h,cpp}.
 
-Suppressions: a line containing `bftbc-lint: allow(<rule>)` (in a
-comment) is exempt from <rule>. Use sparingly, with a reason on the same
-line.
+Suppressions: a line containing `bftbc-lint: allow(<rule>) -- <why>`
+(in a comment) is exempt from <rule>. The justification is mandatory: a
+bare allow() suppresses nothing and is itself reported (rule
+`suppression`). Shared with scripts/analyze/ — one syntax for both
+tools.
 
 Usage:
   lint_protocol.py [--root DIR]          # lint DIR/src (default: repo root)
@@ -66,9 +68,10 @@ import re
 import sys
 from dataclasses import dataclass
 
-CXX_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp", ".cxx")
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from analyze import suppressions  # noqa: E402
 
-SUPPRESS_RE = re.compile(r"bftbc-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+CXX_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp", ".cxx")
 
 # Strip // comments and string literals before matching so commented-out
 # code and log text cannot trip a rule. (Block comments are handled
@@ -235,13 +238,6 @@ CHECKS = (
 )
 
 
-def _suppressed_rules(line: str) -> set[str]:
-    m = SUPPRESS_RE.search(line)
-    if not m:
-        return set()
-    return {r.strip() for r in m.group(1).split(",")}
-
-
 def lint_file(root: str, rel: str) -> list[Finding]:
     path = os.path.join(root, rel)
     try:
@@ -253,11 +249,24 @@ def lint_file(root: str, rel: str) -> list[Finding]:
     findings: list[Finding] = []
     for check in CHECKS:
         check(rel.replace(os.sep, "/"), lines, findings)
-    return [
+
+    supps = suppressions.scan_lines(lines)
+    kept = [
         f
         for f in findings
-        if f.rule not in _suppressed_rules(lines[f.line - 1])
+        if not suppressions.is_suppressed(supps, f.line, f.rule)
     ]
+    for s in suppressions.unjustified(supps):
+        kept.append(
+            Finding(
+                rel.replace(os.sep, "/"),
+                s.line,
+                "suppression",
+                "suppression without justification — write "
+                "`bftbc-lint: allow(rule) -- why it is safe here`",
+            )
+        )
+    return kept
 
 
 def discover(root: str) -> list[str]:

@@ -14,7 +14,12 @@ Thin wrapper so local dev boxes and CI share one entry point:
     (WarningsAsErrors: '*' in .clang-tidy).
 
 Usage:
-  run_clang_tidy.py [--build-dir build] [--require] [-j N] [FILE...]
+  run_clang_tidy.py [--build-dir build] [--require] [-j N]
+                    [--changed-only [--base REF]] [FILE...]
+
+--changed-only lints only the src/ C++ files that differ from the
+merge-base with --base (default: origin/main, falling back to main) —
+the PR fast path. A full sweep still runs on pushes to main.
 
 Exit status: 0 clean or skipped, 1 diagnostics found, 2 usage/setup
 error.
@@ -56,6 +61,45 @@ def discover_sources() -> list[str]:
     return sources
 
 
+def changed_sources(base: str | None) -> list[str] | None:
+    """C++ sources under src/ changed vs the merge-base with `base`.
+
+    Returns None when git cannot answer (shallow clone without the base
+    ref, not a checkout) — callers fall back to the full sweep.
+    """
+    refs = [base] if base else ["origin/main", "main"]
+    for ref in refs:
+        mb = subprocess.run(
+            ["git", "merge-base", "HEAD", ref],
+            capture_output=True,
+            text=True,
+            check=False,
+            cwd=REPO_ROOT,
+        )
+        if mb.returncode != 0:
+            continue
+        diff = subprocess.run(
+            ["git", "diff", "--name-only", "--diff-filter=d",
+             mb.stdout.strip(), "HEAD"],
+            capture_output=True,
+            text=True,
+            check=False,
+            cwd=REPO_ROOT,
+        )
+        if diff.returncode != 0:
+            continue
+        out = []
+        for rel in diff.stdout.splitlines():
+            if rel.startswith("src/") and rel.endswith(
+                (".cc", ".cpp", ".cxx")
+            ):
+                path = os.path.join(REPO_ROOT, rel)
+                if os.path.exists(path):
+                    out.append(path)
+        return out
+    return None
+
+
 def main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -76,9 +120,30 @@ def main(argv: list[str]) -> int:
         help="parallel clang-tidy processes",
     )
     parser.add_argument(
+        "--changed-only",
+        action="store_true",
+        help="lint only src/ files changed vs the merge-base with "
+        "--base (PR fast path; falls back to the full sweep if git "
+        "cannot resolve the base)",
+    )
+    parser.add_argument(
+        "--base",
+        default=None,
+        help="base ref for --changed-only (default: origin/main, then "
+        "main)",
+    )
+    parser.add_argument(
         "files", nargs="*", help="specific files (default: src/**/*.cpp)"
     )
     args = parser.parse_args(argv[1:])
+
+    if args.changed_only and args.files:
+        print(
+            "error: --changed-only and explicit FILE arguments are "
+            "mutually exclusive",
+            file=sys.stderr,
+        )
+        return 2
 
     tidy = find_clang_tidy()
     if tidy is None:
@@ -103,7 +168,19 @@ def main(argv: list[str]) -> int:
         )
         return 2
 
-    sources = args.files or discover_sources()
+    if args.changed_only:
+        sources = changed_sources(args.base)
+        if sources is None:
+            print(
+                "run_clang_tidy: cannot resolve the merge-base "
+                "(shallow clone?); falling back to the full sweep"
+            )
+            sources = discover_sources()
+        elif not sources:
+            print("run_clang_tidy: OK (no src/ C++ changes vs base)")
+            return 0
+    else:
+        sources = args.files or discover_sources()
     if not sources:
         print("error: no sources to lint", file=sys.stderr)
         return 2

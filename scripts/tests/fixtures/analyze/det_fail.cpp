@@ -1,0 +1,28 @@
+// Failing fixture for the determinism check: wall-clock time and
+// iteration over an unordered container inside protocol code.
+// Expected findings: banned-call, unordered-iteration.
+#include <cstdint>
+#include <ctime>
+#include <unordered_map>
+
+namespace bftbc {
+namespace fx {
+
+struct Replica {
+  std::unordered_map<uint64_t, uint64_t> peers_;
+
+  uint64_t stamp() {
+    return static_cast<uint64_t>(::time(nullptr));  // banned-call
+  }
+
+  uint64_t sum_peers() {
+    uint64_t total = 0;
+    for (const auto& kv : peers_) {  // unordered-iteration
+      total += kv.second;
+    }
+    return total;
+  }
+};
+
+}  // namespace fx
+}  // namespace bftbc

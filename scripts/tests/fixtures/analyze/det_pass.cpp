@@ -1,0 +1,30 @@
+// Passing fixture for the determinism check: logical clocks and
+// ordered containers only.
+#include <cstdint>
+#include <map>
+
+namespace bftbc {
+namespace fx {
+
+struct Clock {
+  uint64_t now_ = 0;
+  uint64_t time() { return now_; }  // sim-virtual time is fine
+};
+
+struct Replica {
+  Clock clock_;
+  std::map<uint64_t, uint64_t> peers_;
+
+  uint64_t stamp() { return clock_.time(); }
+
+  uint64_t sum_peers() {
+    uint64_t total = 0;
+    for (const auto& kv : peers_) {
+      total += kv.second;
+    }
+    return total;
+  }
+};
+
+}  // namespace fx
+}  // namespace bftbc

@@ -1,0 +1,29 @@
+// Failing fixture for the lock-discipline check: `pending_` is written
+// under mu_ in submit() but read without any lock in drain().
+// Expected finding: mixed-guard.
+#include <mutex>
+#include <vector>
+
+namespace bftbc {
+namespace fx {
+
+class Queue {
+ public:
+  void submit(int job) {
+    std::lock_guard<std::mutex> lk(mu_);
+    pending_.push_back(job);
+  }
+
+  int drain() {
+    int n = static_cast<int>(pending_.size());  // unlocked read: flagged
+    pending_.clear();                           // unlocked write: flagged
+    return n;
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<int> pending_;
+};
+
+}  // namespace fx
+}  // namespace bftbc

@@ -1,0 +1,41 @@
+// Passing fixture for the lock-discipline check: every pending_ touch
+// happens under mu_, the registration-time setter convention is
+// honoured, and an annotated escape hatch is respected.
+#define BFTBC_NO_THREAD_SAFETY_ANALYSIS \
+  __attribute__((no_thread_safety_analysis))
+
+#include <mutex>
+#include <vector>
+
+namespace bftbc {
+namespace fx {
+
+class Queue {
+ public:
+  void submit(int job) {
+    std::lock_guard<std::mutex> lk(mu_);
+    pending_.push_back(job);
+  }
+
+  int drain() {
+    std::lock_guard<std::mutex> lk(mu_);
+    int n = static_cast<int>(pending_.size());
+    pending_.clear();
+    return n;
+  }
+
+  void set_capacity(int cap) { capacity_ = cap; }
+
+  // Test-only peek; single-threaded harness, annotated on purpose.
+  int unsafe_size() BFTBC_NO_THREAD_SAFETY_ANALYSIS {
+    return static_cast<int>(pending_.size());
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<int> pending_;
+  int capacity_ = 0;
+};
+
+}  // namespace fx
+}  // namespace bftbc

@@ -1,0 +1,22 @@
+// Failing fixture for the switch-exhaustive check: a bare
+// `default: break;` silently swallowing two enumerators of a protocol
+// enum. Expected finding: unjustified-default.
+namespace bftbc {
+namespace fx {
+
+enum class MsgType { kReadTs, kPrepare, kWrite, kReadValue };
+
+int dispatch(MsgType t) {
+  switch (t) {
+    case MsgType::kReadTs:
+      return 1;
+    case MsgType::kPrepare:
+      return 2;
+    default:
+      break;
+  }
+  return 0;
+}
+
+}  // namespace fx
+}  // namespace bftbc

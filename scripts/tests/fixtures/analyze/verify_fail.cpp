@@ -1,0 +1,46 @@
+// Failing fixture for the verify-before-use check: a handler that
+// decodes a wire request and applies it to replica state without ever
+// consulting a verifier, plus a dereference before the has_value
+// check. Expected findings: unverified-sink, unverified-decode-use.
+#include <cstdint>
+#include <optional>
+
+namespace bftbc {
+namespace fx {
+
+struct Bytes {
+  const uint8_t* data;
+  unsigned long size;
+};
+
+struct Envelope {
+  Bytes body;
+};
+
+struct PrepareRequest {
+  uint64_t object;
+  uint64_t value;
+  Bytes sig;
+  static std::optional<PrepareRequest> decode(const Bytes& b);
+};
+
+struct ObjectState {
+  void apply_write(uint64_t value);
+};
+
+struct Replica {
+  ObjectState state_;
+
+  void handle(const Envelope& env) {
+    auto req = PrepareRequest::decode(env.body);
+    uint64_t early = req->object;  // deref before has_value(): flagged
+    (void)early;
+    if (!req.has_value()) {
+      return;
+    }
+    state_.apply_write(req->value);  // no verifier on the path: flagged
+  }
+};
+
+}  // namespace fx
+}  // namespace bftbc

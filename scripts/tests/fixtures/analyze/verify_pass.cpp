@@ -1,0 +1,61 @@
+// Passing fixture for the verify-before-use check: the same handler
+// shape as verify_fail.cpp but with the wellformedness check first and
+// a Keystore verification (over the request's signing payload)
+// dominating the state transition — including through a helper, to
+// exercise the interprocedural verifier summary.
+#include <cstdint>
+#include <optional>
+
+namespace bftbc {
+namespace fx {
+
+struct Bytes {
+  const uint8_t* data;
+  unsigned long size;
+};
+
+struct Envelope {
+  Bytes body;
+};
+
+struct PrepareRequest {
+  uint64_t client;
+  uint64_t object;
+  uint64_t value;
+  Bytes sig;
+  Bytes signing_payload() const;
+  static std::optional<PrepareRequest> decode(const Bytes& b);
+};
+
+struct Keystore {
+  bool verify_cached(uint64_t client, const Bytes& payload,
+                     const Bytes& sig);
+};
+
+struct ObjectState {
+  void apply_write(uint64_t value);
+};
+
+struct Replica {
+  Keystore keystore_;
+  ObjectState state_;
+
+  bool verify_client(const PrepareRequest& req) {
+    return keystore_.verify_cached(req.client, req.signing_payload(),
+                                   req.sig);
+  }
+
+  void handle(const Envelope& env) {
+    auto req = PrepareRequest::decode(env.body);
+    if (!req.has_value()) {
+      return;
+    }
+    if (!verify_client(*req)) {
+      return;
+    }
+    state_.apply_write(req->value);
+  }
+};
+
+}  // namespace fx
+}  // namespace bftbc

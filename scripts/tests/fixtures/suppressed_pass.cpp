@@ -1,5 +1,5 @@
 // Fixture: violations carrying an explicit suppression — must PASS.
 void audited(const Keystore& keystore_, BytesView stmt, BytesView sig) {
   // Cache-bypass benchmark control arm:
-  (void)keystore_.verify(1, stmt, sig);  // bftbc-lint: allow(raw-verify)
+  (void)keystore_.verify(1, stmt, sig);  // bftbc-lint: allow(raw-verify) -- benchmark control arm must bypass the memo cache
 }

@@ -1,0 +1,5 @@
+// Fixture: a suppression comment with no justification — must FAIL
+// with rule `suppression` even though the line it sits on is clean.
+void audited(int x) {
+  (void)x;  // bftbc-lint: allow(raw-verify)
+}

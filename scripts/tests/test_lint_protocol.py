@@ -41,6 +41,7 @@ CASES = {
     ),
     "state_mutation_pass.cpp": ("src/bftbc/fixture.cpp", None),
     "suppressed_pass.cpp": ("src/bftbc/fixture.cpp", None),
+    "suppression_nojust_fail.cpp": ("src/bftbc/fixture.cpp", "suppression"),
 }
 
 
@@ -144,6 +145,31 @@ class LintScopingTest(unittest.TestCase):
                 check=False,
             )
             self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+
+    def test_bare_allow_does_not_suppress_the_underlying_rule(self):
+        # An allow() with no `-- why` must leave the violation visible
+        # AND flag the suppression itself.
+        with tempfile.TemporaryDirectory() as root:
+            dst = os.path.join(root, "src", "bftbc", "fixture.cpp")
+            os.makedirs(os.path.dirname(dst), exist_ok=True)
+            with open(dst, "w", encoding="utf-8") as f:
+                f.write(
+                    "void audited(const Keystore& ks, BytesView s,"
+                    " BytesView g) {\n"
+                    "  (void)ks.verify(1, s, g);"
+                    "  // bftbc-lint: allow(raw-verify)\n"
+                    "}\n"
+                )
+            proc = subprocess.run(
+                [sys.executable, LINTER, "--root", root],
+                capture_output=True,
+                text=True,
+                check=False,
+            )
+            out = proc.stdout + proc.stderr
+            self.assertEqual(proc.returncode, 1, out)
+            self.assertIn("[raw-verify]", out)
+            self.assertIn("[suppression]", out)
 
     def test_file_outside_root_is_a_usage_error(self):
         with tempfile.TemporaryDirectory() as root:

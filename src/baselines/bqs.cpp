@@ -293,6 +293,8 @@ void BqsReplica::on_envelope(sim::NodeId from, const rpc::Envelope& env) {
       break;
     }
     default:
+      // The shared MsgType enum spans every protocol family; a BQS
+      // replica ignores the BFT-BC / SBQL / Phalanx types by design.
       break;
   }
 }

@@ -266,6 +266,8 @@ void PhalanxReplica::on_envelope(sim::NodeId from, const rpc::Envelope& env) {
       break;
     }
     default:
+      // The shared MsgType enum spans every protocol family; a Phalanx
+      // replica ignores the BFT-BC / BQS / SBQL types by design.
       break;
   }
 }

@@ -315,6 +315,8 @@ void SbqlReplica::on_envelope(sim::NodeId from, const rpc::Envelope& env) {
       break;
     }
     default:
+      // The shared MsgType enum spans every protocol family; an SBQL
+      // replica ignores the BFT-BC / BQS / Phalanx types by design.
       break;
   }
 }

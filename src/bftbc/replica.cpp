@@ -91,6 +91,9 @@ void Replica::flush_batch() {
         }
         break;
       default:
+        // Only the client request types above contribute to the batch
+        // reply-auth accounting; everything else in the batch is
+        // dispatched unchanged by on_envelope below.
         break;
     }
   }

@@ -211,21 +211,25 @@ void UdpTransport::on_readable() {
     if (read_u32le(buf) != kDatagramMagic) continue;  // stray traffic
     const sim::NodeId from = read_u32le(buf + 4);
 
+    if (!receiver_) continue;
+    const BytesView body(buf + kHeaderSize,
+                         static_cast<std::size_t>(n) - kHeaderSize);
+    auto env = rpc::Envelope::decode(body);
+    if (!env.has_value()) continue;  // corrupted / garbage: drop silently
+
     // Learn (or refresh) the sender's return address — ephemeral client
-    // ports make this the only reply route. Configured peers are pinned:
-    // a forged header naming a replica cannot redirect its traffic.
+    // ports make this the only reply route. This must come AFTER the
+    // decode verdict: the 8-byte header is forgeable, so a garbage
+    // datagram naming a client's NodeId must not redirect that client's
+    // replies to the attacker's source address. Configured peers are
+    // pinned either way: a forged header naming a replica never moves
+    // its route.
     if (peers_.count(from) == 0) {
       auto it = learned_.find(from);
       if (it == learned_.end() || !same_addr(it->second, src)) {
         learned_[from] = src;
       }
     }
-
-    if (!receiver_) continue;
-    const BytesView body(buf + kHeaderSize,
-                         static_cast<std::size_t>(n) - kHeaderSize);
-    auto env = rpc::Envelope::decode(body);
-    if (!env.has_value()) continue;  // corrupted / garbage: drop silently
     counters_.inc("msgs_delivered");
     counters_.inc("bytes_delivered", body.size());
     if (env->type == rpc::MsgType::kBatch) {

@@ -277,6 +277,55 @@ TEST_F(UdpTransportTest, RepliesReachUnconfiguredPeersViaLearnedAddresses) {
   EXPECT_EQ(to_string(got[0].body), "pong");
 }
 
+TEST_F(UdpTransportTest, ForgedHeaderCannotHijackLearnedReplyRoute) {
+  // Regression: address learning used to happen BEFORE the envelope
+  // decode verdict, so a garbage datagram with a valid magic + a
+  // victim client's NodeId in the (unauthenticated) header redirected
+  // that client's replies to the attacker's source address.
+  const sim::NodeId kClient = kClientNodeBase + 9;
+  auto replica = make_node(0);
+  UdpTransport client(loop_, kClient, loopback(), peer(0, *replica));
+  replica->set_receiver([&](sim::NodeId, const rpc::Envelope&) {});
+  std::vector<rpc::Envelope> got;
+  client.set_receiver(
+      [&](sim::NodeId, const rpc::Envelope& env) { got.push_back(env); });
+
+  // 1. A legitimate request establishes the client's learned route.
+  client.send(0, envelope(1, "ping"));
+  ASSERT_TRUE(loop_.run_until(
+      [&] {
+        return replica->counters().get("msgs_delivered") == 1;
+      },
+      kWait));
+
+  // 2. Attacker: valid magic, the client's NodeId, garbage body that
+  //    fails Envelope::decode — sprayed from a different source port.
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  ASSERT_GE(fd, 0);
+  const sockaddr_in dst = loopback(replica->local_port()).to_sockaddr();
+  Writer w;
+  w.put_u32(0xBF7BC001u);
+  w.put_u32(kClient);
+  w.put_raw(as_bytes_view("not-a-decodable-envelope"));
+  const Bytes forged = std::move(w).take();
+  ::sendto(fd, forged.data(), forged.size(), 0,
+           reinterpret_cast<const sockaddr*>(&dst), sizeof(dst));
+  loop_.run_until([] { return false; }, 20 * sim::kMillisecond);
+
+  // 3. The replica replies with NO intervening request from the client
+  //    (so nothing re-learns the honest route). It must still reach the
+  //    real client, not the attacker's socket.
+  rpc::Envelope reply;
+  reply.type = rpc::MsgType::kReadTsReply;
+  reply.rpc_id = 7;
+  reply.sender = quorum::replica_principal(0);
+  reply.body = to_bytes("pong");
+  replica->send(kClient, reply);
+  ASSERT_TRUE(loop_.run_until([&] { return got.size() == 1; }, kWait));
+  EXPECT_EQ(got[0].rpc_id, 7u);
+  ::close(fd);
+}
+
 TEST_F(UdpTransportTest, SendToUnknownNodeCountsAsDropNotCrash) {
   auto sender = make_node(1);
   sender->send(99, envelope(1, "void"));
