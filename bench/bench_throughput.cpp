@@ -8,11 +8,14 @@
 // the repo and for sizing larger simulation studies.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "harness/cluster.h"
 #include "metrics/bench_report.h"
+#include "util/zipf.h"
 
 using namespace bftbc;
 
@@ -98,6 +101,59 @@ BENCHMARK(BM_EnvelopeRoundtrip)->Arg(128)->Arg(4096);
 
 int main(int argc, char** argv) {
   metrics::BenchArgs args = metrics::parse_bench_args(argc, argv);
+
+  // Workload-shape knobs, stripped from argv by hand because the
+  // remaining flags flow into benchmark::Initialize (which rejects
+  // anything it does not recognize):
+  //   --key-dist fixed|uniform|zipfian   key popularity for the workload
+  //   --theta <t>                        zipfian skew, 0 <= t < 1
+  //   --read-fraction <r>                read share of the measured mix
+  // Defaults reproduce the historical workload exactly (fixed round-robin
+  // keys; reads == writes, i.e. r = 0.5).
+  std::string key_dist = "fixed";
+  double theta = 0.99;
+  double read_fraction = 0.5;
+  std::vector<char*> rest_argv;
+  for (int i = 0; i < args.argc; ++i) {
+    const std::string a = args.argv[i];
+    auto take = [&](const std::string& name, std::string& out) {
+      if (a == "--" + name && i + 1 < args.argc) {
+        out = args.argv[++i];
+        return true;
+      }
+      const std::string prefix = "--" + name + "=";
+      if (a.rfind(prefix, 0) == 0) {
+        out = a.substr(prefix.size());
+        return true;
+      }
+      return false;
+    };
+    std::string v;
+    if (take("key-dist", v)) {
+      key_dist = v;
+    } else if (take("theta", v)) {
+      theta = std::strtod(v.c_str(), nullptr);
+    } else if (take("read-fraction", v)) {
+      read_fraction = std::strtod(v.c_str(), nullptr);
+    } else {
+      rest_argv.push_back(args.argv[i]);
+    }
+  }
+  args.argc = static_cast<int>(rest_argv.size());
+  args.argv = rest_argv.data();
+  if (key_dist != "fixed" && key_dist != "uniform" && key_dist != "zipfian") {
+    std::fprintf(stderr, "bench_throughput: unknown --key-dist '%s'\n",
+                 key_dist.c_str());
+    return 2;
+  }
+  if (theta < 0.0 || theta >= 1.0 || read_fraction < 0.0 ||
+      read_fraction > 0.95) {
+    std::fprintf(stderr,
+                 "bench_throughput: need 0 <= theta < 1 and "
+                 "0 <= read-fraction <= 0.95\n");
+    return 2;
+  }
+
   metrics::BenchReport report("bench_throughput", args);
 
   // A fixed simulated workload feeds the JSON report with protocol phase
@@ -129,12 +185,39 @@ int main(int argc, char** argv) {
     report.set_config("saturation_window", static_cast<std::int64_t>(kWindow));
     report.set_config("initial_fanout",
                       static_cast<std::int64_t>(cluster.config().q));
+    report.set_config("key_dist", key_dist);
+    if (key_dist == "zipfian") report.set_config("theta", theta);
+    report.set_config("read_fraction", read_fraction);
+
+    // Key popularity: fixed walks the objects round-robin (historical
+    // behavior), uniform and zipfian draw per op. Rank 0 maps to object
+    // 1 — with skew the hot object soaks up most of the window.
+    Rng key_rng(23);
+    std::unique_ptr<ZipfGenerator> zipf;
+    if (key_dist == "zipfian") {
+      zipf = std::make_unique<ZipfGenerator>(kObjects, theta);
+    }
+    auto pick_object = [&](int i) -> quorum::ObjectId {
+      if (zipf) return static_cast<quorum::ObjectId>(1 + zipf->next(key_rng));
+      if (key_dist == "uniform") {
+        return static_cast<quorum::ObjectId>(1 +
+                                             key_rng.next_below(kObjects));
+      }
+      return static_cast<quorum::ObjectId>(1 + (i % kObjects));
+    };
+    // Seed every object so dynamic-distribution reads always find a
+    // written value. Skipped for fixed keys — the historical workload
+    // (and its committed --compare baseline counters) did no seeding.
+    if (key_dist != "fixed") {
+      for (quorum::ObjectId obj = 1; obj <= kObjects; ++obj) {
+        (void)cluster.write(c, obj, to_bytes("seed"));
+      }
+    }
 
     int completed = 0;
     int failed = 0;
     for (int i = 0; i < ops; ++i) {
-      c.submit_write(static_cast<quorum::ObjectId>(i % kObjects),
-                     to_bytes("v" + std::to_string(i)),
+      c.submit_write(pick_object(i), to_bytes("v" + std::to_string(i)),
                      [&completed, &failed](Result<core::Client::WriteResult> r) {
                        ++completed;
                        if (!r.is_ok()) ++failed;
@@ -142,10 +225,15 @@ int main(int argc, char** argv) {
     }
     cluster.run_until([&completed, ops] { return completed == ops; });
     report.set_config("write_failures", static_cast<std::int64_t>(failed));
-    // Reads probe one hot object, as the pre-saturation workload did:
-    // the read side stays directly comparable across bench revisions.
-    for (int i = 0; i < ops; ++i) {
-      (void)cluster.read(c, 1);
+    // Read share of the mix: reads = writes * r / (1 - r), so the default
+    // r = 0.5 reproduces the historical reads == writes probe. Fixed
+    // distribution probes one hot object, as the pre-saturation workload
+    // did — the read side stays directly comparable across bench
+    // revisions; dynamic distributions draw read keys like write keys.
+    const int reads = static_cast<int>(
+        static_cast<double>(ops) * read_fraction / (1.0 - read_fraction));
+    for (int i = 0; i < reads; ++i) {
+      (void)cluster.read(c, key_dist == "fixed" ? 1 : pick_object(i));
     }
     report.merge(cluster.snapshot_metrics());
   }

@@ -96,14 +96,15 @@ Client::Client(const quorum::QuorumConfig& config, quorum::ClientId id,
   });
   if (options_.registry != nullptr) {
     metrics::MetricsRegistry& r = *options_.registry;
-    lat_.write_total = &r.summary("client.write.total_ms");
-    lat_.write_read_ts = &r.summary("client.write.read_ts_ms");
-    lat_.write_prepare = &r.summary("client.write.prepare_ms");
-    lat_.write_write = &r.summary("client.write.write_ms");
-    lat_.read_total = &r.summary("client.read.total_ms");
-    lat_.read_read = &r.summary("client.read.read_ms");
-    lat_.read_writeback = &r.summary("client.read.writeback_ms");
-    inflight_hist_ = &r.histogram("client.inflight");
+    const std::string& p = options_.metrics_prefix;
+    lat_.write_total = &r.summary(p + "client.write.total_ms");
+    lat_.write_read_ts = &r.summary(p + "client.write.read_ts_ms");
+    lat_.write_prepare = &r.summary(p + "client.write.prepare_ms");
+    lat_.write_write = &r.summary(p + "client.write.write_ms");
+    lat_.read_total = &r.summary(p + "client.read.total_ms");
+    lat_.read_read = &r.summary(p + "client.read.read_ms");
+    lat_.read_writeback = &r.summary(p + "client.read.writeback_ms");
+    inflight_hist_ = &r.histogram(p + "client.inflight");
   }
 }
 

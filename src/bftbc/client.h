@@ -19,6 +19,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "bftbc/messages.h"
@@ -61,6 +62,12 @@ struct ClientOptions {
   // `tracer` is set, op begin/end and phase transitions are recorded.
   metrics::MetricsRegistry* registry = nullptr;
   metrics::Tracer* tracer = nullptr;
+  // Prepended verbatim to every summary/histogram name this client
+  // resolves ("shard/2/" → "shard/2/client.write.total_ms"). Clients of
+  // one role share a prefix to aggregate; distinct roles sharing a
+  // registry (per-shard inner clients under a routing client) use
+  // distinct prefixes so their latency streams never silently alias.
+  std::string metrics_prefix;
 };
 
 class Client {

@@ -22,10 +22,12 @@ Replica::Replica(const quorum::QuorumConfig& config, ReplicaId id,
   });
   if (options_.registry != nullptr) {
     metrics::MetricsRegistry& r = *options_.registry;
-    metrics::MetricsRegistry::Scope scope =
-        r.scoped("replica/" + std::to_string(id_));
+    metrics::MetricsRegistry::Scope scope = r.scoped(
+        options_.metrics_scope.empty() ? "replica/" + std::to_string(id_)
+                                       : options_.metrics_scope);
     grants_ = &scope.counter("grants");
     rejects_ = &scope.counter("rejects");
+    resident_gauge_ = &scope.gauge("resident_objects");
     plist_size_ = &r.histogram("replica.plist_size");
     optlist_size_ = &r.histogram("replica.optlist_size");
   }
@@ -135,10 +137,11 @@ void Replica::flush_replies() {
     env.type = rpc::MsgType::kReplyBatch;
     env.sender = quorum::replica_principal(id_);
     env.body = rb.encode();
-    if (cost == 0) {
+    const sim::Time delay = charge_processing(cost);
+    if (delay == 0) {
       transport_.send(to, env);
     } else {
-      sim_.schedule(cost,
+      sim_.schedule(delay,
                     [this, to, env = std::move(env)] { transport_.send(to, env); });
     }
   }
@@ -234,12 +237,94 @@ void Replica::record_list_sizes(const ObjectState& state) {
   }
 }
 
+void Replica::touch_lru(ObjectId id) {
+  if (options_.max_resident_objects == 0) return;
+  auto pos = lru_pos_.find(id);
+  if (pos != lru_pos_.end()) lru_.erase(pos->second);
+  lru_.push_front(id);
+  lru_pos_[id] = lru_.begin();
+}
+
+void Replica::enforce_resident_cap(ObjectId keep) {
+  const std::size_t cap = options_.max_resident_objects;
+  if (cap == 0) return;
+  while (objects_.size() > cap && !lru_.empty()) {
+    // Coldest first; never the object the current handler holds a
+    // reference to.
+    ObjectId victim = lru_.back();
+    if (victim == keep) {
+      if (lru_.size() < 2) break;
+      victim = *std::next(lru_.rbegin());
+    }
+    auto it = objects_.find(victim);
+    if (it != objects_.end()) {
+      Writer w;
+      it->second.encode(w);
+      cold_store_[victim] = std::move(w).take();
+      objects_.erase(it);
+      metrics_.inc("objects_evicted");
+    }
+    auto pos = lru_pos_.find(victim);
+    if (pos != lru_pos_.end()) {
+      lru_.erase(pos->second);
+      lru_pos_.erase(pos);
+    }
+  }
+  if (resident_gauge_ != nullptr) {
+    resident_gauge_->set(static_cast<double>(objects_.size()));
+  }
+}
+
 ObjectState& Replica::object(ObjectId id) {
   auto it = objects_.find(id);
   if (it == objects_.end()) {
-    it = objects_.emplace(id, ObjectState(id)).first;
+    auto cold = cold_store_.find(id);
+    if (cold != cold_store_.end()) {
+      Reader r(cold->second);
+      std::optional<ObjectState> state = ObjectState::decode(r);
+      // The store only ever holds blobs this replica encoded itself, so
+      // a decode failure is a harness bug; fall back to a fresh object
+      // rather than crash (the write certificate chain re-establishes
+      // state via the protocol).
+      if (state.has_value() && r.done()) {
+        it = objects_.emplace(id, std::move(*state)).first;
+        metrics_.inc("objects_reloaded");
+      }
+      cold_store_.erase(cold);
+    }
+    if (it == objects_.end()) {
+      it = objects_.emplace(id, ObjectState(id)).first;
+    }
+    touch_lru(id);
+    enforce_resident_cap(id);
+  } else {
+    touch_lru(id);
   }
   return it->second;
+}
+
+void Replica::absorb_and_gc(ObjectState& state, const Timestamp& wcert_ts) {
+  const std::size_t reclaimed = state.absorb_write_certificate(wcert_ts);
+  if (reclaimed != 0) metrics_.inc("gc_reclaimed", reclaimed);
+  state.compact();
+  // Precomputed WRITE-REPLY signatures at or below the certified
+  // timestamp can never be needed again: the certificate proves those
+  // writes completed, and write_ts now rejects their prepares anyway.
+  const ObjectId object = state.object();
+  const auto begin = write_sig_cache_.lower_bound(
+      std::make_pair(object, std::make_pair(std::uint64_t{0}, ClientId{0})));
+  std::size_t dropped_sigs = 0;
+  for (auto it = begin;
+       it != write_sig_cache_.end() && it->first.first == object;) {
+    const Timestamp ts{it->first.second.first, it->first.second.second};
+    if (ts <= state.write_ts()) {
+      it = write_sig_cache_.erase(it);
+      ++dropped_sigs;
+    } else {
+      ++it;
+    }
+  }
+  if (dropped_sigs != 0) metrics_.inc("sig_cache_gc", dropped_sigs);
 }
 
 const ObjectState* Replica::find_object(ObjectId id) const {
@@ -270,6 +355,14 @@ void Replica::on_envelope(sim::NodeId from, const rpc::Envelope& env) {
   }
 }
 
+sim::Time Replica::charge_processing(sim::Time cost) {
+  if (!options_.serialize_processing) return cost;
+  const sim::Time now = sim_.now();
+  const sim::Time start = std::max(now, busy_until_);
+  busy_until_ = start + cost;
+  return busy_until_ - now;
+}
+
 void Replica::reply(sim::NodeId to, rpc::MsgType type, std::uint64_t rpc_id,
                     Bytes body, sim::Time processing_cost) {
   // Replies emitted while dispatching a multi-message batch shared one
@@ -289,10 +382,11 @@ void Replica::reply(sim::NodeId to, rpc::MsgType type, std::uint64_t rpc_id,
         PendingReply{to, std::move(env), processing_cost});
     return;
   }
-  if (processing_cost == 0) {
+  const sim::Time delay = charge_processing(processing_cost);
+  if (delay == 0) {
     transport_.send(to, env);
   } else {
-    sim_.schedule(processing_cost,
+    sim_.schedule(delay,
                   [this, to, env = std::move(env)] { transport_.send(to, env); });
   }
 }
@@ -447,7 +541,7 @@ void Replica::handle_prepare(sim::NodeId from, const rpc::Envelope& env) {
 
   // Step 2: absorb the client's write certificate (GC of prepare lists).
   if (req->write_cert.has_value()) {
-    state.absorb_write_certificate(req->write_cert->ts());
+    absorb_and_gc(state, req->write_cert->ts());
   }
 
   // Steps 3–4: Plist admission.
@@ -548,7 +642,7 @@ void Replica::handle_read(sim::NodeId from, const rpc::Envelope& env) {
   // unconditionally).
   if (req->write_cert.has_value() &&
       valid_write_cert(*req->write_cert, req->object, cost)) {
-    state.absorb_write_certificate(req->write_cert->ts());
+    absorb_and_gc(state, req->write_cert->ts());
     metrics_.inc("gc_via_read");
   }
 
@@ -593,7 +687,7 @@ void Replica::handle_read_ts_prep(sim::NodeId from, const rpc::Envelope& env) {
       dropped("drop_bad_cert");
       return;
     }
-    state.absorb_write_certificate(req->write_cert->ts());
+    absorb_and_gc(state, req->write_cert->ts());
   }
 
   ReadTsPrepReply rep;

@@ -21,9 +21,11 @@
 // foreground signing cost — the ablation bench E8 flips this flag.
 #pragma once
 
+#include <list>
 #include <map>
 #include <memory>
 #include <set>
+#include <string>
 
 #include "bftbc/messages.h"
 #include "bftbc/replica_state.h"
@@ -67,6 +69,24 @@ struct ReplicaOptions {
   // plus shared list-size histograms ("replica.plist_size",
   // "replica.optlist_size") in addition to the per-name Counters.
   metrics::MetricsRegistry* registry = nullptr;
+  // Registry scope for this replica's counters; empty derives the
+  // classic "replica/<id>". A sharded harness passes
+  // "shard/<s>/replica/<r>" so same-numbered replicas of different
+  // groups do not alias (no trailing slash).
+  std::string metrics_scope;
+  // Memory discipline for large keyspaces: when nonzero, at most this
+  // many ObjectState instances stay resident. Cold objects are evicted
+  // LRU — serialized to the replica's object store — and transparently
+  // reloaded on next touch. Counters: "objects_evicted",
+  // "objects_reloaded"; GC of superseded prepare/optlist entries is
+  // tallied under "gc_reclaimed" either way.
+  std::size_t max_resident_objects = 0;
+  // Serial-server processing model: reply costs queue behind one
+  // another (a single CPU per replica) instead of overlapping freely.
+  // This is what makes aggregate virtual-time throughput saturate per
+  // group — and scale with shard count — in bench_sharding. Off by
+  // default: the classic model charges each reply its own cost only.
+  bool serialize_processing = false;
 };
 
 class Replica {
@@ -87,8 +107,18 @@ class Replica {
   const ReplicaOptions& options() const { return options_; }
 
   // Per-object state, created on first touch (tests & checkers read it).
+  // With max_resident_objects set this is also the reload point: a
+  // previously evicted object is decoded back from the store, and the
+  // insertion may evict the coldest resident object to stay under the
+  // cap.
   ObjectState& object(ObjectId id);
+  // Resident lookup only — never reloads (const; tests and checkers use
+  // it to observe residency).
   const ObjectState* find_object(ObjectId id) const;
+
+  // Memory-discipline observability (all zero when eviction is off).
+  std::size_t resident_objects() const { return objects_.size(); }
+  std::size_t evicted_objects() const { return cold_store_.size(); }
 
   // Counters: replies/drops per message kind, signature accounting
   // ("sig_foreground", "sig_background", "auth_p2p", "verify_*"), drop
@@ -152,6 +182,12 @@ class Replica {
   virtual void reply(sim::NodeId to, rpc::MsgType type, std::uint64_t rpc_id,
                      Bytes body, sim::Time processing_cost);
 
+  // Converts a processing cost into the reply's actual delay. Classic
+  // model: the cost itself (infinite parallelism). serialize_processing:
+  // the work queues behind the replica's single CPU (busy_until_), so
+  // the delay includes time spent waiting for earlier requests.
+  sim::Time charge_processing(sim::Time cost);
+
   // Sign helpers; all tally metrics and return the accumulated cost.
   Bytes sign_statement_foreground(BytesView stmt, sim::Time& cost);
   // Point-to-point reply authenticator toward principal `to` (the
@@ -188,7 +224,27 @@ class Replica {
   sim::Scheduler& sim_;
   ReplicaOptions options_;
 
+  // Absorbs a write certificate into `state`, tallying reclaimed
+  // prepare/optlist entries ("gc_reclaimed") and dropping the
+  // now-superseded precomputed WRITE-REPLY signatures for the object
+  // ("sig_cache_gc") — the write certificate proves those timestamps
+  // completed, so no future WRITE for them needs the cached signature.
+  void absorb_and_gc(ObjectState& state, const Timestamp& wcert_ts);
+
+  // LRU maintenance for the resident-object cap.
+  void touch_lru(ObjectId id);
+  // Evicts coldest objects until the cap holds, never evicting `keep`
+  // (the object the current handler still references).
+  void enforce_resident_cap(ObjectId keep);
+
   std::map<ObjectId, ObjectState> objects_;
+  // Serialized ObjectStates evicted under max_resident_objects — the
+  // stand-in for a real cold store (disk / remote KV). Blobs round-trip
+  // through ObjectState::encode/decode, lists included.
+  std::map<ObjectId, Bytes> cold_store_;
+  // Recency list, most-recent first, with positions for O(log n) touch.
+  std::list<ObjectId> lru_;
+  std::map<ObjectId, std::list<ObjectId>::iterator> lru_pos_;
   // (object, ts) → precomputed WRITE-REPLY signature.
   std::map<std::pair<ObjectId, std::pair<std::uint64_t, ClientId>>, Bytes>
       write_sig_cache_;
@@ -220,9 +276,15 @@ class Replica {
   std::map<sim::NodeId, crypto::PrincipalId> batch_auth_principal_;
   bool collecting_replies_ = false;
 
+  // Serial-server watermark (serialize_processing): the virtual time at
+  // which this replica's CPU frees up; each costed reply starts no
+  // earlier.
+  sim::Time busy_until_ = 0;
+
   // Pre-resolved registry handles (all null without options.registry).
   metrics::Counter* grants_ = nullptr;
   metrics::Counter* rejects_ = nullptr;
+  metrics::Gauge* resident_gauge_ = nullptr;
   Histogram* plist_size_ = nullptr;
   Histogram* optlist_size_ = nullptr;
 };

@@ -2,12 +2,14 @@
 
 namespace bftbc::core {
 
-void ObjectState::absorb_write_certificate(const Timestamp& wcert_ts) {
+std::size_t ObjectState::absorb_write_certificate(const Timestamp& wcert_ts) {
   if (wcert_ts > write_ts_) write_ts_ = wcert_ts;
-  auto gc = [this](std::map<ClientId, PlistEntry>& list) {
+  std::size_t reclaimed = 0;
+  auto gc = [this, &reclaimed](std::map<ClientId, PlistEntry>& list) {
     for (auto it = list.begin(); it != list.end();) {
       if (it->second.t <= write_ts_) {
         it = list.erase(it);
+        ++reclaimed;
       } else {
         ++it;
       }
@@ -15,6 +17,7 @@ void ObjectState::absorb_write_certificate(const Timestamp& wcert_ts) {
   };
   gc(plist_);
   gc(optlist_);
+  return reclaimed;
 }
 
 ObjectState::ListOutcome ObjectState::admit(
@@ -80,6 +83,64 @@ bool ObjectState::apply_write(const Bytes& value,
   data_ = value;
   pcert_ = cert;
   return true;
+}
+
+void ObjectState::compact() {
+  data_.shrink_to_fit();
+}
+
+namespace {
+
+void encode_list(Writer& w, const std::map<ClientId, PlistEntry>& list) {
+  w.put_varint(list.size());
+  for (const auto& [c, entry] : list) {
+    w.put_u32(c);
+    entry.t.encode(w);
+    w.put_raw(crypto::digest_view(entry.h));
+  }
+}
+
+bool decode_list(Reader& r, std::map<ClientId, PlistEntry>& list) {
+  const std::uint64_t count = r.get_varint();
+  // Lists hold at most one entry per client; a length beyond any
+  // plausible client population means the blob is corrupt.
+  constexpr std::uint64_t kMaxListEntries = 1u << 20;
+  if (count > kMaxListEntries) {
+    r.fail();
+    return false;
+  }
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const ClientId c = r.get_u32();
+    PlistEntry entry;
+    entry.t = Timestamp::decode(r);
+    const Bytes h = r.get_raw(crypto::kDigestSize);
+    if (!r.ok()) return false;
+    crypto::digest_from_bytes(h, entry.h);
+    list.emplace(c, entry);
+  }
+  return true;
+}
+
+}  // namespace
+
+void ObjectState::encode(Writer& w) const {
+  w.put_u64(object_);
+  w.put_bytes(data_);
+  pcert_.encode(w);
+  encode_list(w, plist_);
+  encode_list(w, optlist_);
+  write_ts_.encode(w);
+}
+
+std::optional<ObjectState> ObjectState::decode(Reader& r) {
+  ObjectState state(r.get_u64());
+  state.data_ = r.get_bytes();
+  state.pcert_ = PrepareCertificate::decode(r);
+  if (!decode_list(r, state.plist_)) return std::nullopt;
+  if (!decode_list(r, state.optlist_)) return std::nullopt;
+  state.write_ts_ = Timestamp::decode(r);
+  if (!r.ok()) return std::nullopt;
+  return state;
 }
 
 std::size_t ObjectState::state_bytes() const {

@@ -49,8 +49,9 @@ class ObjectState {
   const std::map<ClientId, PlistEntry>& optlist() const { return optlist_; }
 
   // Figure 2, phase 2, step 2: absorb a write certificate — bump
-  // write_ts and garbage-collect both prepare lists.
-  void absorb_write_certificate(const Timestamp& wcert_ts);
+  // write_ts and garbage-collect both prepare lists. Returns the number
+  // of list entries reclaimed (the replica's "gc_reclaimed" counter).
+  std::size_t absorb_write_certificate(const Timestamp& wcert_ts);
 
   // Figure 2, phase 2, steps 3–4 for the NORMAL prepare list.
   // Returns false if the request must be discarded (conflicting entry for
@@ -80,6 +81,18 @@ class ObjectState {
 
   // Approximate in-memory footprint, for the state-size experiment (E5).
   std::size_t state_bytes() const;
+
+  // Releases slack capacity held by the value buffer (a prior larger
+  // write leaves its allocation behind). Protocol-invisible.
+  void compact();
+
+  // Full-fidelity serialization for cold-object eviction: every field
+  // the protocol can later consult — value, pcert, BOTH prepare lists,
+  // write_ts — round-trips, so an evicted-and-reloaded object is
+  // indistinguishable from a resident one (Lemma 1 needs the lists to
+  // survive: a lurking prepare must not vanish with an eviction).
+  void encode(Writer& w) const;
+  static std::optional<ObjectState> decode(Reader& r);
 
  private:
   // Shared step-3/4 logic for one list.

@@ -68,4 +68,18 @@ std::set<ClientId> History::stopped_clients() const {
   return out;
 }
 
+std::vector<History> split_history(
+    const History& h, std::size_t parts,
+    const std::function<std::size_t(ObjectId)>& part_of) {
+  std::vector<History> out(parts == 0 ? 1 : parts);
+  for (const Operation& op : h.operations()) {
+    const std::size_t part = part_of(op.object);
+    out.at(part).add_completed(op);
+  }
+  for (const StopEvent& stop : h.stops()) {
+    for (History& part : out) part.record_stop(stop.client, stop.at);
+  }
+  return out;
+}
+
 }  // namespace bftbc::checker

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <set>
 #include <string>
@@ -79,6 +80,10 @@ class History {
   // Record that `client` (a faulty one) stopped at `now`.
   void record_stop(ClientId client, sim::Time now);
 
+  // Appends an already-completed operation verbatim (used when splitting
+  // or merging histories; normal recording goes through begin_*/end_*).
+  void add_completed(Operation op) { ops_.push_back(std::move(op)); }
+
   // Completed operations in completion order.
   const std::vector<Operation>& operations() const { return ops_; }
   const std::vector<StopEvent>& stops() const { return stops_; }
@@ -97,5 +102,18 @@ class History {
   std::vector<Operation> ops_;
   std::vector<StopEvent> stops_;
 };
+
+// Partitions a history into `parts` disjoint sub-histories by object
+// ownership: operation ops[i] lands in part part_of(ops[i].object).
+// Stop events are copied into EVERY part — a stopped client is stopped
+// for all objects, wherever they live — so each sub-history is itself a
+// complete verifiable history and the checker's per-part verdicts
+// compose: BFT-BC is per-object end to end, so a sharded deployment is
+// BFT-linearizable iff every shard's sub-history is (certificates,
+// prepare lists, and timestamp chains never cross objects, let alone
+// shards). Completion order within each part is preserved.
+std::vector<History> split_history(
+    const History& h, std::size_t parts,
+    const std::function<std::size_t(ObjectId)>& part_of);
 
 }  // namespace bftbc::checker

@@ -13,6 +13,7 @@
 #include "faults/byzantine_replica.h"
 #include "harness/cluster.h"
 #include "harness/recording.h"
+#include "harness/sharded_cluster.h"
 #include "metrics/json.h"
 
 namespace bftbc::explore {
@@ -59,6 +60,406 @@ struct WorkloadClient {
   bool aborted = false;
 };
 
+// Multi-shard execution: the same scenario phases, but clients go through
+// shard::RoutingClient over a ShardedCluster and the final verdict is
+// taken per shard over the split history. Attacks aim at the shard that
+// owns their object (its replica group, its keystore); Byzantine slots
+// and partition windows apply to the same in-group slot in every shard.
+RunOutcome run_sharded_scenario(const Scenario& s, std::ostream* trace_out) {
+  RunOutcome out;
+
+  harness::ShardedClusterOptions copts;
+  copts.shards = s.shards;
+  copts.f = s.f;
+  copts.optimized = s.mode == Mode::kOptimized;
+  copts.strong = s.mode == Mode::kStrong;
+  copts.mac_auth = s.mac_auth;
+  copts.seed = s.seed;
+  copts.link.loss_probability = s.loss;
+  copts.link.duplicate_probability = s.dup;
+  copts.link.corrupt_probability = s.corrupt;
+  copts.link.base_delay = s.base_delay;
+  copts.link.jitter_mean = s.jitter_mean;
+  std::set<std::uint32_t> byz_slots;
+  for (const ByzReplicaSlot& b : s.byz_replicas) {
+    if (s.enforce_fault_budget && byz_slots.size() >= s.f) break;
+    if (b.slot >= s.n()) continue;
+    copts.replica_factories[b.slot] = make_factory(b.species);
+    byz_slots.insert(b.slot);
+  }
+
+  harness::ShardedCluster cluster(copts);
+  checker::History history;
+
+  auto fail = [&out](std::string msg) {
+    if (out.failure.empty()) out.failure = std::move(msg);
+  };
+  auto rec_write = [&](shard::RoutingClient& c, quorum::ClientId id,
+                       quorum::ObjectId object, Bytes value) {
+    const std::size_t token =
+        history.begin_write(id, object, cluster.sim().now(), value);
+    auto result = cluster.write(c, object, std::move(value));
+    if (result.is_ok()) {
+      history.end_write(token, cluster.sim().now(), result.value().ts);
+    } else {
+      history.abort(token);
+    }
+    return result;
+  };
+  auto rec_read = [&](shard::RoutingClient& c, quorum::ClientId id,
+                      quorum::ObjectId object) {
+    const std::size_t token =
+        history.begin_read(id, object, cluster.sim().now());
+    auto result = cluster.read(c, object);
+    if (result.is_ok()) {
+      history.end_read(token, cluster.sim().now(), result.value().ts,
+                       result.value().hash, result.value().value);
+    } else {
+      history.abort(token);
+    }
+    return result;
+  };
+  auto rec_stop = [&](quorum::ClientId id) {
+    cluster.stop_client(id);
+    history.record_stop(id, cluster.sim().now());
+  };
+
+  // --- Phase A: the probe client seeds every object. -------------------
+  shard::RoutingClient& probe = cluster.add_client(kProbeClient);
+  for (quorum::ObjectId obj = 1; obj <= s.objects; ++obj) {
+    auto seeded = rec_write(probe, kProbeClient, obj,
+                            to_bytes("seed-" + std::to_string(obj)));
+    if (!seeded.is_ok() && s.within_fault_budget()) {
+      fail("liveness: seed write failed on object " + std::to_string(obj));
+    }
+  }
+
+  // --- Phase B: attack actors, each aimed at its object's shard. --------
+  std::vector<std::unique_ptr<rpc::Transport>> attack_transports;
+  std::vector<std::unique_ptr<faults::AttackClientBase>> attackers;
+  std::vector<char> attack_done(s.attacks.size(), 0);
+  std::vector<std::vector<rpc::Envelope>> stashes(s.attacks.size());
+
+  for (std::size_t i = 0; i < s.attacks.size(); ++i) {
+    const AttackPlan plan = s.attacks[i];
+    const std::uint32_t home = cluster.shard_of(plan.object);
+    attack_transports.push_back(cluster.make_transport(
+        harness::shard_client_node(home, plan.id)));
+    rpc::Transport& transport = *attack_transports.back();
+    crypto::Keystore& keystore = cluster.keystore(home);
+    const std::vector<sim::NodeId> targets = cluster.replica_nodes(home);
+    const sim::Time start =
+        (10 + 15 * static_cast<sim::Time>(i)) * sim::kMillisecond;
+    switch (plan.kind) {
+      case AttackKind::kEquivocate: {
+        auto actor = std::make_unique<faults::EquivocatorClient>(
+            cluster.config(), plan.id, keystore, transport, cluster.sim(),
+            targets, cluster.rng().split());
+        actor->set_mac_auth(s.mac_auth);
+        faults::EquivocatorClient* ap = actor.get();
+        attackers.push_back(std::move(actor));
+        cluster.sim().schedule(start, [ap, plan, i, &attack_done] {
+          ap->attack(plan.object, to_bytes("equiv-a"), to_bytes("equiv-b"),
+                     [i, &attack_done](faults::EquivocatorClient::Outcome) {
+                       attack_done[i] = 1;
+                     });
+        });
+        break;
+      }
+      case AttackKind::kPartialWrite: {
+        auto actor = std::make_unique<faults::PartialWriter>(
+            cluster.config(), plan.id, keystore, transport, cluster.sim(),
+            targets, cluster.rng().split());
+        actor->set_mac_auth(s.mac_auth);
+        faults::PartialWriter* ap = actor.get();
+        attackers.push_back(std::move(actor));
+        cluster.sim().schedule(start, [ap, plan, i, &attack_done] {
+          ap->attack(plan.object, to_bytes("partial"),
+                     [i, &attack_done](bool) { attack_done[i] = 1; });
+        });
+        break;
+      }
+      case AttackKind::kTimestampHog: {
+        auto actor = std::make_unique<faults::TimestampHog>(
+            cluster.config(), plan.id, keystore, transport, cluster.sim(),
+            targets, cluster.rng().split());
+        actor->set_mac_auth(s.mac_auth);
+        faults::TimestampHog* ap = actor.get();
+        attackers.push_back(std::move(actor));
+        cluster.sim().schedule(start, [ap, plan, i, &attack_done] {
+          ap->attack(plan.object, 1'000'000, static_cast<int>(plan.goal),
+                     [i, &attack_done](faults::TimestampHog::Outcome) {
+                       attack_done[i] = 1;
+                     });
+        });
+        break;
+      }
+      case AttackKind::kLurkingStash: {
+        auto actor = std::make_unique<faults::LurkingWriteStasher>(
+            cluster.config(), plan.id, keystore, transport, cluster.sim(),
+            targets, cluster.rng().split());
+        actor->set_mac_auth(s.mac_auth);
+        faults::LurkingWriteStasher* ap = actor.get();
+        attackers.push_back(std::move(actor));
+        auto on_done = [i, plan, &attack_done, &stashes,
+                        &rec_stop](faults::LurkingWriteStasher::Outcome o) {
+          stashes[i] = std::move(o.stashed);
+          rec_stop(plan.id);
+          attack_done[i] = 1;
+        };
+        if (s.mode == Mode::kStrong) {
+          quorum::ReplicaId correct = 0;
+          for (quorum::ReplicaId r = 0; r < s.n(); ++r) {
+            if (byz_slots.count(r) == 0) {
+              correct = r;
+              break;
+            }
+          }
+          cluster.sim().schedule(start, [ap, plan, home, correct, &cluster,
+                                         on_done] {
+            core::PrepareCertificate just =
+                core::PrepareCertificate::genesis(plan.object);
+            const auto* state =
+                cluster.replica(home, correct).find_object(plan.object);
+            if (state != nullptr) just = state->pcert();
+            std::optional<core::WriteCertificate> wcert =
+                cluster.client_leg(kProbeClient, home)
+                    .last_write_cert(plan.object);
+            ap->attack_chained(plan.object, std::move(just), std::move(wcert),
+                               on_done);
+          });
+        } else {
+          const bool optlist = s.mode == Mode::kOptimized;
+          cluster.sim().schedule(start, [ap, plan, optlist, on_done] {
+            ap->attack(plan.object, static_cast<int>(plan.goal), optlist,
+                       on_done);
+          });
+        }
+        break;
+      }
+    }
+  }
+
+  // --- Phase C: correct-client workload through the routers. ------------
+  struct ShardedWorkloadClient {
+    const ClientPlan* plan = nullptr;
+    shard::RoutingClient* client = nullptr;
+    Rng rng;
+    std::uint32_t target = 0;
+    bool aborted = false;
+  };
+  std::vector<ShardedWorkloadClient> workload;
+  workload.reserve(s.clients.size());
+  int completed_ops = 0;
+  int failed_ops = 0;
+  int expected_ops = 0;
+  for (const ClientPlan& plan : s.clients) {
+    core::ClientOptions client_opts;
+    shard::RoutingClientOptions routing;
+    if (plan.pipelined) {
+      client_opts.max_inflight = plan.window;
+      // The cross-shard window rides on top of the per-shard one.
+      routing.max_inflight_total = plan.window;
+    }
+    shard::RoutingClient& c = cluster.add_client(plan.id, client_opts, routing);
+    std::uint32_t target = plan.ops;
+    if (!plan.pipelined && plan.stop_after_ops > 0 &&
+        plan.stop_after_ops < plan.ops) {
+      target = plan.stop_after_ops;
+    }
+    workload.push_back({&plan, &c, cluster.rng().split(), target});
+    expected_ops += static_cast<int>(target);
+  }
+
+  std::function<void(std::size_t, std::uint32_t)> step =
+      [&](std::size_t ci, std::uint32_t op) {
+        ShardedWorkloadClient& wc = workload[ci];
+        if (op >= wc.target) {
+          if (wc.target < wc.plan->ops && !wc.aborted) {
+            const quorum::ClientId id = wc.plan->id;
+            cluster.sim().schedule(sim::kMillisecond,
+                                   [&rec_stop, id] { rec_stop(id); });
+          }
+          return;
+        }
+        const quorum::ObjectId object =
+            1 + static_cast<quorum::ObjectId>(wc.rng.next_below(s.objects));
+        if (wc.rng.next_bool(wc.plan->write_ratio)) {
+          const Bytes value = to_bytes("c" + std::to_string(wc.plan->id) +
+                                       "-w" + std::to_string(op));
+          const std::size_t token = history.begin_write(
+              wc.plan->id, object, cluster.sim().now(), value);
+          wc.client->write(
+              object, value,
+              [&, ci, op, token](Result<core::Client::WriteResult> r) {
+                if (r.is_ok()) {
+                  history.end_write(token, cluster.sim().now(), r.value().ts);
+                  ++completed_ops;
+                } else {
+                  history.abort(token);
+                  ++failed_ops;
+                  workload[ci].aborted = true;
+                }
+                step(ci, op + 1);
+              });
+        } else {
+          const std::size_t token =
+              history.begin_read(wc.plan->id, object, cluster.sim().now());
+          wc.client->read(
+              object, [&, ci, op, token](Result<core::Client::ReadResult> r) {
+                if (r.is_ok()) {
+                  history.end_read(token, cluster.sim().now(), r.value().ts,
+                                   r.value().hash, r.value().value);
+                  ++completed_ops;
+                } else {
+                  history.abort(token);
+                  ++failed_ops;
+                  workload[ci].aborted = true;
+                }
+                step(ci, op + 1);
+              });
+        }
+      };
+
+  for (std::size_t ci = 0; ci < workload.size(); ++ci) {
+    ShardedWorkloadClient& wc = workload[ci];
+    if (!wc.plan->pipelined) {
+      step(ci, 0);
+      continue;
+    }
+    for (std::uint32_t op = 0; op < wc.target; ++op) {
+      const quorum::ObjectId object =
+          1 + static_cast<quorum::ObjectId>(wc.rng.next_below(s.objects));
+      const Bytes value = to_bytes("c" + std::to_string(wc.plan->id) + "-p" +
+                                   std::to_string(op));
+      const std::size_t token =
+          history.begin_write(wc.plan->id, object, cluster.sim().now(), value);
+      wc.client->submit_write(object, value,
+                              [&, token](Result<core::Client::WriteResult> r) {
+                                if (r.is_ok()) {
+                                  history.end_write(token, cluster.sim().now(),
+                                                    r.value().ts);
+                                  ++completed_ops;
+                                } else {
+                                  history.abort(token);
+                                  ++failed_ops;
+                                }
+                              });
+    }
+  }
+
+  // --- Phase D: partition windows — the slot across every shard. --------
+  std::vector<quorum::ClientId> party_ids;
+  party_ids.push_back(kProbeClient);
+  for (const ClientPlan& plan : s.clients) party_ids.push_back(plan.id);
+  for (const AttackPlan& plan : s.attacks) party_ids.push_back(plan.id);
+  std::vector<sim::NodeId> party_nodes;
+  for (std::uint32_t sh = 0; sh < s.shards; ++sh) {
+    for (quorum::ClientId id : party_ids) {
+      party_nodes.push_back(harness::shard_client_node(sh, id));
+    }
+  }
+  for (const PartitionPlan& p : s.partitions) {
+    if (p.replica >= s.n()) continue;
+    cluster.sim().schedule(p.at, [&cluster, &party_nodes, p, shards = s.shards] {
+      for (std::uint32_t sh = 0; sh < shards; ++sh) {
+        const sim::NodeId node = harness::shard_replica_node(sh, p.replica);
+        for (sim::NodeId peer : party_nodes) cluster.net().partition(node, peer);
+      }
+    });
+    cluster.sim().schedule(p.heal_at, [&cluster, &party_nodes, p,
+                                       shards = s.shards] {
+      for (std::uint32_t sh = 0; sh < shards; ++sh) {
+        const sim::NodeId node = harness::shard_replica_node(sh, p.replica);
+        for (sim::NodeId peer : party_nodes) cluster.net().heal(node, peer);
+      }
+    });
+  }
+
+  // --- Phase E: run to quiescence (bounded). ----------------------------
+  const bool finished = cluster.run_until(
+      [&] {
+        if (completed_ops + failed_ops < expected_ops) return false;
+        for (char done : attack_done) {
+          if (!done) return false;
+        }
+        return true;
+      },
+      20'000'000);
+  out.completed = finished;
+  if (!finished && s.within_fault_budget()) {
+    fail("liveness: workload/attacks did not quiesce within the event budget");
+  }
+  if (failed_ops > 0 && s.within_fault_budget() && s.partitions.empty()) {
+    fail("liveness: " + std::to_string(failed_ops) +
+         " correct-client operation(s) failed");
+  }
+
+  if (finished) {
+    cluster.net().heal_all();
+    cluster.settle();
+
+    // --- Phase F: staged colluder replay into the owning shard. ---------
+    for (std::size_t i = 0; i < s.attacks.size(); ++i) {
+      const AttackPlan plan = s.attacks[i];
+      if (plan.kind != AttackKind::kLurkingStash || !plan.collude_replay)
+        continue;
+      const std::uint32_t home = cluster.shard_of(plan.object);
+      auto colluder_transport = cluster.make_transport(
+          harness::shard_client_node(
+              home, kColluderNodeBase + static_cast<quorum::ClientId>(i)));
+      for (rpc::Envelope& env : stashes[i]) {
+        faults::Colluder colluder(*colluder_transport,
+                                  cluster.replica_nodes(home));
+        colluder.stash(env);
+        colluder.unleash(2);
+        cluster.settle();
+        auto probed = rec_read(probe, kProbeClient, plan.object);
+        if (!probed.is_ok() && s.within_fault_budget()) {
+          fail("liveness: probe read failed during colluder replay");
+        }
+      }
+    }
+
+    // --- Phase G: final quiescent reads over every object. --------------
+    for (quorum::ObjectId obj = 1; obj <= s.objects; ++obj) {
+      auto final_read = rec_read(probe, kProbeClient, obj);
+      if (!final_read.is_ok() && s.within_fault_budget()) {
+        fail("liveness: final read failed on object " + std::to_string(obj));
+      }
+    }
+  }
+
+  // --- Verdict: split the history and check each shard on its own. ------
+  std::set<checker::ClientId> bad_clients;
+  for (const AttackPlan& plan : s.attacks) bad_clients.insert(plan.id);
+  const shard::ShardMap& map = cluster.map();
+  const std::vector<checker::History> parts = checker::split_history(
+      history, s.shards,
+      [&map](checker::ObjectId object) { return map.shard_of(object); });
+  out.safety_ok = true;
+  for (std::uint32_t sh = 0; sh < s.shards; ++sh) {
+    const checker::CheckResult check =
+        checker::check_bft_linearizability(parts[sh], bad_clients);
+    out.max_lurking = std::max(out.max_lurking, check.max_lurking());
+    const bool ok = s.mode == Mode::kStrong ? check.ok_plus(s.max_b(), 2)
+                                            : check.ok(s.max_b());
+    out.shard_verdicts.push_back(ok ? "ok" : check.summary());
+    if (!ok && out.safety_ok) {
+      out.safety_ok = false;
+      out.failure =
+          "safety: shard " + std::to_string(sh) + ": " + check.summary();
+    }
+  }
+
+  out.events = cluster.sim().executed_events();
+  out.history_ops = history.completed_count();
+  if (trace_out != nullptr) {
+    *trace_out << "(multi-shard scenario: event-ring tracing not captured)\n";
+  }
+  return out;
+}
+
 }  // namespace
 
 std::string Explorer::failure_class(const std::string& failure) {
@@ -67,6 +468,7 @@ std::string Explorer::failure_class(const std::string& failure) {
 }
 
 RunOutcome Explorer::run_scenario(const Scenario& s, std::ostream* trace_out) {
+  if (s.shards > 1) return run_sharded_scenario(s, trace_out);
   RunOutcome out;
 
   harness::ClusterOptions copts;
@@ -487,6 +889,13 @@ Scenario Explorer::shrink(const Scenario& scenario, const std::string& failure,
   if (best.loss > 0 || best.dup > 0 || best.corrupt > 0) {
     Scenario candidate = best;
     candidate.loss = candidate.dup = candidate.corrupt = 0;
+    if (reproduces(candidate)) best = std::move(candidate);
+  }
+  // Collapse to a single group once — a violation that still reproduces
+  // without the routing layer is independent of sharding entirely.
+  if (best.shards > 1) {
+    Scenario candidate = best;
+    candidate.shards = 1;
     if (reproduces(candidate)) best = std::move(candidate);
   }
   // Fall back to signature auth once — a violation that survives without

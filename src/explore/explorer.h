@@ -45,6 +45,10 @@ struct RunOutcome {
   // Empty when clean; otherwise "safety: ..." or "liveness: ...". The
   // prefix is the failure class shrinking preserves.
   std::string failure;
+  // Multi-shard runs only: one verdict per shard from its own checker
+  // instance over its slice of the split history — "ok" or the checker
+  // summary. Empty for single-group runs.
+  std::vector<std::string> shard_verdicts;
 
   bool failed() const { return !failure.empty(); }
 };
@@ -90,6 +94,9 @@ class Explorer {
 
   // Execute one scenario start to finish; when `trace_out` is non-null
   // the cluster's event ring buffer is dumped into it at the end.
+  // Scenarios with shards > 1 run on a ShardedCluster through routing
+  // clients, and the verdict is taken per shard (RunOutcome::
+  // shard_verdicts) over the split history.
   RunOutcome run_scenario(const Scenario& scenario,
                           std::ostream* trace_out = nullptr);
 

@@ -76,6 +76,12 @@ Scenario Scenario::sample(std::uint64_t run_seed) {
   }
   s.objects = 1 + static_cast<std::uint32_t>(rng.next_below(2));
   s.mac_auth = rng.next_bool(0.3);
+  // Occasionally run the workload across independent shard groups; more
+  // objects then, so the shard map has something to spread.
+  if (rng.next_bool(0.15)) {
+    s.shards = 2;
+    s.objects = 4;
+  }
 
   // Link adversity profile: quiet / noisy / harsh. Loss and duplication
   // are retried through; corruption is caught by auth checks.
@@ -168,6 +174,7 @@ std::string Scenario::to_json() const {
   w.key("mac_auth"); w.value(mac_auth);
   w.key("enforce_fault_budget"); w.value(enforce_fault_budget);
   w.key("objects"); w.value(static_cast<std::uint64_t>(objects));
+  w.key("shards"); w.value(static_cast<std::uint64_t>(shards));
   w.key("link");
   w.begin_object();
   w.key("loss"); w.value(loss);
@@ -240,6 +247,8 @@ std::optional<Scenario> Scenario::from_json(std::string_view text) {
   s.enforce_fault_budget = doc->boolean("enforce_fault_budget", true);
   s.objects = static_cast<std::uint32_t>(doc->u64("objects", 1));
   if (s.objects < 1 || s.objects > 16) return std::nullopt;
+  s.shards = static_cast<std::uint32_t>(doc->u64("shards", 1));
+  if (s.shards < 1 || s.shards > 8) return std::nullopt;
 
   if (const JsonValue* link = doc->find("link")) {
     s.loss = link->num("loss", 0.0);
@@ -317,6 +326,7 @@ std::string Scenario::name() const {
   std::string out = "f" + std::to_string(f) + "-";
   out += mode_name(mode);
   if (mac_auth) out += "-mac";
+  if (shards > 1) out += "-s" + std::to_string(shards);
   if (!byz_replicas.empty()) {
     out += "-byz" + std::to_string(byz_replicas.size());
   }

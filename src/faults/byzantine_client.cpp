@@ -1,5 +1,7 @@
 #include "faults/byzantine_client.h"
 
+#include <algorithm>
+
 #include "quorum/statements.h"
 
 namespace bftbc::faults {
@@ -154,10 +156,14 @@ void AttackClientBase::gather_prepares(
         if (!m || m->object != object || m->t != t || m->hash != h)
           return false;
         // idx is an index into the target list, which may be a subset of
-        // the replica group; recover the replica id from the node id
-        // (replica r lives at node r by harness convention).
-        const quorum::ReplicaId replica =
-            static_cast<quorum::ReplicaId>(targets_copy[idx]);
+        // the replica group; recover the replica id from the node's
+        // position in replica_nodes_, which both harnesses build in
+        // replica-id order. (Node id != replica id in a sharded group.)
+        const auto pos = std::find(replica_nodes_.begin(),
+                                   replica_nodes_.end(), targets_copy[idx]);
+        if (pos == replica_nodes_.end()) return false;
+        const auto replica =
+            static_cast<quorum::ReplicaId>(pos - replica_nodes_.begin());
         if (m->replica != replica) return false;
         const Bytes stmt = quorum::prepare_reply_statement(object, t, h);
         if (!keystore_.verify_cached(quorum::replica_principal(replica), stmt,

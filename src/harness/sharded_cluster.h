@@ -1,0 +1,173 @@
+// Multi-group harness: S independent 3f+1 replica groups (shards) in ONE
+// simulator and ONE network, fronted by shard::RoutingClient instances.
+//
+// Sharding composes with the protocol because BFT-BC is per-object end to
+// end (ROADMAP "scale-out"): every certificate, prepare list, and
+// timestamp chain names a single object, and an object lives in exactly
+// one group. Each shard gets its OWN keystore (seed derived via
+// shard::shard_key_seed, shard 0 bit-identical to the single-group
+// harness), so a quorum certificate minted by group A's replicas can
+// never validate against group B — cross-shard certificate replay fails
+// closed even with colluding Byzantine replicas in both groups.
+//
+// Node addressing extends harness::Cluster's scheme:
+//   replica r of shard s   -> NodeId s * kShardNodeStride + r
+//   client c's shard-s leg -> NodeId kClientNodeBase * (s + 1) + c
+// so shard 0 occupies exactly the ids the single-shard Cluster uses.
+//
+// Metrics: one registry for the whole fleet. Replicas record under
+// "shard/<s>/replica/<r>/...", inner per-shard clients under
+// "shard/<s>/client...", and each routing client claims the aggregate
+// "client.write.total_ms"/"client.read.total_ms" summaries plus
+// "client/<id>/writes|reads" fold names — the names the bench compare
+// gate watches — so single- and multi-shard runs emit comparable JSON.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "bftbc/client.h"
+#include "bftbc/replica.h"
+#include "harness/cluster.h"
+#include "metrics/registry.h"
+#include "shard/routing_client.h"
+#include "shard/shard_map.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace bftbc::harness {
+
+inline constexpr sim::NodeId kShardNodeStride = 0x100;
+inline constexpr sim::NodeId kShardClientNodeBase = 0x10000;
+
+inline sim::NodeId shard_replica_node(std::uint32_t shard,
+                                      quorum::ReplicaId r) {
+  return static_cast<sim::NodeId>(shard) * kShardNodeStride + r;
+}
+
+inline sim::NodeId shard_client_node(std::uint32_t shard,
+                                     quorum::ClientId c) {
+  return kShardClientNodeBase * (static_cast<sim::NodeId>(shard) + 1) + c;
+}
+
+struct ShardedClusterOptions {
+  std::uint32_t shards = 2;
+  std::uint32_t f = 1;
+  bool optimized = false;
+  bool strong = false;
+  bool mac_auth = false;
+  crypto::SignatureScheme scheme = crypto::SignatureScheme::kHmacSim;
+  std::size_t rsa_bits = 512;
+  std::uint64_t seed = 1;
+  sim::LinkConfig link;
+  core::ReplicaOptions replica;         // mode flags overridden by the above
+  core::ClientOptions client_defaults;  // mode flags overridden by the above
+  shard::RoutingClientOptions routing;  // registry filled in per client
+  // Per-slot construction hook, applied to the SAME slot in EVERY shard
+  // (a Byzantine slot in each independent group stays within each
+  // group's f budget). Keyed by in-group replica id.
+  std::map<quorum::ReplicaId, ReplicaFactory> replica_factories;
+  bool coalesce_sends = false;
+};
+
+// A routing client plus the per-shard protocol clients it routes through.
+struct ShardedClient {
+  std::unique_ptr<shard::RoutingClient> router;
+  std::vector<std::unique_ptr<core::Client>> legs;
+  std::vector<std::unique_ptr<rpc::SimTransport>> transports;
+};
+
+class ShardedCluster {
+ public:
+  explicit ShardedCluster(ShardedClusterOptions options =
+                              ShardedClusterOptions());
+  ~ShardedCluster();
+
+  ShardedCluster(const ShardedCluster&) = delete;
+  ShardedCluster& operator=(const ShardedCluster&) = delete;
+
+  std::uint32_t shards() const { return map_.shards(); }
+  const shard::ShardMap& map() const { return map_; }
+  std::uint32_t shard_of(quorum::ObjectId object) const {
+    return map_.shard_of(object);
+  }
+  const quorum::QuorumConfig& config() const { return config_; }
+  sim::Simulator& sim() { return sim_; }
+  sim::Network& net() { return net_; }
+  crypto::Keystore& keystore(std::uint32_t shard) {
+    return *keystores_.at(shard);
+  }
+  Rng& rng() { return rng_; }
+
+  core::Replica& replica(std::uint32_t shard, quorum::ReplicaId r);
+  std::vector<sim::NodeId> replica_nodes(std::uint32_t shard) const;
+
+  // Creates (or returns the existing) routing client with this id. The
+  // client gets one protocol leg per shard, all driven by one router.
+  // The two-argument form overrides the per-leg client options and the
+  // router options (mode flags are still forced to the cluster's).
+  shard::RoutingClient& add_client(quorum::ClientId id);
+  shard::RoutingClient& add_client(quorum::ClientId id,
+                                   core::ClientOptions copts,
+                                   shard::RoutingClientOptions routing);
+  shard::RoutingClient& client(quorum::ClientId id) {
+    return *clients_.at(id).router;
+  }
+  core::Client& client_leg(quorum::ClientId id, std::uint32_t shard) {
+    return *clients_.at(id).legs.at(shard);
+  }
+
+  // Raw transport bound to an otherwise-unused node id — building block
+  // for attack actors aimed at one shard's replica group.
+  std::unique_ptr<rpc::Transport> make_transport(sim::NodeId node);
+
+  // ---- synchronous convenience (drives the simulator) ----------------
+  Result<core::Client::WriteResult> write(shard::RoutingClient& c,
+                                          quorum::ObjectId object,
+                                          Bytes value);
+  Result<core::Client::ReadResult> read(shard::RoutingClient& c,
+                                        quorum::ObjectId object);
+  bool run_until(const std::function<bool()>& done,
+                 std::size_t max_events = 20'000'000);
+  void settle();
+
+  // ---- observability --------------------------------------------------
+  metrics::MetricsRegistry& metrics_registry() { return metrics_; }
+  // Folds replica / inner-client / router / keystore Counters into the
+  // registry (SET semantics, safe to repeat). Router ops fold under
+  // "client/<id>" (the names the bench compare gate parses); per-shard
+  // sources fold under "shard/<s>/...".
+  metrics::MetricsRegistry& snapshot_metrics();
+
+  // ---- fault controls -------------------------------------------------
+  void crash_replica(std::uint32_t shard, quorum::ReplicaId r);
+  void recover_replica(std::uint32_t shard, quorum::ReplicaId r);
+  // Cuts every link into `shard`'s replica group (clients included) —
+  // ops routed there stall; other shards are untouched.
+  void partition_shard(std::uint32_t shard);
+  void heal_shard(std::uint32_t shard);
+  // The paper's STOP event, fleet-wide: the client's principal is revoked
+  // in every shard's keystore and deauthorized at every replica.
+  void stop_client(quorum::ClientId c);
+
+ private:
+  ShardedClusterOptions options_;
+  shard::ShardMap map_;
+  quorum::QuorumConfig config_;
+  sim::Simulator sim_;
+  Rng rng_;
+  metrics::MetricsRegistry metrics_;
+  sim::Network net_;
+
+  std::vector<std::unique_ptr<crypto::Keystore>> keystores_;
+  // replicas_[shard][r]; transports parallel.
+  std::vector<std::vector<std::unique_ptr<rpc::SimTransport>>>
+      replica_transports_;
+  std::vector<std::vector<std::unique_ptr<core::Replica>>> replicas_;
+  std::map<quorum::ClientId, ShardedClient> clients_;
+};
+
+}  // namespace bftbc::harness

@@ -36,6 +36,21 @@ Histogram& MetricsRegistry::histogram(std::string_view name) {
   return resolve_locked(histogram_index_, histograms_, name);
 }
 
+std::string MetricsRegistry::claim_unique(std::string_view base) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto taken = [this](const std::string& name) {
+    return claims_.count(name) != 0 || counter_index_.count(name) != 0 ||
+           gauge_index_.count(name) != 0 || summary_index_.count(name) != 0 ||
+           histogram_index_.count(name) != 0;
+  };
+  std::string name(base);
+  for (std::size_t i = 2; taken(name); ++i) {
+    name = std::string(base) + "#" + std::to_string(i);
+  }
+  claims_.insert(name);
+  return name;
+}
+
 void MetricsRegistry::fold_counters(std::string_view scope,
                                     const Counters& counters) {
   const std::string prefix =
@@ -158,6 +173,7 @@ void MetricsRegistry::reset() {
   summaries_.clear();
   histogram_index_.clear();
   histograms_.clear();
+  claims_.clear();
 }
 
 MetricsRegistry& MetricsRegistry::global() {

@@ -35,6 +35,7 @@
 #include <deque>
 #include <map>
 #include <mutex>
+#include <set>
 #include <string>
 #include <string_view>
 
@@ -68,6 +69,20 @@ class MetricsRegistry {
   Gauge& gauge(std::string_view name);
   Summary& summary(std::string_view name);
   Histogram& histogram(std::string_view name);
+
+  // Collision-aware name claiming. counter()/summary()/... are
+  // resolve-or-create: two components that independently resolve the
+  // same name silently share one slot, which is intentional for
+  // same-role aggregation (every client feeds "client.write.total_ms")
+  // but a silent aliasing bug when DIFFERENT roles collide — e.g. a
+  // routing client's whole-op summary landing in an inner per-shard
+  // client's summary because both derived the same prefix. claim_unique
+  // returns `base` if no metric of any kind exists under that name and
+  // nothing has claimed it yet; otherwise it disambiguates to
+  // "<base>#2", "<base>#3", ... Claimants then resolve handles under
+  // the returned name, so the collision is visible in the emitted JSON
+  // instead of silently merged.
+  std::string claim_unique(std::string_view base);
 
   // Prefix helper: Scope{reg, "replica/3"}.counter("grants") is
   // reg.counter("replica/3/grants").
@@ -172,6 +187,9 @@ class MetricsRegistry {
   std::deque<Summary> summaries_ BFTBC_GUARDED_BY(mu_);
   std::map<std::string, std::size_t> histogram_index_ BFTBC_GUARDED_BY(mu_);
   std::deque<Histogram> histograms_ BFTBC_GUARDED_BY(mu_);
+  // Names handed out by claim_unique (they may not have resolved any
+  // handle yet, so the indices alone cannot answer "is this taken?").
+  std::set<std::string> claims_ BFTBC_GUARDED_BY(mu_);
 };
 
 }  // namespace bftbc::metrics

@@ -15,6 +15,22 @@
 //     "replicas": [ {"host": "127.0.0.1", "port": 5500}, ... ]   // 3f+1
 //   }
 //
+// Sharded deployments replace "replicas" with a "shards" array — one
+// independent 3f+1 replica group per entry, all sharing f/mode/auth:
+//
+//     "shards": [
+//       {"replicas": [ {"host": ..., "port": ...}, ... ]},   // shard 0
+//       {"replicas": [ ... ]}                                // shard 1
+//     ]
+//
+// A legacy "replicas" config is exactly a one-entry "shards" (the two
+// spellings are mutually exclusive). Objects are assigned to groups by
+// shard::ShardMap's static hash; every process derives the same map from
+// the group count alone. Each shard's keystore seed is derived from
+// "key_seed" via shard::shard_key_seed (shard 0 == key_seed, so legacy
+// single-group deployments keep byte-identical key material) — a
+// certificate minted in one group can never validate in another.
+//
 // Key distribution: crypto::Keystore derives key material
 // deterministically from (scheme, seed) in *registration order*, so
 // separate processes that register the same principals in the same
@@ -62,7 +78,19 @@ struct ClusterConfig {
     std::string host;
     std::uint16_t port = 0;
   };
+  // Shard 0's endpoints (== the whole cluster for legacy single-group
+  // configs). Kept as a plain alias of shard_groups[0] so pre-sharding
+  // call sites keep reading the natural field.
   std::vector<ReplicaEndpoint> replicas;  // exactly 3f+1 entries
+  // One endpoint group per shard; [0] is identical to `replicas`.
+  std::vector<std::vector<ReplicaEndpoint>> shard_groups;
+
+  std::uint32_t shard_count() const {
+    return static_cast<std::uint32_t>(shard_groups.size());
+  }
+  // Per-shard keystore seed (shard::shard_key_seed over key_seed; shard 0
+  // returns key_seed itself).
+  std::uint64_t shard_seed(std::uint32_t shard) const;
 
   bool optimized() const { return mode == "optimized" || mode == "strong"; }
   bool strong() const { return mode == "strong"; }
@@ -80,7 +108,12 @@ struct ClusterConfig {
   static Result<ClusterConfig> load(const std::string& path);
 };
 
-// The replica endpoint table for UdpTransport, keyed by NodeId.
+// The replica endpoint table for UdpTransport, keyed by NodeId 0..n-1.
+// Every shard uses the same in-group node ids — a process talks to one
+// group per transport (its own socket), so the maps never collide.
+Result<std::map<sim::NodeId, UdpEndpoint>> replica_endpoints(
+    const ClusterConfig& config, std::uint32_t shard);
+// Legacy spelling: shard 0.
 Result<std::map<sim::NodeId, UdpEndpoint>> replica_endpoints(
     const ClusterConfig& config);
 

@@ -1,0 +1,132 @@
+#include "shard/routing_client.h"
+
+#include <cassert>
+#include <utility>
+
+namespace bftbc::shard {
+
+RoutingClient::RoutingClient(ShardMap map, std::vector<core::Client*> clients,
+                             sim::Scheduler& scheduler,
+                             RoutingClientOptions options)
+    : map_(map),
+      clients_(std::move(clients)),
+      sim_(scheduler),
+      options_(options) {
+  assert(clients_.size() == map_.shards() &&
+         "RoutingClient needs exactly one client per shard");
+  if (options_.registry != nullptr) {
+    metrics::MetricsRegistry& reg = *options_.registry;
+    // claim_unique: if some inner client (or a second router on the same
+    // registry) already owns these names, ours disambiguate to "...#2"
+    // instead of silently merging two latency populations.
+    write_total_ = &reg.summary(reg.claim_unique("client.write.total_ms"));
+    read_total_ = &reg.summary(reg.claim_unique("client.read.total_ms"));
+    shard_writes_.reserve(map_.shards());
+    shard_reads_.reserve(map_.shards());
+    for (std::uint32_t s = 0; s < map_.shards(); ++s) {
+      const metrics::MetricsRegistry::Scope scope =
+          reg.scoped("shard/" + std::to_string(s));
+      shard_writes_.push_back(&scope.counter("routed_writes"));
+      shard_reads_.push_back(&scope.counter("routed_reads"));
+    }
+  }
+}
+
+void RoutingClient::write(quorum::ObjectId object, Bytes value,
+                          WriteCallback cb) {
+  const std::uint32_t s = map_.shard_of(object);
+  metrics_.inc("writes");
+  if (s < shard_writes_.size()) shard_writes_[s]->inc();
+  const sim::Time started = sim_.now();
+  clients_[s]->write(object, std::move(value),
+                     [this, started, cb = std::move(cb)](
+                         Result<core::Client::WriteResult> result) {
+                       if (write_total_ != nullptr) {
+                         write_total_->add(
+                             static_cast<double>(sim_.now() - started) /
+                             sim::kMillisecond);
+                       }
+                       cb(std::move(result));
+                     });
+}
+
+void RoutingClient::read(quorum::ObjectId object, ReadCallback cb) {
+  const std::uint32_t s = map_.shard_of(object);
+  metrics_.inc("reads");
+  if (s < shard_reads_.size()) shard_reads_[s]->inc();
+  const sim::Time started = sim_.now();
+  clients_[s]->read(object, [this, started, cb = std::move(cb)](
+                                Result<core::Client::ReadResult> result) {
+    if (read_total_ != nullptr) {
+      read_total_->add(static_cast<double>(sim_.now() - started) /
+                       sim::kMillisecond);
+    }
+    cb(std::move(result));
+  });
+}
+
+void RoutingClient::submit_write(quorum::ObjectId object, Bytes value,
+                                 WriteCallback cb) {
+  Pending p;
+  p.object = object;
+  p.value = std::move(value);
+  p.cb = std::move(cb);
+  p.started = sim_.now();
+  const bool will_wait =
+      !queue_.empty() || (options_.max_inflight_total != 0 &&
+                          inflight_ >= options_.max_inflight_total);
+  if (will_wait) metrics_.inc("queued_writes");
+  queue_.push_back(std::move(p));
+  pump();
+}
+
+void RoutingClient::pump() {
+  // Completion callbacks run user code that may submit more writes, and
+  // dispatch itself can complete synchronously on some failure paths —
+  // the pumping_/repump_ pair collapses those reentrant pump() calls
+  // into one more pass of the outer loop (same shape as the inner
+  // client's pump_pipeline).
+  if (pumping_) {
+    repump_ = true;
+    return;
+  }
+  pumping_ = true;
+  do {
+    repump_ = false;
+    while (!queue_.empty() && (options_.max_inflight_total == 0 ||
+                               inflight_ < options_.max_inflight_total)) {
+      Pending p = std::move(queue_.front());
+      queue_.pop_front();
+      ++inflight_;
+      if (inflight_ > inflight_peak_) {
+        metrics_.inc("inflight_peak", inflight_ - inflight_peak_);
+        inflight_peak_ = inflight_;
+      }
+      dispatch(std::move(p));
+    }
+  } while (repump_);
+  pumping_ = false;
+}
+
+void RoutingClient::dispatch(Pending p) {
+  const std::uint32_t s = map_.shard_of(p.object);
+  metrics_.inc("writes");
+  if (s < shard_writes_.size()) shard_writes_[s]->inc();
+  const sim::Time started = p.started;
+  clients_[s]->submit_write(
+      p.object, std::move(p.value),
+      [this, started,
+       cb = std::move(p.cb)](Result<core::Client::WriteResult> result) {
+        if (inflight_ > 0) --inflight_;
+        if (write_total_ != nullptr) {
+          write_total_->add(static_cast<double>(sim_.now() - started) /
+                            sim::kMillisecond);
+        }
+        // The callback may submit more writes; the freed slot is already
+        // visible to it, and pump() below drains whatever queued.
+        cb(std::move(result));
+        pump();
+      });
+}
+
+}  // namespace bftbc::shard

@@ -1,0 +1,66 @@
+// Static-hash partitioning of the object keyspace across independent
+// 3f+1 replica groups ("shards").
+//
+// The paper's protocol is strictly per-object — prepare lists, optlists,
+// write certificates, and the BFT-linearizability argument all quantify
+// over one object at a time — so partitioning objects across disjoint
+// replica groups composes with its correctness proof: each group runs an
+// unmodified BFT-BC instance over its slice of the keyspace, and no
+// certificate is ever presented outside the group that minted it.
+//
+// Everything that must agree on the object→shard assignment (sim harness,
+// RoutingClient, bftbcd, bftbc_bench, the checker's history splitter)
+// routes through this one header. The assignment is a pure function of
+// (object id, shard count): a splitmix64 finalizer scrambles the id so
+// sequential object ids spread evenly, then reduces mod S. Changing S
+// reshuffles assignments — static sharding, no re-balancing story yet.
+//
+// Key material: each shard owns an independent crypto::Keystore seeded
+// with shard_key_seed(base, s). Shard 0 keeps the base seed byte for
+// byte, so a one-shard deployment is bit-compatible with the pre-shard
+// layout (same keys, same wire bytes). Replica ids inside a group stay
+// 0..n-1 — principal ids, certificates, and quorum math are all
+// group-local.
+#pragma once
+
+#include <cstdint>
+
+#include "quorum/statements.h"
+
+namespace bftbc::shard {
+
+// splitmix64 finalizer (Steele et al.): bijective, cheap, and good
+// avalanche — exactly what a static hash partitioner needs.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Keystore seed for shard s; shard 0 == base (single-shard back-compat).
+inline std::uint64_t shard_key_seed(std::uint64_t base, std::uint32_t s) {
+  return s == 0 ? base : base + mix64(s) + s;
+}
+
+class ShardMap {
+ public:
+  explicit ShardMap(std::uint32_t shards = 1)
+      : shards_(shards == 0 ? 1 : shards) {}
+
+  std::uint32_t shards() const { return shards_; }
+
+  std::uint32_t shard_of(quorum::ObjectId object) const {
+    if (shards_ == 1) return 0;
+    return static_cast<std::uint32_t>(mix64(object) % shards_);
+  }
+
+  friend bool operator==(const ShardMap& a, const ShardMap& b) {
+    return a.shards_ == b.shards_;
+  }
+
+ private:
+  std::uint32_t shards_;
+};
+
+}  // namespace bftbc::shard

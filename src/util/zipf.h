@@ -1,0 +1,64 @@
+// Zipfian key-popularity generator (YCSB's ZipfianGenerator shape).
+//
+// Benchmarks that touch every key uniformly hide the behavior sharding
+// and the per-replica object cache actually face: a few hot objects
+// soaking up most of the traffic while a long tail stays cold. The
+// classic skewed workload is Zipf: P(rank k) ∝ 1 / k^theta over n keys.
+// theta=0.99 is the YCSB default ("zipfian constant"); theta→0
+// degenerates to uniform.
+//
+// Sampling uses the rejection-free inversion of Gray et al. ("Quickly
+// Generating Billion-Record Synthetic Databases", SIGMOD '94) — the same
+// closed form YCSB implements: O(1) per sample after an O(n) harmonic
+// precomputation at construction. Ranks come out 0-based with rank 0
+// the most popular; callers map rank→object id (often through a
+// scramble) themselves.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace bftbc {
+
+class ZipfGenerator {
+ public:
+  // n >= 1 keys, skew theta in [0, 1). theta == 0 is uniform.
+  ZipfGenerator(std::uint64_t n, double theta)
+      : n_(n == 0 ? 1 : n), theta_(theta) {
+    for (std::uint64_t i = 1; i <= n_; ++i) {
+      zetan_ += 1.0 / std::pow(static_cast<double>(i), theta_);
+      if (i == 2) zeta2_ = zetan_;
+    }
+    if (n_ == 1) zeta2_ = zetan_;
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  std::uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+  // 0-based rank; rank 0 is the hottest key.
+  std::uint64_t next(Rng& rng) const {
+    const double u = rng.next_double();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    const auto rank = static_cast<std::uint64_t>(
+        static_cast<double>(n_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return rank >= n_ ? n_ - 1 : rank;
+  }
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  double zetan_ = 0.0;
+  double zeta2_ = 0.0;
+  double alpha_ = 0.0;
+  double eta_ = 0.0;
+};
+
+}  // namespace bftbc

@@ -115,6 +115,12 @@ TEST(ScenarioTest, FromJsonRejectsOutOfRangeConfigs) {
   EXPECT_TRUE(Scenario::from_json(base).has_value());
   EXPECT_FALSE(Scenario::from_json("{\"f\": 9}").has_value());
   EXPECT_FALSE(Scenario::from_json("{\"f\": 1, \"objects\": 0}").has_value());
+  EXPECT_FALSE(
+      Scenario::from_json("{\"f\": 1, \"objects\": 1, \"shards\": 9}")
+          .has_value());
+  EXPECT_FALSE(
+      Scenario::from_json("{\"f\": 1, \"objects\": 1, \"shards\": 0}")
+          .has_value());
   EXPECT_FALSE(Scenario::from_json("not json at all").has_value());
   // A byz slot beyond n() must be rejected, not silently dropped.
   EXPECT_FALSE(
@@ -217,6 +223,66 @@ TEST(ExplorerTest, ViolationShrinksToReplayableScenarioWithinBudget) {
   const RunOutcome replayed = explorer.run_scenario(*reloaded);
   ASSERT_TRUE(replayed.failed());
   EXPECT_EQ(Explorer::failure_class(replayed.failure), "safety");
+}
+
+TEST(ExplorerTest, MultiShardScenarioYieldsPerShardVerdicts) {
+  // A clean two-shard run: workload + an in-bound lurking attack on the
+  // attack object's home shard. The outcome must carry one verdict per
+  // shard, all "ok", and pass overall.
+  Scenario s;
+  s.seed = 11;
+  s.f = 1;
+  s.mode = Mode::kOptimized;
+  s.shards = 2;
+  s.objects = 4;
+  ClientPlan seq;
+  seq.id = 1;
+  seq.ops = 4;
+  ClientPlan piped;
+  piped.id = 2;
+  piped.ops = 4;
+  piped.pipelined = true;
+  piped.window = 2;
+  s.clients = {seq, piped};
+  AttackPlan attack;
+  attack.kind = AttackKind::kLurkingStash;
+  attack.id = 66;
+  attack.object = 1;
+  attack.goal = 1;
+  attack.collude_replay = true;
+  s.attacks = {attack};
+
+  Explorer explorer(ExplorerOptions{});
+  const RunOutcome outcome = explorer.run_scenario(s);
+  EXPECT_TRUE(outcome.completed);
+  EXPECT_FALSE(outcome.failed()) << outcome.failure;
+  ASSERT_EQ(outcome.shard_verdicts.size(), 2u);
+  for (const auto& verdict : outcome.shard_verdicts) {
+    EXPECT_EQ(verdict, "ok");
+  }
+  EXPECT_GT(outcome.history_ops, 0u);
+}
+
+TEST(ExplorerTest, MultiShardViolationNamesTheGuiltyShard) {
+  // The weakened-cartel violation, run under two shards: the per-shard
+  // checker must flag exactly the attack object's home group, and the
+  // failure string must say which.
+  Scenario s = weakened_scenario();
+  s.shards = 2;
+  s.objects = 2;
+  Explorer explorer(ExplorerOptions{});
+  const RunOutcome outcome = explorer.run_scenario(s);
+  EXPECT_TRUE(outcome.completed);
+  ASSERT_TRUE(outcome.failed());
+  EXPECT_EQ(Explorer::failure_class(outcome.failure), "safety");
+  EXPECT_NE(outcome.failure.find("shard"), std::string::npos)
+      << outcome.failure;
+  ASSERT_EQ(outcome.shard_verdicts.size(), 2u);
+  int bad = 0;
+  for (const auto& verdict : outcome.shard_verdicts) {
+    if (verdict != "ok") ++bad;
+  }
+  EXPECT_EQ(bad, 1);
 }
 
 TEST(ExplorerTest, ModeBoundsAreEnforcedPerMode) {

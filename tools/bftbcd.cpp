@@ -42,6 +42,8 @@ int main(int argc, char** argv) {
       flags.add_string("config", "", "path to the cluster JSON file");
   auto& replica_id =
       flags.add_int("replica", -1, "this replica's index (0..3f)");
+  auto& shard_id = flags.add_int(
+      "shard", 0, "this replica's shard group (multi-shard configs)");
   auto& force_poll =
       flags.add_bool("force-poll", false, "use poll() even where epoll exists");
   auto& verify_threads = flags.add_int(
@@ -68,9 +70,17 @@ int main(int argc, char** argv) {
                  static_cast<int>(*replica_id), quorum.n);
     return 2;
   }
+  const auto shard = static_cast<std::uint32_t>(*shard_id);
+  if (*shard_id < 0 || shard >= cluster.shard_count()) {
+    std::fprintf(stderr, "bftbcd: --shard %d out of range (%u shards)\n",
+                 static_cast<int>(*shard_id), cluster.shard_count());
+    return 2;
+  }
 
-  crypto::Keystore keystore(cluster.signature_scheme(), cluster.key_seed,
-                            cluster.rsa_bits);
+  // The keystore seed is shard-local: this group's certificates can
+  // never validate in another group (and vice versa).
+  crypto::Keystore keystore(cluster.signature_scheme(),
+                            cluster.shard_seed(shard), cluster.rsa_bits);
   net::register_cluster_principals(cluster, keystore);
 
   // Optional verification pool: batch verifies fan out across workers
@@ -84,7 +94,7 @@ int main(int argc, char** argv) {
   }
 
   net::EventLoop loop(*force_poll);
-  auto peers = net::replica_endpoints(cluster);
+  auto peers = net::replica_endpoints(cluster, shard);
   if (!peers.is_ok()) {
     std::fprintf(stderr, "bftbcd: %s\n", peers.status().message().c_str());
     return 2;
@@ -115,8 +125,9 @@ int main(int argc, char** argv) {
   };
   loop.schedule(50 * sim::kMillisecond, poll_stop);
 
-  std::printf("bftbcd: replica %u (%s mode, %s auth, %s) listening on %s\n", r,
-              cluster.mode.c_str(), cluster.auth.c_str(),
+  std::printf("bftbcd: shard %u replica %u (%s mode, %s auth, %s) "
+              "listening on %s\n",
+              shard, r, cluster.mode.c_str(), cluster.auth.c_str(),
               cluster.scheme.c_str(), bind_to.to_string().c_str());
   std::fflush(stdout);  // readiness marker for scripts tailing the log
 
