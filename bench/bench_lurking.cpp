@@ -141,7 +141,7 @@ CartelResult run_cartel(bool strong, int cartel_size, int overwrites,
         cluster.sim(), cluster.replica_nodes(), cluster.rng().split()));
     std::optional<faults::LurkingWriteStasher::Outcome> out;
     cartel.back()->attack_chained(
-        1, justification, wcert,
+        1, justification, wcert, /*goal=*/1,
         [&](faults::LurkingWriteStasher::Outcome o) { out = std::move(o); });
     cluster.run_until([&] { return out.has_value(); });
     if (out->stashed.empty()) break;  // the chain died (strong variant)

@@ -387,4 +387,42 @@ std::optional<ReplyBatch> ReplyBatch::decode(BytesView b) {
   return m;
 }
 
+// --------------------------------------------------------- STATE-XFER
+
+Bytes StateXferRequest::encode() const {
+  Writer w;
+  w.put_u64(object);
+  nonce.encode(w);
+  return std::move(w).take();
+}
+
+std::optional<StateXferRequest> StateXferRequest::decode(BytesView b) {
+  Reader r(b);
+  StateXferRequest m;
+  m.object = r.get_u64();
+  m.nonce = crypto::Nonce::decode(r);
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+Bytes StateXferReply::encode() const {
+  Writer w;
+  w.put_u64(object);
+  nonce.encode(w);
+  w.put_bytes(state);
+  w.put_u32(replica);
+  return std::move(w).take();
+}
+
+std::optional<StateXferReply> StateXferReply::decode(BytesView b) {
+  Reader r(b);
+  StateXferReply m;
+  m.object = r.get_u64();
+  m.nonce = crypto::Nonce::decode(r);
+  m.state = r.get_bytes();
+  m.replica = r.get_u32();
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
 }  // namespace bftbc::core

@@ -222,6 +222,38 @@ struct ReplyBatch {
 };
 
 // ---------------------------------------------------------------------
+// Crash recovery: 〈STATE-XFER, object, nonce〉 (unauthenticated request)
+//
+// A restarting replica rebuilds each object's state from its peers.
+// Like READ, the request needs no signature: replies are self-verifying
+// — the interesting content is a prepare certificate the recovering
+// replica validates itself, and prepare-list entries are only adopted
+// when they appear in a quorum's worth of replies (Lemma 1: any
+// certified prepare is held by at least f+1 correct replicas, so it
+// shows up in any 2f+1 replies).
+
+struct StateXferRequest {
+  ObjectId object = 0;
+  crypto::Nonce nonce;
+
+  Bytes encode() const;
+  static std::optional<StateXferRequest> decode(BytesView b);
+};
+
+// Reply carrying the replica's full serialized ObjectState (value,
+// Pcert, both prepare lists, last write ts) as an opaque blob the
+// recovering replica decodes and cross-validates against the quorum.
+struct StateXferReply {
+  ObjectId object = 0;
+  crypto::Nonce nonce;
+  Bytes state;  // ObjectState::encode blob
+  ReplicaId replica = 0;
+
+  Bytes encode() const;
+  static std::optional<StateXferReply> decode(BytesView b);
+};
+
+// ---------------------------------------------------------------------
 // Helpers shared by encode/decode implementations.
 
 void encode_optional_wcert(Writer& w, const std::optional<WriteCertificate>& c);

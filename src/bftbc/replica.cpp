@@ -333,6 +333,18 @@ const ObjectState* Replica::find_object(ObjectId id) const {
 }
 
 void Replica::on_envelope(sim::NodeId from, const rpc::Envelope& env) {
+  // A recovering replica must not serve the client protocol: granting a
+  // prepare before its prepare lists are rebuilt could conflict with a
+  // forgotten entry (the Lemma 1 memory recovery exists to restore).
+  // State-transfer traffic still flows — serving snapshots to OTHER
+  // recovering peers is safe (its snapshot is merely conservative), and
+  // its own recovery replies must get through. Clients retransmit, so a
+  // dropped request costs latency, not liveness.
+  if (!recovery_calls_.empty() && env.type != rpc::MsgType::kStateXfer &&
+      env.type != rpc::MsgType::kStateXferReply) {
+    dropped("drop_recovering");
+    return;
+  }
   switch (env.type) {
     case rpc::MsgType::kReadTs:
       handle_read_ts(from, env);
@@ -348,6 +360,12 @@ void Replica::on_envelope(sim::NodeId from, const rpc::Envelope& env) {
       break;
     case rpc::MsgType::kReadTsPrep:
       if (options_.optimized) handle_read_ts_prep(from, env);
+      break;
+    case rpc::MsgType::kStateXfer:
+      handle_state_xfer(from, env);
+      break;
+    case rpc::MsgType::kStateXferReply:
+      route_recovery_reply(from, env);
       break;
     default:
       dropped("drop_unknown_type");
@@ -605,10 +623,17 @@ void Replica::handle_write(sim::NodeId from, const rpc::Envelope& env) {
     return;
   }
 
-  // Step 2 (+ §6.2 tiebreak in optimized mode).
+  // Step 2 (+ §6.2 tiebreak in optimized mode). An equal-timestamp
+  // overwrite means the larger-hash tiebreak actually decided — only a
+  // Byzantine client can produce two certified values at one timestamp,
+  // so the counter doubles as a coverage signal for the explorer.
+  const bool tiebreak = options_.optimized &&
+                        req->prep_cert.ts() == state.pcert().ts() &&
+                        !state.pcert().is_genesis();
   const bool overwrote =
       state.apply_write(req->value, req->prep_cert, options_.optimized);
   if (overwrote) metrics_.inc("state_overwritten");
+  if (overwrote && tiebreak) metrics_.inc("opt_tiebreak_overwrite");
 
   // Step 3.
   WriteReply rep;
@@ -660,6 +685,139 @@ void Replica::handle_read(sim::NodeId from, const rpc::Envelope& env) {
 
   granted("reply_read");
   reply(from, rpc::MsgType::kReadReply, env.rpc_id, rep.encode(), cost);
+}
+
+// ----------------------------------- crash recovery (state transfer)
+
+void Replica::handle_state_xfer(sim::NodeId from, const rpc::Envelope& env) {
+  auto req = StateXferRequest::decode(env.body);
+  if (!req.has_value()) {
+    dropped("drop_malformed");
+    return;
+  }
+  ObjectState& state = object(req->object);
+
+  StateXferReply rep;
+  rep.object = req->object;
+  rep.nonce = req->nonce;
+  Writer w;
+  state.encode(w);
+  rep.state = std::move(w).take();
+  rep.replica = id_;
+
+  // No crypto cost: the snapshot is validated by the requester (the
+  // certificate inside is the proof), not vouched for by this carrier.
+  granted("reply_state_xfer");
+  reply(from, rpc::MsgType::kStateXferReply, env.rpc_id, rep.encode(), 0);
+}
+
+void Replica::route_recovery_reply(sim::NodeId from, const rpc::Envelope& env) {
+  // No QuorumCall frame is active on entry, so parked calls can die now
+  // (same lifetime pattern as Client::retired_calls_).
+  retired_recovery_calls_.clear();
+  for (auto& [rpc_id, rc] : recovery_calls_) {
+    if (rc.call && rc.call->on_reply(from, env)) return;
+  }
+  metrics_.inc("state_xfer_reply_stray");
+}
+
+void Replica::begin_recovery(const std::vector<ObjectId>& objects,
+                             std::vector<sim::NodeId> peer_nodes,
+                             RecoveryDone on_done) {
+  recovery_done_ = std::move(on_done);
+  if (objects.empty()) {
+    if (recovery_done_) {
+      RecoveryDone done = std::move(recovery_done_);
+      recovery_done_ = nullptr;
+      done();
+    }
+    return;
+  }
+  for (ObjectId obj : objects) {
+    const std::uint64_t rpc_id = next_recovery_rpc_++;
+    RecoveryCall& rc = recovery_calls_[rpc_id];
+    rc.object = obj;
+    rc.nonce =
+        crypto::Nonce{quorum::replica_principal(id_), rpc_id, /*random=*/0};
+
+    StateXferRequest req;
+    req.object = obj;
+    req.nonce = rc.nonce;
+    rpc::Envelope env;
+    env.type = rpc::MsgType::kStateXfer;
+    env.rpc_id = rpc_id;
+    env.sender = quorum::replica_principal(id_);
+    env.body = req.encode();
+
+    auto validator = [this, rpc_id](std::uint32_t idx,
+                                    const rpc::Envelope& rep_env) {
+      auto it = recovery_calls_.find(rpc_id);
+      if (it == recovery_calls_.end()) return false;
+      RecoveryCall& call = it->second;
+      auto rep = StateXferReply::decode(rep_env.body);
+      if (!rep.has_value() || rep->object != call.object ||
+          rep->nonce != call.nonce) {
+        metrics_.inc("state_xfer_reply_invalid");
+        return false;
+      }
+      Reader r(rep->state);
+      std::optional<ObjectState> snap = ObjectState::decode(r);
+      if (!snap.has_value() || !r.done() || snap->object() != call.object ||
+          snap->pcert().object() != call.object) {
+        metrics_.inc("state_xfer_reply_invalid");
+        return false;
+      }
+      // The snapshot's certificate is the proof of its value: a genesis
+      // cert must carry the empty value, anything else must validate
+      // and cover the value's hash. List entries need no proof here —
+      // ObjectState::recover only lets them make this replica refuse
+      // conservatively.
+      if (snap->pcert().is_genesis()) {
+        if (!snap->data().empty()) {
+          metrics_.inc("state_xfer_reply_invalid");
+          return false;
+        }
+      } else {
+        if (!snap->pcert().validate(config_, keystore_).is_ok() ||
+            crypto::compare_digests(crypto::sha256(snap->data()),
+                                    snap->pcert().hash()) != 0) {
+          metrics_.inc("state_xfer_reply_invalid");
+          return false;
+        }
+      }
+      call.snapshots.emplace(idx, std::move(*snap));
+      return true;
+    };
+
+    auto on_complete = [this, rpc_id]() {
+      auto it = recovery_calls_.find(rpc_id);
+      if (it == recovery_calls_.end()) return;
+      RecoveryCall& call = it->second;
+      std::vector<ObjectState> snaps;
+      snaps.reserve(call.snapshots.size());
+      for (auto& [idx, s] : call.snapshots) snaps.push_back(std::move(s));
+      const ObjectId obj = call.object;
+      ObjectState rebuilt = ObjectState::recover(obj, snaps, config_.f);
+      objects_.insert_or_assign(obj, std::move(rebuilt));
+      cold_store_.erase(obj);
+      touch_lru(obj);
+      enforce_resident_cap(obj);
+      metrics_.inc("state_recovered_objects");
+      // Park the finished call: we are inside its on_reply frame.
+      retired_recovery_calls_.push_back(std::move(call.call));
+      recovery_calls_.erase(it);
+      if (recovery_calls_.empty() && recovery_done_) {
+        RecoveryDone done = std::move(recovery_done_);
+        recovery_done_ = nullptr;
+        done();
+      }
+    };
+
+    metrics_.inc("state_xfer_sent");
+    rc.call = std::make_unique<rpc::QuorumCall>(
+        sim_, transport_, peer_nodes, config_.q, std::move(env),
+        std::move(validator), std::move(on_complete));
+  }
 }
 
 // ------------------------------------------------ optimized phase 1 (§6.2)

@@ -21,15 +21,18 @@
 // foreground signing cost — the ablation bench E8 flips this flag.
 #pragma once
 
+#include <functional>
 #include <list>
 #include <map>
 #include <memory>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "bftbc/messages.h"
 #include "bftbc/replica_state.h"
 #include "metrics/registry.h"
+#include "rpc/quorum_call.h"
 #include "rpc/transport.h"
 #include "sim/simulator.h"
 #include "util/stats.h"
@@ -120,6 +123,22 @@ class Replica {
   std::size_t resident_objects() const { return objects_.size(); }
   std::size_t evicted_objects() const { return cold_store_.size(); }
 
+  // Crash recovery: rebuild the named objects' state from a quorum of
+  // peer replicas via STATE-XFER. One QuorumCall per object runs
+  // concurrently (20ms retransmits, no deadline — recovery is live as
+  // soon as 2f+1 peers are reachable, like any client phase). Replies
+  // are self-verifying: each snapshot's prepare certificate must
+  // validate and cover the value hash before it counts, and the
+  // adopted state is the Byzantine-tolerant merge of 2f+1 valid
+  // snapshots (ObjectState::recover). `on_done` fires once every
+  // object is installed. Counters: "state_xfer_sent",
+  // "state_xfer_reply_invalid", "state_recovered_objects".
+  using RecoveryDone = std::function<void()>;
+  void begin_recovery(const std::vector<ObjectId>& objects,
+                      std::vector<sim::NodeId> peer_nodes,
+                      RecoveryDone on_done = nullptr);
+  bool recovering() const { return !recovery_calls_.empty(); }
+
   // Counters: replies/drops per message kind, signature accounting
   // ("sig_foreground", "sig_background", "auth_p2p", "verify_*"), drop
   // reasons ("drop_bad_auth", "drop_bad_cert", "drop_bad_ts",
@@ -175,6 +194,14 @@ class Replica {
   void handle_write(sim::NodeId from, const rpc::Envelope& env);
   void handle_read(sim::NodeId from, const rpc::Envelope& env);
   void handle_read_ts_prep(sim::NodeId from, const rpc::Envelope& env);
+
+  // Recovery peer side: serve this replica's serialized ObjectState.
+  // Unauthenticated like READ — the snapshot is validated by the
+  // requester, not vouched for by the carrier.
+  void handle_state_xfer(sim::NodeId from, const rpc::Envelope& env);
+  // Recovery requester side: route a STATE-XFER-REPLY into the matching
+  // in-flight recovery call.
+  void route_recovery_reply(sim::NodeId from, const rpc::Envelope& env);
 
   // Sends a reply after the virtual-time cost accumulated while handling
   // the request (signature/verification charges). Virtual so Byzantine
@@ -280,6 +307,23 @@ class Replica {
   // which this replica's CPU frees up; each costed reply starts no
   // earlier.
   sim::Time busy_until_ = 0;
+
+  // Crash-recovery state-transfer session: one in-flight QuorumCall per
+  // object being rebuilt, keyed by rpc id. Snapshots are kept per
+  // target index so the merge sees them in replica order regardless of
+  // reply arrival order (determinism).
+  struct RecoveryCall {
+    ObjectId object = 0;
+    crypto::Nonce nonce;
+    std::map<std::uint32_t, ObjectState> snapshots;
+    std::unique_ptr<rpc::QuorumCall> call;
+  };
+  std::map<std::uint64_t, RecoveryCall> recovery_calls_;
+  // Finished calls park here until no QuorumCall frame is on the stack
+  // (same pattern as Client::retired_calls_).
+  std::vector<std::unique_ptr<rpc::QuorumCall>> retired_recovery_calls_;
+  std::uint64_t next_recovery_rpc_ = 1;
+  RecoveryDone recovery_done_;
 
   // Pre-resolved registry handles (all null without options.registry).
   metrics::Counter* grants_ = nullptr;

@@ -1,5 +1,7 @@
 #include "bftbc/replica_state.h"
 
+#include <algorithm>
+
 namespace bftbc::core {
 
 std::size_t ObjectState::absorb_write_certificate(const Timestamp& wcert_ts) {
@@ -141,6 +143,33 @@ std::optional<ObjectState> ObjectState::decode(Reader& r) {
   state.write_ts_ = Timestamp::decode(r);
   if (!r.ok()) return std::nullopt;
   return state;
+}
+
+ObjectState ObjectState::recover(ObjectId object,
+                                 const std::vector<ObjectState>& peers,
+                                 std::uint32_t f) {
+  ObjectState out(object);
+  for (const ObjectState& p : peers) {
+    if (p.pcert_.ts() > out.pcert_.ts()) {
+      out.pcert_ = p.pcert_;
+      out.data_ = p.data_;
+    }
+  }
+  for (const ObjectState& p : peers) {
+    for (const auto& [c, entry] : p.plist_) out.plist_.emplace(c, entry);
+    for (const auto& [c, entry] : p.optlist_) out.optlist_.emplace(c, entry);
+  }
+  std::vector<Timestamp> claims;
+  claims.reserve(peers.size());
+  for (const ObjectState& p : peers) claims.push_back(p.write_ts_);
+  std::sort(claims.begin(), claims.end(),
+            [](const Timestamp& a, const Timestamp& b) { return b < a; });
+  if (claims.size() > f) {
+    // absorb also GCs entries at or below the adopted frontier, exactly
+    // as a live write certificate would have.
+    (void)out.absorb_write_certificate(claims[f]);
+  }
+  return out;
 }
 
 std::size_t ObjectState::state_bytes() const {

@@ -14,6 +14,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "crypto/sha256.h"
 #include "quorum/certificate.h"
@@ -93,6 +94,27 @@ class ObjectState {
   // survive: a lurking prepare must not vanish with an eviction).
   void encode(Writer& w) const;
   static std::optional<ObjectState> decode(Reader& r);
+
+  // Crash recovery (state transfer): rebuild one object's state from a
+  // quorum of peer snapshots whose prepare certificates the CALLER has
+  // already validated (cert verifies, object matches, hash covers the
+  // value). The merge is Byzantine-tolerant by one-sidedness:
+  //   - value + pcert: highest validated certificate wins — a faulty
+  //     peer cannot fabricate a cert, only withhold a recent one, and
+  //     withholding loses to any honest peer's higher cert.
+  //   - prepare lists: UNION of all snapshots, first claim per client
+  //     in `peers` order (pass snapshots in replica-index order for
+  //     determinism). Lemma 1 only guarantees a certified prepare
+  //     appears in ≥1 of any 2f+1 snapshots, so any threshold above 1
+  //     forgets real prepares and breaks the lurking-write bound;
+  //     fabricated entries merely make this replica refuse
+  //     conservatively, which is safe.
+  //   - write_ts: the (f+1)-th largest claim — at least one correct
+  //     peer vouches for it, so the GC it triggers cannot erase a
+  //     prepare that is still below the true completed-write frontier.
+  static ObjectState recover(ObjectId object,
+                             const std::vector<ObjectState>& peers,
+                             std::uint32_t f);
 
  private:
   // Shared step-3/4 logic for one list.

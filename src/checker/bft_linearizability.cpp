@@ -20,6 +20,18 @@ std::string op_desc(const Operation& op) {
 
 }  // namespace
 
+CheckResult::NearMiss CheckResult::near_misses(int max_b, int k) const {
+  NearMiss nm;
+  for (const auto& [c, info] : lurking) {
+    if (info.count == max_b) ++nm.at_lurking_bound;
+    if (info.count > 0 && info.count == max_b - 1) ++nm.near_lurking_bound;
+    if (info.count > 0 && info.overwrites_before_last_surface == k - 1) {
+      ++nm.at_masking_bound;
+    }
+  }
+  return nm;
+}
+
 std::string CheckResult::summary() const {
   std::ostringstream ss;
   ss << (linearizable ? "linearizable" : "NOT-LINEARIZABLE")
@@ -150,16 +162,41 @@ CheckResult check_bft_linearizability(const History& history,
 
     // §7 metric, per object: overwrite masking only works through writes
     // to the SAME object (a write to another object cannot invalidate a
-    // prepared lurking write). For each lurking version, count the
+    // prepared lurking write). The bound is on CONSECUTIVE overwrites —
+    // each invoked after the previous responded — because only a write
+    // that observed its predecessor's certificate is guaranteed to chain
+    // past a lurking timestamp. Two concurrent writes justified by the
+    // same certificate land on the same timestamp value and advance the
+    // frontier once; a faulty client's stash at that value with a higher
+    // id tiebreak legitimately outlives both. So for each lurking
+    // version, take the longest real-time chain of non-overlapping
     // correct-client writes to its object completed in (stop, first
-    // surface); report the worst case.
+    // surface); report the worst case. The first link must itself be
+    // invoked after the stop: by then the stash's justifying certificate
+    // is installed at a full quorum, so a post-stop chain of k=2 writes
+    // provably passes the stash's value — a pre-stop straggler carries
+    // no such guarantee (it may have read an older certificate). The
+    // chain length is the classic activity-selection maximum: greedy by
+    // earliest response.
     for (const auto& [object, v] : lurkers) {
       const sim::Time surfaced_at = first_after[object][v];
-      int overwrites = 0;
+      std::vector<const Operation*> window;
       for (const auto& op : ops) {
         if (op.kind == OpKind::kWrite && op.object == object &&
             op.responded >= stop.at && op.responded < surfaced_at) {
+          window.push_back(&op);
+        }
+      }
+      std::sort(window.begin(), window.end(),
+                [](const Operation* a, const Operation* b) {
+                  return a->responded < b->responded;
+                });
+      int overwrites = 0;
+      sim::Time frontier = stop.at;
+      for (const Operation* op : window) {
+        if (op->invoked >= frontier) {
           ++overwrites;
+          frontier = op->responded;
         }
       }
       info.overwrites_before_last_surface =

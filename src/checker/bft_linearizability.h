@@ -39,9 +39,13 @@ namespace bftbc::checker {
 
 struct LurkingInfo {
   int count = 0;  // distinct lurking versions (Definition 1's |{o ∈ h2}|)
-  // Number of correct-client writes that had completed after the stop at
-  // the moment the LAST lurking version surfaced. The §7 variant bounds
-  // this by a constant; the plain protocols do not.
+  // Longest chain of CONSECUTIVE correct-client overwrites — each
+  // invoked after the previous responded, the first invoked after the
+  // stop — completed before the LAST lurking version surfaced. The §7
+  // variant bounds this by a constant; the plain protocols do not.
+  // Concurrent writes justified by the same certificate are one chain
+  // link at most: they advance the version frontier once, so a lurking
+  // timestamp winning their id tiebreak is legitimate, not masking.
   int overwrites_before_last_surface = 0;
   std::vector<Version> versions;
 };
@@ -79,6 +83,18 @@ struct CheckResult {
     for (const auto& [c, info] : lurking) m = std::max(m, info.count);
     return m;
   }
+
+  // Coverage signals for the explorer: how close the run came to the
+  // mode's bounds WITHOUT crossing them. A run that pushes a bound to
+  // the brink exercises protocol machinery a quiet run never touches,
+  // so the fuzzer treats these as novelty even when the verdict is ok.
+  struct NearMiss {
+    int at_lurking_bound = 0;    // stopped clients with count == max_b
+    int near_lurking_bound = 0;  // count == max_b - 1 (and > 0)
+    int at_masking_bound = 0;    // lurkers that surfaced at exactly k-1
+                                 // same-object overwrites (§7 brink)
+  };
+  [[nodiscard]] NearMiss near_misses(int max_b, int k) const;
 
   std::string summary() const;
 };

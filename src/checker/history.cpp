@@ -62,6 +62,31 @@ void History::record_stop(ClientId client, sim::Time now) {
   stops_.push_back(StopEvent{client, now});
 }
 
+void History::record_crash(std::uint32_t replica, sim::Time at,
+                           sim::Time restarted_at) {
+  crashes_.push_back(CrashEvent{replica, at, restarted_at});
+}
+
+std::size_t History::ops_spanning_crashes() const {
+  std::size_t spanning = 0;
+  for (const Operation& op : ops_) {
+    for (const CrashEvent& c : crashes_) {
+      // Downtime is [c.at, end), end = restart time or forever. The op
+      // interval is closed: an op that responds exactly at the crash
+      // instant, or is invoked exactly at the restart instant, does NOT
+      // overlap the downtime.
+      const bool ends_before = op.responded <= c.at;
+      const bool starts_after =
+          c.restarted_at != 0 && op.invoked >= c.restarted_at;
+      if (!ends_before && !starts_after) {
+        ++spanning;
+        break;
+      }
+    }
+  }
+  return spanning;
+}
+
 std::set<ClientId> History::stopped_clients() const {
   std::set<ClientId> out;
   for (const auto& s : stops_) out.insert(s.client);
@@ -78,6 +103,11 @@ std::vector<History> split_history(
   }
   for (const StopEvent& stop : h.stops()) {
     for (History& part : out) part.record_stop(stop.client, stop.at);
+  }
+  for (const CrashEvent& crash : h.crashes()) {
+    for (History& part : out) {
+      part.record_crash(crash.replica, crash.at, crash.restarted_at);
+    }
   }
   return out;
 }

@@ -64,6 +64,18 @@ struct StopEvent {
   sim::Time at = 0;
 };
 
+// A replica crash/restart interval. The correctness condition is
+// OBLIVIOUS to these — BFT-linearizability must hold through any ≤ f
+// replica failures — so the checker's verdict never consults them; they
+// ride on the history so a failure report names the fault schedule the
+// run survived (or didn't), and so the explorer can treat "ops in
+// flight across a restart" as a coverage signal.
+struct CrashEvent {
+  std::uint32_t replica = 0;       // harness NodeId of the crashed replica
+  sim::Time at = 0;
+  sim::Time restarted_at = 0;      // 0 = crashed for the rest of the run
+};
+
 class History {
  public:
   // Begin an operation; returns a token to close it with.
@@ -80,6 +92,17 @@ class History {
   // Record that `client` (a faulty one) stopped at `now`.
   void record_stop(ClientId client, sim::Time now);
 
+  // Record a replica crash/restart interval (restarted_at = 0 if it
+  // never came back). Metadata only — see CrashEvent.
+  void record_crash(std::uint32_t replica, sim::Time at,
+                    sim::Time restarted_at);
+
+  // Completed ops whose [invoked, responded] interval overlaps the
+  // [at, restarted_at] downtime of at least one crash — the in-flight-
+  // across-a-restart population (coverage signal; boundary cases are
+  // pinned in checker_test).
+  std::size_t ops_spanning_crashes() const;
+
   // Appends an already-completed operation verbatim (used when splitting
   // or merging histories; normal recording goes through begin_*/end_*).
   void add_completed(Operation op) { ops_.push_back(std::move(op)); }
@@ -87,6 +110,7 @@ class History {
   // Completed operations in completion order.
   const std::vector<Operation>& operations() const { return ops_; }
   const std::vector<StopEvent>& stops() const { return stops_; }
+  const std::vector<CrashEvent>& crashes() const { return crashes_; }
 
   // Clients that appear in a stop event.
   std::set<ClientId> stopped_clients() const;
@@ -101,14 +125,16 @@ class History {
   std::vector<Pending> pending_;
   std::vector<Operation> ops_;
   std::vector<StopEvent> stops_;
+  std::vector<CrashEvent> crashes_;
 };
 
 // Partitions a history into `parts` disjoint sub-histories by object
 // ownership: operation ops[i] lands in part part_of(ops[i].object).
 // Stop events are copied into EVERY part — a stopped client is stopped
-// for all objects, wherever they live — so each sub-history is itself a
-// complete verifiable history and the checker's per-part verdicts
-// compose: BFT-BC is per-object end to end, so a sharded deployment is
+// for all objects, wherever they live — and so are crash events (a
+// crashed replica is down for every object its group serves), so each
+// sub-history is itself a complete verifiable history and the checker's
+// per-part verdicts compose: BFT-BC is per-object end to end, so a sharded deployment is
 // BFT-linearizable iff every shard's sub-history is (certificates,
 // prepare lists, and timestamp chains never cross objects, let alone
 // shards). Completion order within each part is preserved.

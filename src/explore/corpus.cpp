@@ -1,0 +1,227 @@
+#include "explore/corpus.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace bftbc::explore {
+
+namespace {
+
+// FNV-1a 64 over the scenario JSON — stable content-addressed filenames
+// so identical entries collide into one file and re-saves are no-ops.
+std::uint64_t fnv1a(const std::string& text) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string hex64(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+}  // namespace
+
+const CorpusEntry& Corpus::pick(Rng& rng) const {
+  // Novelty-weighted lottery (weight = novelty + 1 so replayed seed
+  // entries stay reachable): entries that opened more coverage get
+  // proportionally more mutation attention.
+  std::uint64_t total = 0;
+  for (const CorpusEntry& e : entries_) total += e.novelty + 1;
+  std::uint64_t ticket = rng.next_below(total);
+  for (const CorpusEntry& e : entries_) {
+    const std::uint64_t weight = e.novelty + 1;
+    if (ticket < weight) return e;
+    ticket -= weight;
+  }
+  return entries_.back();
+}
+
+std::vector<CorpusEntry> Corpus::load_dir(const std::string& dir) {
+  std::vector<CorpusEntry> loaded;
+  std::error_code ec;
+  std::vector<std::string> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string path = entry.path().string();
+    if (path.size() < 5 || path.substr(path.size() - 5) != ".json") continue;
+    files.push_back(path);
+  }
+  std::sort(files.begin(), files.end());
+  for (const std::string& path : files) {
+    std::ifstream in(path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::optional<Scenario> s = Scenario::from_json(text.str());
+    if (!s.has_value()) continue;
+    CorpusEntry e;
+    e.scenario = std::move(*s);
+    loaded.push_back(std::move(e));
+  }
+  return loaded;
+}
+
+std::size_t Corpus::save_dir(const std::string& dir) const {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  std::size_t written = 0;
+  for (const CorpusEntry& e : entries_) {
+    const std::string json = e.scenario.to_json();
+    const std::string path = dir + "/" + hex64(fnv1a(json)) + ".json";
+    std::ofstream out(path);
+    if (!out) continue;
+    out << json << "\n";
+    ++written;
+  }
+  return written;
+}
+
+Scenario mutate_scenario(const Scenario& base, const Scenario* donor,
+                         std::uint64_t child_seed) {
+  Rng rng(child_seed ^ 0x6d75746174ULL);  // decorrelate from the run seed
+  Scenario s = base;
+  s.seed = child_seed;
+
+  const int n_mutations = 1 + static_cast<int>(rng.next_below(2));
+  for (int m = 0; m < n_mutations; ++m) {
+    switch (rng.next_below(10)) {
+      case 0: {  // protocol-mode rotation
+        s.mode = static_cast<Mode>((static_cast<int>(s.mode) + 1 +
+                                    static_cast<int>(rng.next_below(2))) %
+                                   3);
+        break;
+      }
+      case 1: {  // auth-mode toggle
+        s.mac_auth = !s.mac_auth;
+        break;
+      }
+      case 2: {  // link adversity profile switch
+        switch (rng.next_below(3)) {
+          case 0: s.loss = 0.0;  s.dup = 0.0;  s.corrupt = 0.0;  break;
+          case 1: s.loss = 0.03; s.dup = 0.03; s.corrupt = 0.01; break;
+          default: s.loss = 0.08; s.dup = 0.05; s.corrupt = 0.02; break;
+        }
+        break;
+      }
+      case 3: {  // workload knob perturbation
+        for (ClientPlan& plan : s.clients) {
+          if (rng.next_bool(0.5)) {
+            plan.ops = 1 + static_cast<std::uint32_t>(rng.next_below(8));
+            if (plan.stop_after_ops >= plan.ops) plan.stop_after_ops = 0;
+          }
+          if (!plan.pipelined && rng.next_bool(0.2) && plan.ops >= 2) {
+            plan.stop_after_ops = plan.ops / 2;
+          }
+        }
+        break;
+      }
+      case 4: {  // plan splicing from the donor
+        if (donor != nullptr && !donor->attacks.empty() &&
+            s.attacks.size() < 4) {
+          AttackPlan spliced =
+              donor->attacks[rng.next_below(donor->attacks.size())];
+          if (spliced.object > s.objects) spliced.object = s.objects;
+          spliced.collusion_group = 0;  // joins as an independent actor
+          s.attacks.push_back(spliced);
+        } else if (donor != nullptr && !donor->clients.empty() &&
+                   s.clients.size() < 4) {
+          s.clients.push_back(
+              donor->clients[rng.next_below(donor->clients.size())]);
+        }
+        break;
+      }
+      case 5: {  // attack-phase reordering (start times follow the order)
+        if (s.attacks.size() >= 2) {
+          const std::size_t i = rng.next_below(s.attacks.size());
+          const std::size_t j = rng.next_below(s.attacks.size());
+          std::swap(s.attacks[i], s.attacks[j]);
+        }
+        break;
+      }
+      case 6: {  // crash-schedule jiggle
+        if (s.crashes.empty()) {
+          // Only where the sampler would allow one: crashes stay
+          // exclusive with Byzantine slots and partitions so concurrent
+          // unavailability never exceeds f.
+          if (s.byz_replicas.empty() && s.partitions.empty()) {
+            CrashPlan c;
+            c.replica = static_cast<std::uint32_t>(rng.next_below(s.n()));
+            c.at = 25 * sim::kMillisecond;
+            c.restart_at = 60 * sim::kMillisecond;
+            s.crashes.push_back(c);
+          }
+        } else if (rng.next_bool(0.3)) {
+          s.crashes.clear();
+        } else {
+          CrashPlan& c = s.crashes.front();
+          c.at = (15 + 5 * rng.next_below(5)) * sim::kMillisecond;
+          c.restart_at = rng.next_bool(0.2)
+                             ? 0  // never restarts: down for the run
+                             : c.at + (20 + 10 * rng.next_below(4)) *
+                                          sim::kMillisecond;
+        }
+        break;
+      }
+      case 7: {  // shard toggle (the rarest structural dimension)
+        if (s.shards > 1) {
+          s.shards = 1;
+        } else {
+          s.shards = 2;
+          s.objects = 4;  // give the shard map something to spread
+        }
+        break;
+      }
+      case 8: {  // f toggle, dropping plans the smaller group invalidates
+        s.f = s.f == 1 ? 2 : 1;
+        const std::uint32_t n = s.n();
+        std::erase_if(s.byz_replicas,
+                      [n](const ByzReplicaSlot& b) { return b.slot >= n; });
+        std::erase_if(s.partitions,
+                      [n](const PartitionPlan& p) { return p.replica >= n; });
+        std::erase_if(s.crashes,
+                      [n](const CrashPlan& c) { return c.replica >= n; });
+        break;
+      }
+      default: {  // collusion toggle
+        bool grouped = false;
+        for (const AttackPlan& a : s.attacks) grouped |= a.collusion_group != 0;
+        if (grouped) {
+          for (AttackPlan& a : s.attacks) a.collusion_group = 0;
+        } else if (s.attacks.size() >= 2) {
+          const quorum::ObjectId target = s.attacks[0].object;
+          for (AttackPlan& a : s.attacks) {
+            a.kind = AttackKind::kLurkingStash;
+            a.object = target;
+            a.goal = 1 + static_cast<std::uint32_t>(rng.next_below(2));
+            a.collude_replay = true;
+            a.collusion_group = 1;
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  // Re-establish the runner's id invariants (splicing can duplicate
+  // them): clients are 1..k, attacks 60..60+k — all below kProbeClient
+  // and kColluderNodeBase respectively.
+  for (std::size_t i = 0; i < s.clients.size(); ++i) {
+    s.clients[i].id = static_cast<quorum::ClientId>(1 + i);
+  }
+  for (std::size_t i = 0; i < s.attacks.size(); ++i) {
+    s.attacks[i].id = static_cast<quorum::ClientId>(60 + i);
+  }
+  return s;
+}
+
+}  // namespace bftbc::explore

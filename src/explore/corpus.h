@@ -1,0 +1,64 @@
+// Seed corpus + mutation operators for the guided explorer.
+//
+// A corpus entry is a Scenario that earned its place by exercising at
+// least one coverage signal no earlier run had (CoverageMap novelty).
+// The guided loop mostly mutates corpus entries instead of sampling
+// fresh: knob perturbation, plan splicing from a donor entry, attack-
+// phase reordering, and crash-schedule jiggling. Every mutation is a
+// pure function of (base, donor, child_seed), and the mutant's own
+// `seed` is child_seed — so any scenario the explorer ever runs is
+// fully specified by its JSON and replays byte-identically.
+//
+// On-disk format: one Scenario JSON per file. Filenames are derived
+// from a content hash, so re-saving an unchanged corpus is a no-op and
+// directory loads (sorted by filename) are deterministic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "explore/scenario.h"
+#include "util/rng.h"
+
+namespace bftbc::explore {
+
+struct CorpusEntry {
+  Scenario scenario;
+  // Signals this entry newly contributed when admitted (its rank: more
+  // novel entries are preferred as mutation bases).
+  std::uint32_t novelty = 0;
+};
+
+class Corpus {
+ public:
+  void add(CorpusEntry entry) { entries_.push_back(std::move(entry)); }
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+  const std::vector<CorpusEntry>& entries() const { return entries_; }
+
+  // Picks a mutation base: novelty-weighted, deterministic in `rng`.
+  const CorpusEntry& pick(Rng& rng) const;
+
+  // Loads every "*.json" in `dir` that parses as a Scenario, sorted by
+  // filename (novelty 0 — replaying them re-establishes it). Unknown
+  // JSON keys are ignored by Scenario::from_json, so corpus files may
+  // carry an "expect" sidecar object for the regression test.
+  static std::vector<CorpusEntry> load_dir(const std::string& dir);
+
+  // Writes each entry as <dir>/<content-hash>.json (created if needed).
+  // Returns the number of files written.
+  std::size_t save_dir(const std::string& dir) const;
+
+ private:
+  std::vector<CorpusEntry> entries_;
+};
+
+// Applies 1–2 mutation operators to `base`; `donor` (may be null) feeds
+// plan splicing. The result's seed is `child_seed`, client/attack ids
+// are renumbered to the runner's invariants, and every field stays
+// inside Scenario::from_json's validation envelope.
+Scenario mutate_scenario(const Scenario& base, const Scenario* donor,
+                         std::uint64_t child_seed);
+
+}  // namespace bftbc::explore

@@ -1,0 +1,63 @@
+// Coverage map for the guided explorer (DESIGN.md §14).
+//
+// A coverage signal is a short string naming one cheap behavioral
+// observation of a run: a replica counter branch that fired ("r:" +
+// counter name — certificate paths, drop verdicts, GC/eviction,
+// state-transfer machinery), a prepare-list depth bucket, a checker
+// near-miss, a per-shard verdict branch, or a structural scenario knob.
+// The universe is small (a few hundred strings) and closed under the
+// counter name space, so set membership — not edge counts — is the
+// whole feedback: a run is NOVEL iff it exercises at least one signal
+// no earlier run did.
+//
+// Everything is std::set-based and therefore iteration-deterministic:
+// identical run sequences produce identical maps, curves, and reports.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace bftbc::explore {
+
+// floor(log2(v)) + 1, with bucket(0) == 0 — collapses magnitudes into a
+// handful of signals so "deeper than ever before" is novelty but every
+// +1 is not.
+inline std::uint32_t log2_bucket(std::uint64_t v) {
+  std::uint32_t b = 0;
+  while (v != 0) {
+    ++b;
+    v >>= 1;
+  }
+  return b;
+}
+
+class CoverageMap {
+ public:
+  // Adds every signal to the map; returns how many were new.
+  std::size_t absorb(const std::vector<std::string>& signals) {
+    std::size_t novel = 0;
+    for (const std::string& s : signals) {
+      if (seen_.insert(s).second) ++novel;
+    }
+    return novel;
+  }
+
+  // Novelty check without absorbing.
+  std::size_t would_add(const std::vector<std::string>& signals) const {
+    std::size_t novel = 0;
+    for (const std::string& s : signals) {
+      if (seen_.count(s) == 0) ++novel;
+    }
+    return novel;
+  }
+
+  std::size_t size() const { return seen_.size(); }
+  const std::set<std::string>& seen() const { return seen_; }
+
+ private:
+  std::set<std::string> seen_;
+};
+
+}  // namespace bftbc::explore

@@ -1,24 +1,103 @@
 #include "explore/explorer.h"
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <functional>
+#include <map>
 #include <memory>
 #include <set>
 #include <utility>
 
 #include "checker/bft_linearizability.h"
 #include "checker/history.h"
+#include "explore/corpus.h"
+#include "explore/coverage.h"
 #include "faults/byzantine_client.h"
 #include "faults/byzantine_replica.h"
 #include "harness/cluster.h"
 #include "harness/recording.h"
 #include "harness/sharded_cluster.h"
 #include "metrics/json.h"
+#include "util/stats.h"
 
 namespace bftbc::explore {
 
 namespace {
+
+// ---- coverage-signal extraction (DESIGN.md §14) ------------------------
+// Signals are short strings; the CoverageMap only cares about set
+// membership, so everything here must be deterministic and bounded.
+
+// Structural knobs: which corner of the scenario cross product ran.
+void scenario_signals(const Scenario& s, std::set<std::string>& sig) {
+  sig.insert("mode:" + std::string(mode_name(s.mode)));
+  sig.insert("f:" + std::to_string(s.f));
+  if (s.shards > 1) sig.insert("sharded");
+  if (s.mac_auth) sig.insert("mac");
+  if (!s.crashes.empty()) sig.insert("crash");
+  if (!s.partitions.empty()) sig.insert("partition");
+  if (s.loss > 0) sig.insert("lossy");
+  for (const AttackPlan& a : s.attacks) {
+    sig.insert("atk:" + std::string(attack_name(a.kind)));
+    if (a.collusion_group != 0) sig.insert("collude");
+  }
+  for (const ByzReplicaSlot& b : s.byz_replicas) {
+    sig.insert("byz:" + std::string(species_name(b.species)));
+  }
+}
+
+// Counter branches: which certificate paths, drop verdicts, GC/eviction
+// events, and state-transfer machinery fired at all. The name universe
+// is the replica/attacker counter vocabulary — closed and small.
+void counter_signals(const Counters& counters, const char* prefix,
+                     std::set<std::string>& sig) {
+  for (const auto& [name, value] : counters.all()) {
+    if (value > 0) sig.insert(prefix + name);
+  }
+}
+
+// Checker-derived signals: lurking counts and the near-miss brinks.
+void checker_signals(const checker::CheckResult& check, const Scenario& s,
+                     std::set<std::string>& sig) {
+  const checker::CheckResult::NearMiss nm = check.near_misses(s.max_b(), 2);
+  if (nm.at_lurking_bound > 0) sig.insert("nm:lurk_at_bound");
+  if (nm.near_lurking_bound > 0) sig.insert("nm:lurk_near_bound");
+  if (nm.at_masking_bound > 0) sig.insert("nm:mask_at_bound");
+  sig.insert("lurk:" + std::to_string(check.max_lurking()));
+}
+
+// Conjunction signals: structural knob × behavioral event. The marginal
+// signals above saturate within a few hundred uniform runs; the product
+// lattice does not — "optimized-mode run that recovered a crashed
+// replica while a collusion group was lurking" is a corner uniform
+// sampling rarely lands on, and exactly the kind mutation reaches by
+// perturbing one dimension of a corpus entry at a time. Call after every
+// marginal signal has been inserted.
+void compound_signals(const Scenario& s, std::set<std::string>& sig) {
+  std::vector<std::string> left;
+  left.push_back("mode:" + std::string(mode_name(s.mode)));
+  left.push_back("f:" + std::to_string(s.f));
+  if (s.shards > 1) left.push_back("sharded");
+  if (s.mac_auth) left.push_back("mac");
+  static const char* const kInteresting[] = {
+      "crash",          "collude",          "partition",
+      "lossy",          "atk:vacuous",      "atk:equivocate",
+      "atk:partial_write", "atk:timestamp_hog", "atk:lurking_stash",
+      "nm:lurk_at_bound", "nm:lurk_near_bound", "nm:mask_at_bound",
+      "r:opt_tiebreak_overwrite", "r:gc_reclaimed", "r:objects_evicted",
+      "r:state_recovered_objects", "r:drop_plist_conflict",
+      "r:drop_recovering"};
+  std::vector<std::string> right;
+  for (const char* tag : kInteresting) {
+    if (sig.count(tag) != 0) right.push_back(tag);
+  }
+  for (const std::string& l : left) {
+    for (const std::string& r : right) sig.insert("x:" + l + "+" + r);
+  }
+}
 
 template <typename T>
 harness::ReplicaFactory byz_factory() {
@@ -226,7 +305,7 @@ RunOutcome run_sharded_scenario(const Scenario& s, std::ostream* trace_out) {
                 cluster.client_leg(kProbeClient, home)
                     .last_write_cert(plan.object);
             ap->attack_chained(plan.object, std::move(just), std::move(wcert),
-                               on_done);
+                               static_cast<int>(plan.goal), on_done);
           });
         } else {
           const bool optlist = s.mode == Mode::kOptimized;
@@ -376,6 +455,32 @@ RunOutcome run_sharded_scenario(const Scenario& s, std::ostream* trace_out) {
     });
   }
 
+  // --- Phase D': crash/restart schedule — the slot in every group. ------
+  // Outlives the scheduled restart closures below.
+  std::vector<quorum::ObjectId> all_objects;
+  for (quorum::ObjectId obj = 1; obj <= s.objects; ++obj) {
+    all_objects.push_back(obj);
+  }
+  for (const CrashPlan& c : s.crashes) {
+    if (c.replica >= s.n()) continue;
+    history.record_crash(c.replica, c.at, c.restart_at);
+    cluster.sim().schedule(c.at, [&cluster, c, shards = s.shards] {
+      for (std::uint32_t sh = 0; sh < shards; ++sh) {
+        cluster.crash_replica(sh, static_cast<quorum::ReplicaId>(c.replica));
+      }
+    });
+    if (c.restart_at != 0) {
+      // restart_replica filters to the shard's owned objects itself.
+      cluster.sim().schedule(
+          c.restart_at, [&cluster, c, shards = s.shards, &all_objects] {
+            for (std::uint32_t sh = 0; sh < shards; ++sh) {
+              cluster.restart_replica(
+                  sh, static_cast<quorum::ReplicaId>(c.replica), all_objects);
+            }
+          });
+    }
+  }
+
   // --- Phase E: run to quiescence (bounded). ----------------------------
   const bool finished = cluster.run_until(
       [&] {
@@ -400,10 +505,13 @@ RunOutcome run_sharded_scenario(const Scenario& s, std::ostream* trace_out) {
     cluster.settle();
 
     // --- Phase F: staged colluder replay into the owning shard. ---------
+    // Grouped attacks are pooled below; independent ones replay here.
     for (std::size_t i = 0; i < s.attacks.size(); ++i) {
       const AttackPlan plan = s.attacks[i];
-      if (plan.kind != AttackKind::kLurkingStash || !plan.collude_replay)
+      if (plan.kind != AttackKind::kLurkingStash || !plan.collude_replay ||
+          plan.collusion_group != 0) {
         continue;
+      }
       const std::uint32_t home = cluster.shard_of(plan.object);
       auto colluder_transport = cluster.make_transport(
           harness::shard_client_node(
@@ -421,6 +529,38 @@ RunOutcome run_sharded_scenario(const Scenario& s, std::ostream* trace_out) {
       }
     }
 
+    // Collusion groups: every member's stash pools into ONE colluder and
+    // replays only now — after all members stopped (quiescence implies
+    // it). The bound must hold per stopped client even for jointly
+    // planned writes.
+    std::map<std::uint32_t, std::vector<std::size_t>> collusion_groups;
+    for (std::size_t i = 0; i < s.attacks.size(); ++i) {
+      const AttackPlan& plan = s.attacks[i];
+      if (plan.kind == AttackKind::kLurkingStash && plan.collusion_group != 0)
+        collusion_groups[plan.collusion_group].push_back(i);
+    }
+    for (const auto& [gid, members] : collusion_groups) {
+      const quorum::ObjectId target = s.attacks[members.front()].object;
+      const std::uint32_t home = cluster.shard_of(target);
+      auto colluder_transport = cluster.make_transport(
+          harness::shard_client_node(
+              home, kColluderNodeBase + 100 +
+                        static_cast<quorum::ClientId>(gid)));
+      for (std::size_t i : members) {
+        for (rpc::Envelope& env : stashes[i]) {
+          faults::Colluder colluder(*colluder_transport,
+                                    cluster.replica_nodes(home));
+          colluder.stash(env);
+          colluder.unleash(2);
+          cluster.settle();
+          auto probed = rec_read(probe, kProbeClient, target);
+          if (!probed.is_ok() && s.within_fault_budget()) {
+            fail("liveness: probe read failed during colluder replay");
+          }
+        }
+      }
+    }
+
     // --- Phase G: final quiescent reads over every object. --------------
     for (quorum::ObjectId obj = 1; obj <= s.objects; ++obj) {
       auto final_read = rec_read(probe, kProbeClient, obj);
@@ -429,6 +569,35 @@ RunOutcome run_sharded_scenario(const Scenario& s, std::ostream* trace_out) {
       }
     }
   }
+
+  // --- Coverage extraction (the fleet is still alive). ------------------
+  std::set<std::string> sig;
+  scenario_signals(s, sig);
+  std::size_t plist_max = 0;
+  std::size_t optlist_max = 0;
+  for (std::uint32_t sh = 0; sh < s.shards; ++sh) {
+    for (quorum::ReplicaId r = 0; r < s.n(); ++r) {
+      core::Replica& rep = cluster.replica(sh, r);
+      counter_signals(rep.metrics(), "r:", sig);
+      for (quorum::ObjectId obj = 1; obj <= s.objects; ++obj) {
+        const core::ObjectState* state = rep.find_object(obj);
+        if (state == nullptr) continue;
+        plist_max = std::max(plist_max, state->plist().size());
+        optlist_max = std::max(optlist_max, state->optlist().size());
+      }
+    }
+  }
+  sig.insert("plist:" + std::to_string(log2_bucket(plist_max)));
+  if (s.mode == Mode::kOptimized) {
+    sig.insert("optlist:" + std::to_string(log2_bucket(optlist_max)));
+  }
+  for (const auto& attacker : attackers) {
+    counter_signals(attacker->metrics(), "a:", sig);
+    if (attacker->metrics().get("pmax_unreachable") > 0) {
+      ++out.vacuous_attacks;
+    }
+  }
+  if (out.vacuous_attacks > 0) sig.insert("atk:vacuous");
 
   // --- Verdict: split the history and check each shard on its own. ------
   std::set<checker::ClientId> bad_clients;
@@ -442,9 +611,11 @@ RunOutcome run_sharded_scenario(const Scenario& s, std::ostream* trace_out) {
     const checker::CheckResult check =
         checker::check_bft_linearizability(parts[sh], bad_clients);
     out.max_lurking = std::max(out.max_lurking, check.max_lurking());
+    checker_signals(check, s, sig);
     const bool ok = s.mode == Mode::kStrong ? check.ok_plus(s.max_b(), 2)
                                             : check.ok(s.max_b());
     out.shard_verdicts.push_back(ok ? "ok" : check.summary());
+    sig.insert("shard" + std::to_string(sh) + (ok ? ":ok" : ":fail"));
     if (!ok && out.safety_ok) {
       out.safety_ok = false;
       out.failure =
@@ -454,6 +625,16 @@ RunOutcome run_sharded_scenario(const Scenario& s, std::ostream* trace_out) {
 
   out.events = cluster.sim().executed_events();
   out.history_ops = history.completed_count();
+  out.ops_spanning_crashes = history.ops_spanning_crashes();
+  if (!s.crashes.empty()) {
+    sig.insert("xcrash:" +
+               std::to_string(log2_bucket(out.ops_spanning_crashes)));
+  }
+  compound_signals(s, sig);
+  sig.insert(out.failure.empty()
+                 ? "verdict:ok"
+                 : "verdict:" + Explorer::failure_class(out.failure));
+  out.signals.assign(sig.begin(), sig.end());
   if (trace_out != nullptr) {
     *trace_out << "(multi-shard scenario: event-ring tracing not captured)\n";
   }
@@ -607,7 +788,7 @@ RunOutcome Explorer::run_scenario(const Scenario& s, std::ostream* trace_out) {
             std::optional<core::WriteCertificate> wcert =
                 probe.last_write_cert(plan.object);
             ap->attack_chained(plan.object, std::move(just), std::move(wcert),
-                               on_done);
+                               static_cast<int>(plan.goal), on_done);
           });
         } else {
           const bool optlist = s.mode == Mode::kOptimized;
@@ -751,6 +932,30 @@ RunOutcome Explorer::run_scenario(const Scenario& s, std::ostream* trace_out) {
     });
   }
 
+  // --- Phase D': crash/restart schedule. --------------------------------
+  // The crash cuts the replica off; the restart destroys it (true state
+  // loss), rebuilds it through the factory hook, and recovers its
+  // ObjectStates via STATE-XFER from the surviving quorum. Recovery is
+  // asynchronous — it completes during the remaining workload or the
+  // post-quiescence settle. Outlives the scheduled closures below.
+  std::vector<quorum::ObjectId> all_objects;
+  for (quorum::ObjectId obj = 1; obj <= s.objects; ++obj) {
+    all_objects.push_back(obj);
+  }
+  for (const CrashPlan& c : s.crashes) {
+    if (c.replica >= s.n()) continue;
+    history.record_crash(c.replica, c.at, c.restart_at);
+    cluster.sim().schedule(c.at, [&cluster, c] {
+      cluster.crash_replica(static_cast<quorum::ReplicaId>(c.replica));
+    });
+    if (c.restart_at != 0) {
+      cluster.sim().schedule(c.restart_at, [&cluster, c, &all_objects] {
+        cluster.restart_replica(static_cast<quorum::ReplicaId>(c.replica),
+                                all_objects);
+      });
+    }
+  }
+
   // --- Phase E: run to quiescence (bounded). ----------------------------
   const bool finished = cluster.run_until(
       [&] {
@@ -784,8 +989,10 @@ RunOutcome Explorer::run_scenario(const Scenario& s, std::ostream* trace_out) {
     // checker's Theorem-1 frontier counts.
     for (std::size_t i = 0; i < s.attacks.size(); ++i) {
       const AttackPlan plan = s.attacks[i];
-      if (plan.kind != AttackKind::kLurkingStash || !plan.collude_replay)
+      if (plan.kind != AttackKind::kLurkingStash || !plan.collude_replay ||
+          plan.collusion_group != 0) {
         continue;
+      }
       auto colluder_transport = cluster.make_transport(
           harness::client_node(kColluderNodeBase + static_cast<quorum::ClientId>(i)));
       for (rpc::Envelope& env : stashes[i]) {
@@ -801,6 +1008,35 @@ RunOutcome Explorer::run_scenario(const Scenario& s, std::ostream* trace_out) {
       }
     }
 
+    // Collusion groups: the members' stashes pool into ONE colluder and
+    // replay only after every member has stopped (quiescence implies
+    // it) — the paper's worst case, where the lurking writes were
+    // planned jointly yet the bound must hold per stopped client.
+    std::map<std::uint32_t, std::vector<std::size_t>> collusion_groups;
+    for (std::size_t i = 0; i < s.attacks.size(); ++i) {
+      const AttackPlan& plan = s.attacks[i];
+      if (plan.kind == AttackKind::kLurkingStash && plan.collusion_group != 0)
+        collusion_groups[plan.collusion_group].push_back(i);
+    }
+    for (const auto& [gid, members] : collusion_groups) {
+      const quorum::ObjectId target = s.attacks[members.front()].object;
+      auto colluder_transport = cluster.make_transport(harness::client_node(
+          kColluderNodeBase + 100 + static_cast<quorum::ClientId>(gid)));
+      for (std::size_t i : members) {
+        for (rpc::Envelope& env : stashes[i]) {
+          faults::Colluder colluder(*colluder_transport,
+                                    cluster.replica_nodes());
+          colluder.stash(env);
+          colluder.unleash(2);
+          cluster.settle();
+          auto probed = rec.read(probe, target);
+          if (!probed.is_ok() && s.within_fault_budget()) {
+            fail("liveness: probe read failed during colluder replay");
+          }
+        }
+      }
+    }
+
     // --- Phase G: final quiescent reads over every object. --------------
     for (quorum::ObjectId obj = 1; obj <= s.objects; ++obj) {
       auto final_read = rec.read(probe, obj);
@@ -810,18 +1046,74 @@ RunOutcome Explorer::run_scenario(const Scenario& s, std::ostream* trace_out) {
     }
   }
 
+  // --- Coverage extraction (the cluster is still alive). ----------------
+  std::set<std::string> sig;
+  scenario_signals(s, sig);
+  std::size_t plist_max = 0;
+  std::size_t optlist_max = 0;
+  for (quorum::ReplicaId r = 0; r < s.n(); ++r) {
+    core::Replica& rep = cluster.replica(r);
+    counter_signals(rep.metrics(), "r:", sig);
+    for (quorum::ObjectId obj = 1; obj <= s.objects; ++obj) {
+      const core::ObjectState* state = rep.find_object(obj);
+      if (state == nullptr) continue;
+      plist_max = std::max(plist_max, state->plist().size());
+      optlist_max = std::max(optlist_max, state->optlist().size());
+    }
+  }
+  sig.insert("plist:" + std::to_string(log2_bucket(plist_max)));
+  if (s.mode == Mode::kOptimized) {
+    sig.insert("optlist:" + std::to_string(log2_bucket(optlist_max)));
+  }
+  for (const auto& attacker : attackers) {
+    counter_signals(attacker->metrics(), "a:", sig);
+    if (attacker->metrics().get("pmax_unreachable") > 0) {
+      ++out.vacuous_attacks;
+    }
+  }
+  if (out.vacuous_attacks > 0) sig.insert("atk:vacuous");
+
   // --- Verdict. ---------------------------------------------------------
+  if (std::getenv("BFTBC_EXPLORE_DUMP_HISTORY") != nullptr) {
+    for (const checker::Operation& op : history.operations()) {
+      std::fprintf(stderr,
+                   "op c=%llu obj=%llu %s inv=%llu resp=%llu ts=(%llu,%llu)\n",
+                   static_cast<unsigned long long>(op.client),
+                   static_cast<unsigned long long>(op.object),
+                   op.kind == checker::OpKind::kWrite ? "W" : "R",
+                   static_cast<unsigned long long>(op.invoked),
+                   static_cast<unsigned long long>(op.responded),
+                   static_cast<unsigned long long>(op.version.ts.val),
+                   static_cast<unsigned long long>(op.version.ts.id));
+    }
+    for (const checker::StopEvent& stop : history.stops()) {
+      std::fprintf(stderr, "stop c=%llu at=%llu\n",
+                   static_cast<unsigned long long>(stop.client),
+                   static_cast<unsigned long long>(stop.at));
+    }
+  }
   std::set<checker::ClientId> bad_clients;
   for (const AttackPlan& plan : s.attacks) bad_clients.insert(plan.id);
   const checker::CheckResult check =
       checker::check_bft_linearizability(history, bad_clients);
   out.max_lurking = check.max_lurking();
+  checker_signals(check, s, sig);
   out.safety_ok = s.mode == Mode::kStrong ? check.ok_plus(s.max_b(), 2)
                                           : check.ok(s.max_b());
   if (!out.safety_ok) out.failure = "safety: " + check.summary();
 
   out.events = cluster.sim().executed_events();
   out.history_ops = history.completed_count();
+  out.ops_spanning_crashes = history.ops_spanning_crashes();
+  if (!s.crashes.empty()) {
+    sig.insert("xcrash:" +
+               std::to_string(log2_bucket(out.ops_spanning_crashes)));
+  }
+  compound_signals(s, sig);
+  sig.insert(out.failure.empty()
+                 ? "verdict:ok"
+                 : "verdict:" + Explorer::failure_class(out.failure));
+  out.signals.assign(sig.begin(), sig.end());
   if (trace_out != nullptr) cluster.dump_trace(*trace_out);
   return out;
 }
@@ -864,6 +1156,23 @@ Scenario Explorer::shrink(const Scenario& scenario, const std::string& failure,
     candidate.partitions.erase(candidate.partitions.begin() +
                                static_cast<std::ptrdiff_t>(i));
     if (reproduces(candidate)) best = std::move(candidate);
+  }
+  for (std::size_t i = best.crashes.size(); i-- > 0;) {
+    Scenario candidate = best;
+    candidate.crashes.erase(candidate.crashes.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+    if (reproduces(candidate)) best = std::move(candidate);
+  }
+  // Ungroup collusion once — if each member replaying independently
+  // still reproduces, the coordination is not load-bearing.
+  {
+    bool grouped = false;
+    for (const AttackPlan& a : best.attacks) grouped |= a.collusion_group != 0;
+    if (grouped) {
+      Scenario candidate = best;
+      for (AttackPlan& a : candidate.attacks) a.collusion_group = 0;
+      if (reproduces(candidate)) best = std::move(candidate);
+    }
   }
   // Halve durations (op counts, stash goals) while it still reproduces.
   while (true) {
@@ -914,15 +1223,58 @@ Report Explorer::explore() {
   Report report;
   report.seed = options_.seed;
   report.runs = options_.runs;
+  report.guided = options_.guided;
   Rng meta(options_.seed);
+  CoverageMap coverage;
+  Corpus corpus;
+
+  // Initial corpus: scenario JSONs loaded sorted by filename. The first
+  // half of the run budget at most is spent replaying them (their
+  // coverage re-seeds the map); any surplus joins the corpus unreplayed
+  // so mutation can still reach it.
+  std::vector<CorpusEntry> seeds;
+  if (!options_.corpus_dir.empty()) {
+    seeds = Corpus::load_dir(options_.corpus_dir);
+  }
+  const std::size_t replay_budget =
+      std::min<std::size_t>(seeds.size(), options_.runs / 2);
+  for (std::size_t k = replay_budget; k < seeds.size(); ++k) {
+    corpus.add(seeds[k]);
+  }
+
   for (std::uint32_t i = 0; i < options_.runs; ++i) {
     const std::uint64_t run_seed = meta.next_u64();
-    const Scenario scenario = Scenario::sample(run_seed);
+    Scenario scenario;
+    std::string origin = "sampled";
+    if (i < replay_budget) {
+      scenario = seeds[i].scenario;
+      origin = "corpus";
+    } else if (options_.guided && !corpus.empty() && meta.next_bool(0.75)) {
+      // Mutate a novelty-weighted corpus pick; half the time splice
+      // plans in from a second (donor) entry.
+      const CorpusEntry& base = corpus.pick(meta);
+      const Scenario* donor = nullptr;
+      if (corpus.size() >= 2 && meta.next_bool(0.5)) {
+        donor = &corpus.pick(meta).scenario;
+      }
+      scenario = mutate_scenario(base.scenario, donor, run_seed);
+      origin = "mutated";
+    } else {
+      scenario = Scenario::sample(run_seed);
+    }
     RunRecord record;
     record.run = i;
     record.seed = run_seed;
     record.scenario = scenario.name();
+    record.origin = origin;
     record.outcome = run_scenario(scenario);
+    const std::size_t novel = coverage.absorb(record.outcome.signals);
+    record.new_signals = static_cast<std::uint32_t>(novel);
+    if (novel > 0) {
+      corpus.add({scenario, static_cast<std::uint32_t>(novel)});
+    }
+    report.coverage_curve.push_back(
+        static_cast<std::uint32_t>(coverage.size()));
     if (record.outcome.failed()) {
       ++report.failures;
       std::uint32_t used = 0;
@@ -952,6 +1304,12 @@ Report Explorer::explore() {
     }
     report.records.push_back(std::move(record));
   }
+  report.coverage = static_cast<std::uint32_t>(coverage.size());
+  report.corpus_size = static_cast<std::uint32_t>(corpus.size());
+  report.signals_seen.assign(coverage.seen().begin(), coverage.seen().end());
+  if (options_.guided && !options_.corpus_dir.empty()) {
+    corpus.save_dir(options_.corpus_dir);
+  }
   return report;
 }
 
@@ -966,7 +1324,23 @@ std::string Report::to_json() const {
   w.value(static_cast<std::uint64_t>(runs));
   w.key("failures");
   w.value(static_cast<std::uint64_t>(failures));
+  w.key("guided");
+  w.value(guided);
+  w.key("coverage");
+  w.value(static_cast<std::uint64_t>(coverage));
+  w.key("corpus_size");
+  w.value(static_cast<std::uint64_t>(corpus_size));
   w.end_object();
+  w.key("coverage_curve");
+  w.begin_array();
+  for (std::uint32_t c : coverage_curve) {
+    w.value(static_cast<std::uint64_t>(c));
+  }
+  w.end_array();
+  w.key("signals");
+  w.begin_array();
+  for (const std::string& s : signals_seen) w.value(s);
+  w.end_array();
   w.key("runs_detail");
   w.begin_array();
   for (const RunRecord& r : records) {
@@ -977,6 +1351,10 @@ std::string Report::to_json() const {
     w.value(r.seed);
     w.key("scenario");
     w.value(r.scenario);
+    w.key("origin");
+    w.value(r.origin);
+    w.key("new_signals");
+    w.value(static_cast<std::uint64_t>(r.new_signals));
     w.key("ok");
     w.value(!r.outcome.failed());
     w.key("completed");
@@ -987,6 +1365,14 @@ std::string Report::to_json() const {
     w.value(static_cast<std::uint64_t>(r.outcome.history_ops));
     w.key("max_lurking");
     w.value(static_cast<std::int64_t>(r.outcome.max_lurking));
+    if (r.outcome.vacuous_attacks > 0) {
+      w.key("vacuous_attacks");
+      w.value(static_cast<std::int64_t>(r.outcome.vacuous_attacks));
+    }
+    if (r.outcome.ops_spanning_crashes > 0) {
+      w.key("ops_spanning_crashes");
+      w.value(static_cast<std::uint64_t>(r.outcome.ops_spanning_crashes));
+    }
     if (r.outcome.failed()) {
       w.key("failure");
       w.value(r.outcome.failure);

@@ -42,6 +42,21 @@ struct RunOutcome {
   int max_lurking = 0;
   std::size_t events = 0;       // simulator events executed
   std::size_t history_ops = 0;  // completed recorded operations
+  // Attack actors whose pre-attack pmax fetch starved (gave up at the
+  // fetch deadline) — typically an attack aimed at an object whose
+  // replicas were partitioned away. The attack then ran against a
+  // default timestamp and proves nothing; the runner classifies these
+  // so soak budgets are not mistaken for real adversarial coverage.
+  int vacuous_attacks = 0;
+  // Completed ops whose interval overlapped a replica's crash downtime.
+  std::size_t ops_spanning_crashes = 0;
+  // Behavioral coverage signals this run exercised (sorted, deduped):
+  // replica counter branches (certificate paths, drop verdicts, GC and
+  // eviction events, state-transfer machinery), prepare-list depth
+  // buckets, checker near-misses, per-shard verdict branches, and the
+  // scenario's structural knobs. Input to the guided explore loop's
+  // CoverageMap.
+  std::vector<std::string> signals;
   // Empty when clean; otherwise "safety: ..." or "liveness: ...". The
   // prefix is the failure class shrinking preserves.
   std::string failure;
@@ -61,12 +76,28 @@ struct ExplorerOptions {
   std::string artifacts_dir;
   // Max candidate executions one shrink is allowed to spend.
   std::uint32_t shrink_budget = 64;
+  // Coverage-guided mutational mode: instead of sampling every scenario
+  // fresh, rank a corpus of coverage-novel scenarios and mostly mutate
+  // corpus entries (knob perturbation, plan splicing, attack reordering,
+  // crash jiggle). Uniform sampling remains the fallback arm so the
+  // search never starves. Fully seed-deterministic either way.
+  bool guided = false;
+  // Directory of scenario JSON files replayed (sorted by filename) as
+  // the initial corpus before any sampling, and — guided mode only —
+  // where newly admitted entries are saved afterwards. Empty disables
+  // both; the library then touches no filesystem beyond artifacts_dir.
+  std::string corpus_dir;
 };
 
 struct RunRecord {
   std::uint32_t run = 0;
   std::uint64_t seed = 0;
   std::string scenario;  // Scenario::name()
+  // Where the scenario came from: "sampled", "corpus" (initial replay),
+  // or "mutated" (guided mode).
+  std::string origin = "sampled";
+  // Coverage signals first seen in this run (novelty at absorption).
+  std::uint32_t new_signals = 0;
   RunOutcome outcome;
   std::string minimal_json;  // shrunken scenario (failures only)
   std::uint32_t shrink_runs = 0;
@@ -76,6 +107,17 @@ struct Report {
   std::uint64_t seed = 0;
   std::uint32_t runs = 0;
   std::uint32_t failures = 0;
+  bool guided = false;
+  // Distinct coverage signals seen after the final run, the per-run
+  // growth curve (cumulative distinct signals after each run), and the
+  // corpus size at the end. The E13 experiment compares the curve of
+  // guided vs uniform mode over the same run budget.
+  std::uint32_t coverage = 0;
+  std::vector<std::uint32_t> coverage_curve;
+  std::uint32_t corpus_size = 0;
+  // Every distinct signal seen across the whole exploration (sorted) —
+  // the --coverage-report payload.
+  std::vector<std::string> signals_seen;
   std::vector<RunRecord> records;
   std::vector<std::string> artifact_files;
 

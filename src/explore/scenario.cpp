@@ -152,6 +152,21 @@ Scenario Scenario::sample(std::uint64_t run_seed) {
     s.attacks.push_back(plan);
   }
 
+  // Colluding multi-client plan: occasionally convert a multi-attack
+  // sample into one coordinated group — every member a lurking stash
+  // against the first member's object, replayed jointly after all of
+  // them stop. The bound must hold per stopped client even then.
+  if (s.attacks.size() >= 2 && rng.next_bool(0.35)) {
+    const quorum::ObjectId target = s.attacks[0].object;
+    for (AttackPlan& plan : s.attacks) {
+      plan.kind = AttackKind::kLurkingStash;
+      plan.object = target;
+      plan.goal = 1 + static_cast<std::uint32_t>(rng.next_below(2));
+      plan.collude_replay = true;
+      plan.collusion_group = 1;
+    }
+  }
+
   // One replica partition window; only without Byzantine replicas so a
   // quorum stays reachable throughout (liveness is asserted, not hoped).
   if (s.byz_replicas.empty() && rng.next_bool(0.25)) {
@@ -160,6 +175,19 @@ Scenario Scenario::sample(std::uint64_t run_seed) {
     p.at = 30 * sim::kMillisecond;
     p.heal_at = 70 * sim::kMillisecond;
     s.partitions.push_back(p);
+  }
+
+  // One crash/restart window with state-transfer recovery. Mutually
+  // exclusive with Byzantine replicas AND partitions so concurrent
+  // unavailability never exceeds f — a crash on top of a partitioned or
+  // lying slot could make quorums unreachable and the run vacuous (the
+  // shard/attack edge case that used to burn soak budget in timeouts).
+  if (s.byz_replicas.empty() && s.partitions.empty() && rng.next_bool(0.3)) {
+    CrashPlan c;
+    c.replica = static_cast<std::uint32_t>(rng.next_below(s.n()));
+    c.at = 25 * sim::kMillisecond;
+    c.restart_at = 60 * sim::kMillisecond;
+    s.crashes.push_back(c);
   }
 
   return s;
@@ -215,6 +243,8 @@ std::string Scenario::to_json() const {
     w.key("object"); w.value(static_cast<std::uint64_t>(a.object));
     w.key("goal"); w.value(static_cast<std::uint64_t>(a.goal));
     w.key("collude_replay"); w.value(a.collude_replay);
+    w.key("collusion_group");
+    w.value(static_cast<std::uint64_t>(a.collusion_group));
     w.end_object();
   }
   w.end_array();
@@ -225,6 +255,16 @@ std::string Scenario::to_json() const {
     w.key("replica"); w.value(static_cast<std::uint64_t>(p.replica));
     w.key("at_ns"); w.value(static_cast<std::uint64_t>(p.at));
     w.key("heal_at_ns"); w.value(static_cast<std::uint64_t>(p.heal_at));
+    w.end_object();
+  }
+  w.end_array();
+  w.key("crashes");
+  w.begin_array();
+  for (const CrashPlan& c : crashes) {
+    w.begin_object();
+    w.key("replica"); w.value(static_cast<std::uint64_t>(c.replica));
+    w.key("at_ns"); w.value(static_cast<std::uint64_t>(c.at));
+    w.key("restart_at_ns"); w.value(static_cast<std::uint64_t>(c.restart_at));
     w.end_object();
   }
   w.end_array();
@@ -300,6 +340,8 @@ std::optional<Scenario> Scenario::from_json(std::string_view text) {
       a.object = e.u64("object", 1);
       a.goal = static_cast<std::uint32_t>(e.u64("goal", 2));
       a.collude_replay = e.boolean("collude_replay", false);
+      a.collusion_group =
+          static_cast<std::uint32_t>(e.u64("collusion_group", 0));
       if (a.id == 0 || a.object == 0 || a.object > s.objects ||
           a.goal > 100) {
         return std::nullopt;
@@ -319,6 +361,22 @@ std::optional<Scenario> Scenario::from_json(std::string_view text) {
     }
   }
 
+  if (const JsonValue* arr = doc->find("crashes")) {
+    for (const JsonValue& e : arr->items()) {
+      CrashPlan c;
+      c.replica = static_cast<std::uint32_t>(e.u64("replica", 0));
+      c.at = e.u64("at_ns", 0);
+      c.restart_at = e.u64("restart_at_ns", 0);
+      // restart_at == 0 (never restarts) is allowed; a nonzero restart
+      // must come after the crash.
+      if (c.replica >= s.n() ||
+          (c.restart_at != 0 && c.restart_at <= c.at)) {
+        return std::nullopt;
+      }
+      s.crashes.push_back(c);
+    }
+  }
+
   return s;
 }
 
@@ -334,6 +392,13 @@ std::string Scenario::name() const {
     out += "-atk" + std::to_string(attacks.size());
   }
   if (!partitions.empty()) out += "-part";
+  if (!crashes.empty()) out += "-crash";
+  for (const AttackPlan& a : attacks) {
+    if (a.collusion_group != 0) {
+      out += "-collude";
+      break;
+    }
+  }
   for (const ClientPlan& c : clients) {
     if (c.pipelined) {
       out += "-pipe";

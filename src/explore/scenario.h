@@ -77,6 +77,15 @@ struct AttackPlan {
   // kLurkingStash only: hand the stash to a colluder and replay it,
   // one envelope at a time with probe reads in between, after the stop.
   bool collude_replay = false;
+  // Nonzero = this attack coordinates with every other attack carrying
+  // the same group id: all members are lurking stashes against ONE
+  // object, their stashes pool into a single colluder, and the replay
+  // starts only after every member has stopped — the paper's worst
+  // case, where the bound must hold PER stopped client even when the
+  // writes were planned jointly. The sampler and mutators keep members'
+  // kind and object aligned; the runner pools whichever members are
+  // lurking stashes.
+  std::uint32_t collusion_group = 0;
 };
 
 // Partition one replica from every client node for a virtual-time window.
@@ -84,6 +93,19 @@ struct PartitionPlan {
   std::uint32_t replica = 0;
   sim::Time at = 0;
   sim::Time heal_at = 0;
+};
+
+// Crash one replica slot with TRUE state loss at `at`, restart it at
+// `restart_at` rebuilding its ObjectStates via STATE-XFER from the
+// surviving quorum (harness restart_replica). In sharded runs the slot
+// crashes in every group, mirroring how Byzantine slots apply. The
+// checker's guarantees must hold straight through the downtime and the
+// recovery — a restarted replica that forgot a lurking prepare would
+// break Lemma 1, which is exactly what this dimension hunts.
+struct CrashPlan {
+  std::uint32_t replica = 0;
+  sim::Time at = 0;
+  sim::Time restart_at = 0;
 };
 
 struct Scenario {
@@ -117,6 +139,7 @@ struct Scenario {
   std::vector<ClientPlan> clients;
   std::vector<AttackPlan> attacks;
   std::vector<PartitionPlan> partitions;
+  std::vector<CrashPlan> crashes;
 
   std::uint32_t n() const { return 3 * f + 1; }
   bool within_fault_budget() const { return byz_replicas.size() <= f; }

@@ -94,6 +94,25 @@ void AttackClientBase::fetch_pmax(
   auto pmax = std::make_shared<PrepareCertificate>(
       PrepareCertificate::genesis(object));
 
+  // Give-up deadline: with crashed/partitioned/Byzantine replicas the
+  // quorum may be unreachable for the whole run, and an attack stalled
+  // in phase 1 burns the entire event budget doing nothing. Well past
+  // any partition heal the attack proceeds with the best certificate
+  // seen (possibly genesis); "pmax_unreachable" lets the explorer
+  // classify the attack as starved rather than the run as hung.
+  rpc::QuorumCallOptions qopts;
+  qopts.deadline = 400 * sim::kMillisecond;
+
+  auto finish = [this, rpc_id, pmax, done = std::move(done)](bool starved) {
+    auto it = calls_.find(rpc_id);
+    if (it != calls_.end()) {
+      retired_.push_back(std::move(it->second.call));
+      calls_.erase(it);
+    }
+    if (starved) metrics_.inc("pmax_unreachable");
+    done(*pmax);
+  };
+
   auto& slot = calls_[rpc_id];
   slot.call = std::make_unique<rpc::QuorumCall>(
       sim_, transport_, replica_nodes_, config_.q, std::move(env),
@@ -111,14 +130,7 @@ void AttackClientBase::fetch_pmax(
         if (m->pcert.ts() > pmax->ts()) *pmax = m->pcert;
         return true;
       },
-      [this, rpc_id, pmax, done = std::move(done)] {
-        auto it = calls_.find(rpc_id);
-        if (it != calls_.end()) {
-          retired_.push_back(std::move(it->second.call));
-          calls_.erase(it);
-        }
-        done(*pmax);
-      });
+      [finish] { finish(false); }, [finish] { finish(true); }, qopts);
 }
 
 void AttackClientBase::gather_prepares(
@@ -311,11 +323,11 @@ void LurkingWriteStasher::attack(ObjectId object, int goal, bool use_optlist,
 
 void LurkingWriteStasher::attack_chained(
     ObjectId object, PrepareCertificate justification,
-    std::optional<WriteCertificate> wcert,
+    std::optional<WriteCertificate> wcert, int goal,
     std::function<void(Outcome)> done) {
   auto outcome = std::make_shared<Outcome>();
-  try_next(object, /*goal=*/1, false, std::move(justification),
-           std::move(wcert), 0, outcome, std::move(done));
+  try_next(object, goal, false, std::move(justification), std::move(wcert),
+           0, outcome, std::move(done));
 }
 
 void LurkingWriteStasher::try_next(ObjectId object, int goal, bool use_optlist,

@@ -190,9 +190,12 @@ class LurkingWriteStasher final : public AttackClientBase {
   // handed over by another colluding client. `wcert` lets the cartel try
   // the same trick against the strong variant (it will fail there: the
   // certificate must cover the justification's exact timestamp, which
-  // never committed).
+  // never committed). `goal` > 1 keeps chaining off each fresh
+  // certificate with NO write certificate — honest replicas refuse
+  // every round after the first, so deeper chains only materialize when
+  // a full quorum of equivocating replicas signs anyway.
   void attack_chained(ObjectId object, PrepareCertificate justification,
-                      std::optional<WriteCertificate> wcert,
+                      std::optional<WriteCertificate> wcert, int goal,
                       std::function<void(Outcome)> done);
 
  private:

@@ -13,27 +13,34 @@ Cluster::Cluster(ClusterOptions options)
   net_.bind_metrics(metrics_, "net");
   if (tracer_.enabled()) net_.set_tracer(&tracer_);
 
+  replica_transports_.resize(config_.n);
+  replicas_.resize(config_.n);
+  for (quorum::ReplicaId r = 0; r < config_.n; ++r) construct_replica(r);
+}
+
+core::ReplicaOptions Cluster::effective_replica_options() {
   core::ReplicaOptions ropts = options_.replica;
   ropts.optimized = options_.optimized;
   ropts.strong = options_.strong;
   ropts.mac_auth = options_.mac_auth;
   if (ropts.registry == nullptr) ropts.registry = &metrics_;
+  return ropts;
+}
 
-  for (quorum::ReplicaId r = 0; r < config_.n; ++r) {
-    auto transport = std::make_unique<rpc::SimTransport>(
-        net_, r, options_.coalesce_sends ? &sim_ : nullptr);
-    std::unique_ptr<core::Replica> replica;
-    auto factory = options_.replica_factories.find(r);
-    if (factory != options_.replica_factories.end() && factory->second) {
-      replica =
-          factory->second(config_, r, keystore_, *transport, sim_, ropts);
-    } else {
-      replica = std::make_unique<core::Replica>(config_, r, keystore_,
-                                                *transport, sim_, ropts);
-    }
-    replica_transports_.push_back(std::move(transport));
-    replicas_.push_back(std::move(replica));
+void Cluster::construct_replica(quorum::ReplicaId r) {
+  const core::ReplicaOptions ropts = effective_replica_options();
+  auto transport = std::make_unique<rpc::SimTransport>(
+      net_, r, options_.coalesce_sends ? &sim_ : nullptr);
+  std::unique_ptr<core::Replica> replica;
+  auto factory = options_.replica_factories.find(r);
+  if (factory != options_.replica_factories.end() && factory->second) {
+    replica = factory->second(config_, r, keystore_, *transport, sim_, ropts);
+  } else {
+    replica = std::make_unique<core::Replica>(config_, r, keystore_,
+                                              *transport, sim_, ropts);
   }
+  replica_transports_[r] = std::move(transport);
+  replicas_[r] = std::move(replica);
 }
 
 Cluster::~Cluster() = default;
@@ -131,6 +138,31 @@ void Cluster::settle() {
 void Cluster::crash_replica(quorum::ReplicaId r) { net_.crash(r); }
 
 void Cluster::recover_replica(quorum::ReplicaId r) { net_.recover(r); }
+
+void Cluster::restart_replica(quorum::ReplicaId r,
+                              const std::vector<quorum::ObjectId>& objects) {
+  // Fail-stop restart with amnesia: everything in memory is gone.
+  // Destruction order matters — the replica's constructor registered a
+  // receiver on its transport, so the replica dies first, then the
+  // transport (which unregisters the node from the network).
+  replicas_[r].reset();
+  replica_transports_[r].reset();
+  construct_replica(r);
+  net_.recover(r);
+
+  // The ACL was part of the lost state; re-authorize the current client
+  // population as an administrator config push would. Stopped clients
+  // get re-added too, harmlessly: their keys are revoked, so no new
+  // signature of theirs verifies regardless of the ACL.
+  for (const auto& [id, client] : clients_) replicas_[r]->authorize(id);
+
+  std::vector<sim::NodeId> peers;
+  peers.reserve(config_.n - 1);
+  for (quorum::ReplicaId p = 0; p < config_.n; ++p) {
+    if (p != r) peers.push_back(p);
+  }
+  replicas_[r]->begin_recovery(objects, std::move(peers));
+}
 
 void Cluster::stop_client(quorum::ClientId c) {
   // Both halves of the paper's administrator action: the key can no

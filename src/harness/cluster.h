@@ -120,11 +120,25 @@ class Cluster {
   // ---- fault controls -------------------------------------------------
   void crash_replica(quorum::ReplicaId r);
   void recover_replica(quorum::ReplicaId r);
+  // Fail-stop restart with amnesia: destroys replica r (all in-memory
+  // state — ObjectStates, prepare lists, ACL), rebuilds it on a fresh
+  // transport via the same factory hook the constructor used, heals its
+  // network links, and starts a STATE-XFER recovery of the named
+  // objects from the surviving peers. Asynchronous: the caller drives
+  // the simulator until `replica(r).recovering()` clears.
+  void restart_replica(quorum::ReplicaId r,
+                       const std::vector<quorum::ObjectId>& objects);
   // The paper's STOP event: the client's key becomes unusable for new
   // signatures (administrator removed it from the ACL).
   void stop_client(quorum::ClientId c);
 
  private:
+  // Shared by the constructor and restart_replica: mode-flag overlay on
+  // the replica options, then factory-or-default construction into slot
+  // r (transport first — the replica's ctor registers its receiver).
+  core::ReplicaOptions effective_replica_options();
+  void construct_replica(quorum::ReplicaId r);
+
   ClusterOptions options_;
   quorum::QuorumConfig config_;
   sim::Simulator sim_;

@@ -14,12 +14,6 @@ ShardedCluster::ShardedCluster(ShardedClusterOptions options)
       net_(sim_, rng_.split(), options_.link) {
   net_.bind_metrics(metrics_, "net");
 
-  core::ReplicaOptions ropts = options_.replica;
-  ropts.optimized = options_.optimized;
-  ropts.strong = options_.strong;
-  ropts.mac_auth = options_.mac_auth;
-  if (ropts.registry == nullptr) ropts.registry = &metrics_;
-
   const std::uint64_t key_base = options_.seed ^ 0x5eedc0de;
   for (std::uint32_t s = 0; s < map_.shards(); ++s) {
     keystores_.push_back(std::make_unique<crypto::Keystore>(
@@ -27,26 +21,36 @@ ShardedCluster::ShardedCluster(ShardedClusterOptions options)
         options_.rsa_bits));
     replica_transports_.emplace_back();
     replicas_.emplace_back();
+    replica_transports_[s].resize(config_.n);
+    replicas_[s].resize(config_.n);
     for (quorum::ReplicaId r = 0; r < config_.n; ++r) {
-      auto transport = std::make_unique<rpc::SimTransport>(
-          net_, shard_replica_node(s, r),
-          options_.coalesce_sends ? &sim_ : nullptr);
-      core::ReplicaOptions shard_ropts = ropts;
-      shard_ropts.metrics_scope = "shard/" + std::to_string(s) + "/replica/" +
-                                  std::to_string(r);
-      std::unique_ptr<core::Replica> replica;
-      auto factory = options_.replica_factories.find(r);
-      if (factory != options_.replica_factories.end() && factory->second) {
-        replica = factory->second(config_, r, *keystores_[s], *transport,
-                                  sim_, shard_ropts);
-      } else {
-        replica = std::make_unique<core::Replica>(
-            config_, r, *keystores_[s], *transport, sim_, shard_ropts);
-      }
-      replica_transports_[s].push_back(std::move(transport));
-      replicas_[s].push_back(std::move(replica));
+      construct_replica(s, r);
     }
   }
+}
+
+void ShardedCluster::construct_replica(std::uint32_t s, quorum::ReplicaId r) {
+  core::ReplicaOptions ropts = options_.replica;
+  ropts.optimized = options_.optimized;
+  ropts.strong = options_.strong;
+  ropts.mac_auth = options_.mac_auth;
+  if (ropts.registry == nullptr) ropts.registry = &metrics_;
+  ropts.metrics_scope =
+      "shard/" + std::to_string(s) + "/replica/" + std::to_string(r);
+
+  auto transport = std::make_unique<rpc::SimTransport>(
+      net_, shard_replica_node(s, r), options_.coalesce_sends ? &sim_ : nullptr);
+  std::unique_ptr<core::Replica> replica;
+  auto factory = options_.replica_factories.find(r);
+  if (factory != options_.replica_factories.end() && factory->second) {
+    replica =
+        factory->second(config_, r, *keystores_[s], *transport, sim_, ropts);
+  } else {
+    replica = std::make_unique<core::Replica>(config_, r, *keystores_[s],
+                                              *transport, sim_, ropts);
+  }
+  replica_transports_[s][r] = std::move(transport);
+  replicas_[s][r] = std::move(replica);
 }
 
 ShardedCluster::~ShardedCluster() = default;
@@ -179,6 +183,37 @@ void ShardedCluster::crash_replica(std::uint32_t shard, quorum::ReplicaId r) {
 void ShardedCluster::recover_replica(std::uint32_t shard,
                                      quorum::ReplicaId r) {
   net_.recover(shard_replica_node(shard, r));
+}
+
+void ShardedCluster::restart_replica(
+    std::uint32_t shard, quorum::ReplicaId r,
+    const std::vector<quorum::ObjectId>& objects) {
+  // Same fail-stop-with-amnesia semantics as Cluster::restart_replica:
+  // replica first (its dtor must run while the transport is alive),
+  // then transport, then rebuild both and recover state from the
+  // shard's surviving peers. Only objects owned by this shard are
+  // transferable — peers of other groups hold unrelated keyspaces and
+  // their certificates would not validate here anyway.
+  replicas_[shard][r].reset();
+  replica_transports_[shard][r].reset();
+  construct_replica(shard, r);
+  net_.recover(shard_replica_node(shard, r));
+
+  for (const auto& [id, entry] : clients_) {
+    (void)entry;
+    replicas_[shard][r]->authorize(id);
+  }
+
+  std::vector<sim::NodeId> peers;
+  peers.reserve(config_.n - 1);
+  for (quorum::ReplicaId p = 0; p < config_.n; ++p) {
+    if (p != r) peers.push_back(shard_replica_node(shard, p));
+  }
+  std::vector<quorum::ObjectId> owned;
+  for (quorum::ObjectId obj : objects) {
+    if (map_.shard_of(obj) == shard) owned.push_back(obj);
+  }
+  replicas_[shard][r]->begin_recovery(owned, std::move(peers));
 }
 
 void ShardedCluster::partition_shard(std::uint32_t shard) {

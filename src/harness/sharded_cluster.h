@@ -145,6 +145,11 @@ class ShardedCluster {
   // ---- fault controls -------------------------------------------------
   void crash_replica(std::uint32_t shard, quorum::ReplicaId r);
   void recover_replica(std::uint32_t shard, quorum::ReplicaId r);
+  // Fail-stop restart with amnesia (see Cluster::restart_replica):
+  // rebuilds slot r of `shard` and state-transfers the subset of
+  // `objects` this shard owns from the group's surviving peers.
+  void restart_replica(std::uint32_t shard, quorum::ReplicaId r,
+                       const std::vector<quorum::ObjectId>& objects);
   // Cuts every link into `shard`'s replica group (clients included) —
   // ops routed there stall; other shards are untouched.
   void partition_shard(std::uint32_t shard);
@@ -154,6 +159,11 @@ class ShardedCluster {
   void stop_client(quorum::ClientId c);
 
  private:
+  // Shared by the constructor and restart_replica: mode-flag overlay and
+  // scoped metrics prefix, then factory-or-default construction into
+  // slot [s][r] (transport first — the replica registers its receiver).
+  void construct_replica(std::uint32_t s, quorum::ReplicaId r);
+
   ShardedClusterOptions options_;
   shard::ShardMap map_;
   quorum::QuorumConfig config_;

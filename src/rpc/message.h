@@ -30,6 +30,8 @@ enum class MsgType : std::uint16_t {
   kReadTsPrep = 9,    // optimized phase 1: 〈READ-TS-PREP, h, Wcert〉σc
   kReadTsPrepReply = 10,  // 〈Pcert, optional PREPARE-REPLY stmt〉σr
   kReplyBatch = 11,   // replica→client bundle of replies, one batch MAC
+  kStateXfer = 12,    // recovery: 〈STATE-XFER, object, nonce〉
+  kStateXferReply = 13,  // 〈STATE-XFER-REPLY, encoded ObjectState, nonce〉
 
   // Transport-level bundle of same-tick envelopes to one destination
   // (SimTransport coalescing). Unwrapped by the receiving transport, so

@@ -324,7 +324,7 @@ TEST(ByzantineClientTest, CartelChainsPreparesInBaseProtocol) {
           cluster.sim(), cluster.replica_nodes(), cluster.rng().split()));
       std::optional<faults::LurkingWriteStasher::Outcome> out;
       cartel.back()->attack_chained(
-          1, justification, wcert,
+          1, justification, wcert, /*goal=*/1,
           [&](faults::LurkingWriteStasher::Outcome o) { out = std::move(o); });
       ASSERT_TRUE(cluster.run_until([&] { return out.has_value(); }));
       if (out->stashed.empty()) break;

@@ -394,5 +394,152 @@ TEST(CheckerTest, OverwriteMaskingIsPerObject) {
   EXPECT_FALSE(r2.ok_plus(1, 2));
 }
 
+TEST(CheckerTest, ConcurrentOverwritesAreOneChainLink) {
+  // Regression: explorer seed 13175756882366232029 (strong mode, lossy
+  // link, pipelined client). Two correct writes justified by the SAME
+  // certificate run concurrently, both land on timestamp value 2, and
+  // both complete after the stop. The frontier advanced once, so the
+  // stash at (2, 66) — which wins the id tiebreak over both — is
+  // legitimate lurking, not §7 masking. The old raw completed-write
+  // count called this 2 "consecutive" overwrites and failed ok_plus.
+  History hist;
+  add_write(hist, 1, 1, 0, 10, {1, 1}, "seed");
+  hist.record_stop(66, 100);
+  add_write(hist, 2, 1, 110, 200, {2, 2}, "conc-a");  // overlapping
+  add_write(hist, 3, 1, 120, 190, {2, 3}, "conc-b");  // intervals
+  add_read(hist, 2, 1, 300, 310, {2, 66}, "lurker");
+  auto r = check_bft_linearizability(hist, {66});
+  ASSERT_EQ(r.lurking.count(66), 1u);
+  EXPECT_EQ(r.lurking.at(66).count, 1);
+  EXPECT_EQ(r.lurking.at(66).overwrites_before_last_surface, 1);
+  EXPECT_TRUE(r.ok_plus(1, 2)) << r.summary();
+}
+
+TEST(CheckerTest, PreStopStragglerIsNotAChainLink) {
+  // A write INVOKED before the stop may have read a certificate older
+  // than the stash's justification, so it proves nothing about flushing
+  // — only writes invoked after the stop start a chain. Here the
+  // straggler (invoked 50 < stop 100) plus one post-stop write is a
+  // chain of 1: within the k=2 bound.
+  History hist;
+  add_write(hist, 1, 1, 0, 10, {1, 1}, "seed");
+  hist.record_stop(66, 100);
+  add_write(hist, 2, 1, 50, 150, {2, 2}, "straggler");
+  add_write(hist, 3, 1, 160, 190, {3, 3}, "post");
+  add_read(hist, 2, 1, 300, 310, {4, 66}, "lurker");
+  auto r = check_bft_linearizability(hist, {66});
+  EXPECT_EQ(r.lurking.at(66).overwrites_before_last_surface, 1);
+  EXPECT_TRUE(r.ok_plus(1, 2)) << r.summary();
+
+  // Replace the straggler with a post-stop write sequenced before the
+  // second: now the chain is 2 and ok_plus(1, 2) must fail.
+  History chained;
+  add_write(chained, 1, 1, 0, 10, {1, 1}, "seed");
+  chained.record_stop(66, 100);
+  add_write(chained, 2, 1, 110, 150, {2, 2}, "link-1");
+  add_write(chained, 3, 1, 160, 190, {3, 3}, "link-2");
+  add_read(chained, 2, 1, 300, 310, {4, 66}, "lurker");
+  auto r2 = check_bft_linearizability(chained, {66});
+  EXPECT_EQ(r2.lurking.at(66).overwrites_before_last_surface, 2);
+  EXPECT_FALSE(r2.ok_plus(1, 2));
+}
+
+TEST(CheckerTest, ChainPicksMaximumSequentialSubset) {
+  // Three post-stop writes: two concurrent with each other, one after
+  // both. The longest sequential chain is 2 (either concurrent write,
+  // then the late one) even though the raw completed count is 3.
+  History hist;
+  add_write(hist, 1, 1, 0, 10, {1, 1}, "seed");
+  hist.record_stop(66, 100);
+  add_write(hist, 2, 1, 110, 200, {2, 2}, "conc-a");
+  add_write(hist, 3, 1, 120, 190, {2, 3}, "conc-b");
+  add_write(hist, 1, 1, 210, 250, {3, 1}, "late");
+  add_read(hist, 2, 1, 300, 310, {4, 66}, "lurker");
+  auto r = check_bft_linearizability(hist, {66});
+  EXPECT_EQ(r.lurking.at(66).overwrites_before_last_surface, 2);
+  EXPECT_FALSE(r.ok_plus(1, 2));
+  EXPECT_TRUE(r.ok_plus(1, 3));
+}
+
+// ---- crash/recovery metadata through split_history ---------------------
+
+TEST(CheckerCrashTest, OpsSpanningCrashesCountsInFlightOps) {
+  History hist;
+  // In flight across the whole downtime [100, 200).
+  add_write(hist, 1, 1, 50, 250, {1, 1}, "spans");
+  // Entirely inside the downtime.
+  add_write(hist, 2, 1, 120, 180, {2, 2}, "inside");
+  // Finished before the crash: not spanning.
+  add_write(hist, 3, 1, 10, 90, {3, 3}, "before");
+  // Started after the restart: not spanning.
+  add_write(hist, 1, 1, 210, 260, {4, 1}, "after");
+  hist.record_crash(2, 100, 200);
+  EXPECT_EQ(hist.ops_spanning_crashes(), 2u);
+}
+
+TEST(CheckerCrashTest, CrashBoundaryInstantsDoNotOverlap) {
+  History hist;
+  // Responds exactly at the crash instant: the reply was already
+  // delivered when the replica died — not spanning.
+  add_write(hist, 1, 1, 50, 100, {1, 1}, "ends-at-crash");
+  // Invoked exactly at the restart instant: replica is back — no overlap.
+  add_write(hist, 2, 1, 200, 220, {2, 2}, "starts-at-restart");
+  // One tick into the downtime: spanning.
+  add_write(hist, 3, 1, 60, 101, {3, 3}, "just-inside");
+  hist.record_crash(0, 100, 200);
+  EXPECT_EQ(hist.ops_spanning_crashes(), 1u);
+}
+
+TEST(CheckerCrashTest, NeverRestartedCrashSpansRemainder) {
+  History hist;
+  add_write(hist, 1, 1, 10, 50, {1, 1}, "before");
+  add_write(hist, 2, 1, 120, 160, {2, 2}, "during");
+  add_write(hist, 3, 1, 500, 600, {3, 3}, "much-later");
+  hist.record_crash(1, 100, /*restarted_at=*/0);  // down for the run
+  EXPECT_EQ(hist.ops_spanning_crashes(), 2u);
+}
+
+TEST(CheckerCrashTest, SplitCopiesCrashesIntoEveryPart) {
+  // A crashed replica is down for every object its group serves, so the
+  // crash metadata must reach every shard's sub-history — including a
+  // shard that recorded no operations at all.
+  History hist;
+  add_write(hist, 1, 2, 50, 250, {1, 1}, "spans");  // object 2 -> part 0
+  hist.record_crash(3, 100, 200);
+  hist.record_stop(66, 300);
+
+  const auto parts = checker::split_history(
+      hist, 2, [](checker::ObjectId object) { return object % 2; });
+  ASSERT_EQ(parts.size(), 2u);
+  // Part 1 is empty of ops but still carries the crash + stop events.
+  EXPECT_EQ(parts[1].completed_count(), 0u);
+  ASSERT_EQ(parts[1].crashes().size(), 1u);
+  EXPECT_EQ(parts[1].crashes()[0].replica, 3u);
+  EXPECT_EQ(parts[1].crashes()[0].restarted_at, 200u);
+  ASSERT_EQ(parts[1].stops().size(), 1u);
+  // Part 0 holds the single in-flight op; its spanning count survives
+  // the split.
+  EXPECT_EQ(parts[0].completed_count(), 1u);
+  EXPECT_EQ(parts[0].ops_spanning_crashes(), 1u);
+  // The empty part checks clean — an empty sub-history is linearizable.
+  const auto check = check_bft_linearizability(parts[1], {66});
+  EXPECT_TRUE(check.ok(1)) << check.summary();
+}
+
+TEST(CheckerCrashTest, RestartInterleavedWithInFlightWritesStaysOk) {
+  // The shape the explorer's crash scenarios produce: a write invoked
+  // before the crash completes after the restarted replica recovered via
+  // state transfer, and later reads see it. The history is perfectly
+  // linearizable; the crash metadata must not perturb the verdict.
+  History hist;
+  add_write(hist, 1, 1, 0, 10, {1, 1}, "pre");
+  add_write(hist, 2, 1, 90, 210, {2, 2}, "across-restart");
+  hist.record_crash(1, 100, 200);
+  add_read(hist, 3, 1, 220, 230, {2, 2}, "across-restart");
+  auto r = check_bft_linearizability(hist, {});
+  EXPECT_TRUE(r.ok(0)) << r.summary();
+  EXPECT_EQ(hist.ops_spanning_crashes(), 1u);
+}
+
 }  // namespace
 }  // namespace bftbc::checker

@@ -1,0 +1,90 @@
+// Replays every committed corpus entry and asserts its verdict class.
+//
+// The corpus under <repo>/corpus is the regression library the guided
+// explorer seeds from: each file is a scenario JSON with two sidecar
+// keys the scenario parser ignores — "comment" (why the entry exists)
+// and "expect" ("clean", "safety", or "liveness"). This test is the
+// contract that keeps those entries honest: a protocol or checker
+// change that flips an entry's verdict fails here with the file name,
+// instead of silently degrading the fuzzer's seed corpus.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "explore/corpus.h"
+#include "explore/explorer.h"
+#include "explore/scenario.h"
+#include "util/json_value.h"
+
+namespace bftbc::explore {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<fs::path> corpus_files() {
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(BFTBC_CORPUS_DIR)) {
+    if (entry.path().extension() == ".json") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(ExplorerCorpusTest, CorpusDirectoryIsNonEmpty) {
+  ASSERT_TRUE(fs::exists(BFTBC_CORPUS_DIR));
+  EXPECT_GE(corpus_files().size(), 6u);
+}
+
+// Corpus::load_dir must accept every committed entry — an entry that
+// fails Scenario::from_json would be silently dropped from the guided
+// explorer's seed corpus.
+TEST(ExplorerCorpusTest, LoadDirAcceptsEveryEntry) {
+  const std::vector<CorpusEntry> entries =
+      Corpus::load_dir(std::string(BFTBC_CORPUS_DIR));
+  EXPECT_EQ(entries.size(), corpus_files().size());
+}
+
+TEST(ExplorerCorpusTest, EveryEntryReplaysToItsExpectedVerdict) {
+  ExplorerOptions opts;  // no artifacts, no corpus dir: pure replay
+  Explorer explorer(opts);
+  for (const fs::path& file : corpus_files()) {
+    SCOPED_TRACE(file.filename().string());
+    const std::string text = slurp(file);
+
+    const std::optional<JsonValue> doc = JsonValue::parse(text);
+    ASSERT_TRUE(doc.has_value());
+    const std::string expect = doc->string("expect", "");
+    ASSERT_TRUE(expect == "clean" || expect == "safety" ||
+                expect == "liveness")
+        << "corpus entries need an \"expect\" key, got '" << expect << "'";
+    // Every entry should say why it is in the corpus.
+    EXPECT_FALSE(doc->string("comment", "").empty());
+
+    const std::optional<Scenario> scenario = Scenario::from_json(text);
+    ASSERT_TRUE(scenario.has_value());
+
+    const RunOutcome outcome = explorer.run_scenario(*scenario);
+    if (expect == "clean") {
+      EXPECT_FALSE(outcome.failed()) << outcome.failure;
+    } else {
+      ASSERT_TRUE(outcome.failed());
+      EXPECT_EQ(Explorer::failure_class(outcome.failure), expect)
+          << outcome.failure;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bftbc::explore

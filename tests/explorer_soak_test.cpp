@@ -23,5 +23,90 @@ TEST_P(ExplorerSoakTest, SampledScenariosStayClean) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ExplorerSoakTest,
                          ::testing::Values(1, 271828, 31337));
 
+// --- Pinned regressions --------------------------------------------------
+//
+// Run seeds promoted from historically-failing (or historically
+// spuriously-clean) soak sweeps. Each case names the bug that motivated
+// it; the seed/scenario must stay pinned verbatim so the exact run that
+// exposed the bug keeps executing every night.
+
+// Guided sweep at explorer seed 7 surfaced this run seed: a pipelined
+// client and a sequential client, justified by the same write
+// certificate, landed CONCURRENT writes on one timestamp value, and the
+// old §7 masking metric counted both completions as consecutive
+// overwrites — flagging a within-budget lurking stash that merely won
+// the (val, client-id) tiebreak. The checker now counts the longest
+// real-time chain (a concurrent batch advances the frontier once), so
+// this exact sampled run must stay clean.
+TEST(ExplorerPinnedRegressionTest, ConcurrentOverwritesAreNotMasking) {
+  const Scenario scenario = Scenario::sample(13175756882366232029ull);
+  Explorer explorer(ExplorerOptions{});
+  const RunOutcome outcome = explorer.run_scenario(scenario);
+  EXPECT_FALSE(outcome.failed()) << outcome.failure;
+}
+
+// PR9 regression: gather_prepares recovered replica ids from node ids
+// (the single-shard convention) and collected zero prepare signatures
+// in any sharded group — every sharded attack was silently neutered and
+// sharded soak runs looked spuriously clean. The weakened two-shard
+// cartel must still REPRODUCE its lurking violation, and the verdict
+// must name the guilty shard.
+TEST(ExplorerPinnedRegressionTest, ShardedCartelViolationStillReproduces) {
+  Scenario s;
+  s.seed = 4242;
+  s.f = 1;
+  s.mode = Mode::kBase;
+  s.enforce_fault_budget = false;
+  s.objects = 2;
+  s.shards = 2;
+  s.byz_replicas = {{0, ByzSpecies::kEquivocSign},
+                    {1, ByzSpecies::kEquivocSign},
+                    {2, ByzSpecies::kEquivocSign}};
+  s.clients = {{.id = 1, .ops = 3}};
+  s.attacks = {{.kind = AttackKind::kLurkingStash,
+                .id = 66,
+                .object = 1,
+                .goal = 2,
+                .collude_replay = true}};
+  Explorer explorer(ExplorerOptions{});
+  const RunOutcome outcome = explorer.run_scenario(s);
+  ASSERT_TRUE(outcome.failed());
+  EXPECT_EQ(Explorer::failure_class(outcome.failure), "safety");
+  EXPECT_NE(outcome.failure.find("shard"), std::string::npos)
+      << outcome.failure;
+}
+
+// The strong-mode explorer path used to hard-code the cartel chain
+// depth to 1 (attack_chained ignored the plan's goal), so no scenario
+// could ever exhibit the §7 masking violation — the deep equivocator-
+// signed stash chain was unreachable and strong-mode soak coverage was
+// silently thinner than the sampler intended. With the goal threaded
+// through, this weakened cartel chains eight deep and the top stash
+// must surface past ≥2 consecutive post-stop overwrites (ok_plus
+// failure), while staying within the plain lurking bound ok(1).
+TEST(ExplorerPinnedRegressionTest, StrongCartelMaskingStillDetected) {
+  Scenario s;
+  s.seed = 4242;
+  s.f = 1;
+  s.mode = Mode::kStrong;
+  s.enforce_fault_budget = false;
+  s.objects = 1;
+  s.byz_replicas = {{0, ByzSpecies::kEquivocSign},
+                    {1, ByzSpecies::kEquivocSign},
+                    {2, ByzSpecies::kEquivocSign}};
+  s.clients = {{.id = 1, .ops = 10, .write_ratio = 1.0}};
+  s.attacks = {{.kind = AttackKind::kLurkingStash,
+                .id = 66,
+                .object = 1,
+                .goal = 8,
+                .collude_replay = true}};
+  Explorer explorer(ExplorerOptions{});
+  const RunOutcome outcome = explorer.run_scenario(s);
+  ASSERT_TRUE(outcome.failed());
+  EXPECT_EQ(Explorer::failure_class(outcome.failure), "safety");
+  // Within the lurking bound — the failure is the masking clause.
+  EXPECT_LE(outcome.max_lurking, s.max_b());
+}
+
 }  // namespace
 }  // namespace bftbc::explore

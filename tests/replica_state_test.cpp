@@ -286,5 +286,90 @@ TEST_P(PlistBoundTest, PlistBoundedByClients) {
 INSTANTIATE_TEST_SUITE_P(Seeds, PlistBoundTest,
                          ::testing::Values(1, 2, 3, 4, 5, 11, 42, 99));
 
+// ---- crash recovery: ObjectState::recover merge rules ------------------
+
+// Build a peer snapshot holding a written value at `ts` plus optional
+// plist entries.
+ObjectState peer_with_write(ObjectId obj, Timestamp ts, const char* value) {
+  ObjectState s(obj);
+  EXPECT_TRUE(s.apply_write(to_bytes(value), cert_for(obj, ts, value),
+                            /*optimized_tiebreak=*/false));
+  s.absorb_write_certificate(ts);
+  return s;
+}
+
+TEST(ObjectStateRecoverTest, HighestCertifiedValueWins) {
+  std::vector<ObjectState> peers;
+  peers.push_back(peer_with_write(1, {3, 2}, "newest"));
+  peers.push_back(peer_with_write(1, {1, 1}, "oldest"));
+  peers.push_back(peer_with_write(1, {2, 1}, "middle"));
+  const ObjectState r = ObjectState::recover(1, peers, /*f=*/1);
+  EXPECT_EQ(r.pcert().ts(), (Timestamp{3, 2}));
+  EXPECT_EQ(r.data(), to_bytes("newest"));
+}
+
+TEST(ObjectStateRecoverTest, PlistIsUnionOfSnapshots) {
+  // Lemma 1 only guarantees a certified prepare appears in >=1 of any
+  // 2f+1 snapshots, so recovery must union the lists: a threshold above
+  // one would forget a real lurking prepare and break the bound.
+  ObjectState a(1), b(1), c(1);
+  EXPECT_TRUE(a.try_prepare(7, {1, 7}, h("x")));
+  EXPECT_TRUE(b.try_prepare(9, {1, 9}, h("y")));
+  const ObjectState r = ObjectState::recover(1, {a, b, c}, /*f=*/1);
+  EXPECT_EQ(r.plist().size(), 2u);
+  EXPECT_EQ(r.plist().at(7).t, (Timestamp{1, 7}));
+  EXPECT_EQ(r.plist().at(9).t, (Timestamp{1, 9}));
+}
+
+TEST(ObjectStateRecoverTest, FirstClaimPerClientWinsInPeerOrder) {
+  // Two snapshots claim different entries for the same client (one of
+  // them is lying or stale). Peers are passed in replica-index order, so
+  // the earlier snapshot's claim is adopted deterministically.
+  ObjectState a(1), b(1);
+  EXPECT_TRUE(a.try_prepare(7, {2, 7}, h("a-claim")));
+  EXPECT_TRUE(b.try_prepare(7, {3, 7}, h("b-claim")));
+  const ObjectState r = ObjectState::recover(1, {a, b}, /*f=*/0);
+  ASSERT_EQ(r.plist().size(), 1u);
+  EXPECT_EQ(r.plist().at(7).t, (Timestamp{2, 7}));
+}
+
+TEST(ObjectStateRecoverTest, WriteTsIsFPlusFirstLargestClaim) {
+  // A faulty peer inflating write_ts must not drag the frontier past
+  // what a correct peer vouches for: adopt the (f+1)-th largest claim.
+  ObjectState honest1 = peer_with_write(1, {2, 1}, "v2");
+  ObjectState honest2 = peer_with_write(1, {2, 1}, "v2");
+  ObjectState liar = peer_with_write(1, {9, 6}, "forged-frontier");
+  const ObjectState r =
+      ObjectState::recover(1, {liar, honest1, honest2}, /*f=*/1);
+  // Sorted claims: 9, 2, 2 -> claims[1] = 2. The liar's inflated
+  // frontier is ignored; the value merge still prefers its (validated
+  // by the caller in production) higher cert, which is one-sided safe.
+  EXPECT_EQ(r.write_ts(), (Timestamp{2, 1}));
+}
+
+TEST(ObjectStateRecoverTest, AdoptedFrontierGarbageCollectsStalePrepares) {
+  // A prepare at or below the adopted write frontier is dead (its write
+  // completed or was superseded); recovery GCs it exactly as absorbing a
+  // live write certificate would.
+  ObjectState a = peer_with_write(1, {3, 1}, "current");
+  ObjectState b(1);
+  EXPECT_TRUE(b.try_prepare(7, {2, 7}, h("stale")));   // below frontier
+  EXPECT_TRUE(b.try_prepare(9, {4, 9}, h("alive")));   // above frontier
+  ObjectState c = peer_with_write(1, {3, 1}, "current");
+  const ObjectState r = ObjectState::recover(1, {a, b, c}, /*f=*/1);
+  EXPECT_EQ(r.write_ts(), (Timestamp{3, 1}));
+  EXPECT_EQ(r.plist().count(7), 0u);
+  ASSERT_EQ(r.plist().count(9), 1u);
+  EXPECT_EQ(r.plist().at(9).t, (Timestamp{4, 9}));
+}
+
+TEST(ObjectStateRecoverTest, EmptyPeerSetYieldsGenesis) {
+  const ObjectState r = ObjectState::recover(5, {}, /*f=*/1);
+  EXPECT_TRUE(r.pcert().is_genesis());
+  EXPECT_TRUE(r.data().empty());
+  EXPECT_TRUE(r.plist().empty());
+  EXPECT_TRUE(r.write_ts().is_zero());
+}
+
 }  // namespace
 }  // namespace bftbc::core

@@ -1,13 +1,20 @@
 // bftbc_explore: randomized scenario explorer CLI.
 //
 //   bftbc_explore --runs 500 --seed 42 --artifacts explore-artifacts
+//   bftbc_explore --runs 500 --seed 42 --guided --corpus corpus
 //   bftbc_explore --replay explore-artifacts/scenario_seed123.json
 //
 // Explore mode samples and runs N seeded scenarios, checks every run
 // against the BFT-linearizability bound for its mode, shrinks failures,
-// and dumps minimal scenario JSON + trace artifacts. The report is
-// deterministic: same --runs and --seed produce a byte-identical JSON
-// report. Exit status: 0 clean, 1 failures found, 2 usage/parse error.
+// and dumps minimal scenario JSON + trace artifacts. With --guided the
+// explorer turns coverage-guided and mutational: novel-coverage runs
+// enter a corpus that subsequent runs mutate instead of sampling fresh.
+// --corpus names a directory of scenario JSONs replayed first as the
+// seed corpus (and, guided only, updated with admitted entries after).
+// The report is deterministic: same --runs, --seed, and corpus contents
+// produce a byte-identical JSON report. --coverage-report additionally
+// prints a human-readable coverage summary to stderr.
+// Exit status: 0 clean, 1 failures found, 2 usage/parse error.
 //
 // Replay mode loads one scenario JSON (as dumped by explore mode) and
 // runs exactly that scenario, printing the outcome and — on failure —
@@ -65,6 +72,14 @@ int main(int argc, char** argv) {
       "directory for minimal scenario JSON + traces ('' disables)");
   auto& max_shrink =
       flags.add_u64("max-shrink", 64, "candidate-run budget per shrink");
+  auto& guided = flags.add_bool(
+      "guided", false, "coverage-guided mutational mode (vs uniform sampling)");
+  auto& corpus = flags.add_string(
+      "corpus", "",
+      "directory of seed-corpus scenario JSONs; guided mode saves admitted "
+      "entries back into it");
+  auto& coverage_report = flags.add_bool(
+      "coverage-report", false, "print a coverage summary to stderr");
   flags.parse(argc, argv);
 
   bftbc::explore::ExplorerOptions options;
@@ -72,6 +87,8 @@ int main(int argc, char** argv) {
   options.runs = static_cast<std::uint32_t>(*runs);
   options.artifacts_dir = *artifacts;
   options.shrink_budget = static_cast<std::uint32_t>(*max_shrink);
+  options.guided = *guided;
+  options.corpus_dir = *corpus;
   bftbc::explore::Explorer explorer(options);
 
   if (!(*replay_path).empty()) return replay(*replay_path, explorer);
@@ -83,6 +100,20 @@ int main(int argc, char** argv) {
     out << rendered << "\n";
   } else {
     std::cout << rendered << "\n";
+  }
+  if (*coverage_report) {
+    std::cerr << "coverage: " << report.coverage << " distinct signals ("
+              << (report.guided ? "guided" : "uniform") << "), corpus "
+              << report.corpus_size << " entries\n";
+    std::size_t shown = 0;
+    for (const std::string& s : report.signals_seen) {
+      std::cerr << "  " << s << "\n";
+      if (++shown >= 200) {
+        std::cerr << "  ... (" << report.signals_seen.size() - shown
+                  << " more)\n";
+        break;
+      }
+    }
   }
   std::cerr << report.failures << "/" << report.runs
             << " scenarios failed\n";
